@@ -1,0 +1,617 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (see DESIGN.md §3 for the experiment index). Each bench
+// times the computation that produces the artifact and logs the rows the
+// paper reports; run with -v to see them:
+//
+//	go test -bench=. -benchmem -v
+package searchads_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"searchads"
+	"searchads/internal/analysis"
+	"searchads/internal/crawler"
+	"searchads/internal/filterlist"
+	"searchads/internal/netsim"
+	"searchads/internal/tokens"
+	"searchads/internal/websim"
+)
+
+// benchState is the shared crawl all table/figure benches analyse.
+// Built once: a 5-engine, 80-iteration study (the paper's shape at a
+// benchmark-friendly scale).
+var (
+	benchOnce    sync.Once
+	benchDataset *searchads.Dataset
+	benchReport  *searchads.Report
+)
+
+func benchSetup(b *testing.B) (*searchads.Dataset, *searchads.Report) {
+	b.Helper()
+	benchOnce.Do(func() {
+		study := searchads.NewStudy(searchads.Config{Seed: 4242, QueriesPerEngine: 80})
+		benchDataset = study.Crawl()
+		benchReport = study.Analyze()
+	})
+	return benchDataset, benchReport
+}
+
+// BenchmarkTable1_CrawlSummary regenerates Table 1 (queries, distinct
+// destinations, distinct redirection paths per engine).
+func BenchmarkTable1_CrawlSummary(b *testing.B) {
+	ds, r := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, it := range ds.Iterations {
+			_ = analysis.PathOf(it).FullKey()
+		}
+	}
+	b.StopTimer()
+	for _, e := range searchads.AllEngines() {
+		row := r.Table1[e]
+		b.Logf("Table 1 %-12s queries=%d destinations=%d paths=%d",
+			e, row.Queries, row.DistinctDestinations, row.DistinctPaths)
+	}
+}
+
+// BenchmarkSec411_FirstPartyReidentification regenerates §4.1.1: which
+// engines store user identifiers in first-party storage on the SERP.
+func BenchmarkSec411_FirstPartyReidentification(b *testing.B) {
+	ds, r := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = analysis.Analyze(&searchads.Dataset{Iterations: ds.Iterations[:40]})
+	}
+	b.StopTimer()
+	for _, e := range searchads.AllEngines() {
+		b.Logf("Sec 4.1.1 %-12s stores-user-ids=%v keys=%v",
+			e, r.Before[e].StoresUserIDs, r.Before[e].IdentifierKeys)
+	}
+}
+
+// BenchmarkSec412_SERPTrackerRequests regenerates §4.1.2: SERP requests
+// matched against the filter lists (the paper finds zero).
+func BenchmarkSec412_SERPTrackerRequests(b *testing.B) {
+	ds, r := benchSetup(b)
+	engine := filterlist.DefaultEngine()
+	var reqs []filterlist.RequestInfo
+	for _, it := range ds.Iterations {
+		for _, req := range it.SERPRequests {
+			reqs = append(reqs, filterlist.RequestInfo{
+				URL: req.URL, Type: netsim.ResourceType(req.Type),
+				FirstParty: req.FirstParty, ThirdParty: req.ThirdParty,
+			})
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		matched := 0
+		for _, req := range reqs {
+			if engine.IsTracker(req) {
+				matched++
+			}
+		}
+		if matched != 0 {
+			b.Fatalf("SERP tracker requests = %d, want 0", matched)
+		}
+	}
+	b.StopTimer()
+	for _, e := range searchads.AllEngines() {
+		b.Logf("Sec 4.1.2 %-12s tracker-requests=%d/%d",
+			e, r.Before[e].TrackerRequests, r.Before[e].TotalRequests)
+	}
+}
+
+// BenchmarkSec421_PostClickBeacons regenerates §4.2.1: the engines'
+// post-click first-party endpoints and whether they carry identifiers.
+func BenchmarkSec421_PostClickBeacons(b *testing.B) {
+	ds, r := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		count := 0
+		for _, it := range ds.Iterations {
+			for _, req := range it.ClickRequests {
+				if req.Initiator == "click" {
+					count++
+				}
+			}
+		}
+		if count == 0 {
+			b.Fatal("no beacons")
+		}
+	}
+	b.StopTimer()
+	for _, e := range searchads.AllEngines() {
+		for _, beacon := range r.During[e].Beacons {
+			b.Logf("Sec 4.2.1 %-12s %-45s count=%d uid-cookie=%d",
+				e, beacon.Endpoint, beacon.Count, beacon.WithUIDCookie)
+		}
+	}
+}
+
+// BenchmarkFigure4_RedirectorCountCDF regenerates Figure 4.
+func BenchmarkFigure4_RedirectorCountCDF(b *testing.B) {
+	ds, r := benchSetup(b)
+	byEngine := ds.ByEngine()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, iters := range byEngine {
+			counts := make([]int, 0, len(iters))
+			for _, it := range iters {
+				counts = append(counts, len(analysis.PathOf(it).Redirectors()))
+			}
+			_ = analysis.NewCDF(counts)
+		}
+	}
+	b.StopTimer()
+	for _, e := range searchads.AllEngines() {
+		cdf := r.During[e].RedirectorCDF
+		b.Logf("Figure 4 %-12s P(<=0)=%.2f P(<=1)=%.2f P(<=2)=%.2f",
+			e, cdf.At(0), cdf.At(1), cdf.At(2))
+	}
+}
+
+// BenchmarkTable2_TopNavigationPaths regenerates Table 2.
+func BenchmarkTable2_TopNavigationPaths(b *testing.B) {
+	ds, r := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		paths := make(map[string]int)
+		for _, it := range ds.Iterations {
+			paths[analysis.PathOf(it).Key()]++
+		}
+		if len(paths) == 0 {
+			b.Fatal("no paths")
+		}
+	}
+	b.StopTimer()
+	for _, e := range searchads.AllEngines() {
+		for _, f := range r.During[e].TopPaths {
+			b.Logf("Table 2 %-12s %-80s %.0f%%", e, f.Label, f.Fraction*100)
+		}
+	}
+}
+
+// BenchmarkTable3_OrganisationsInPaths regenerates Table 3.
+func BenchmarkTable3_OrganisationsInPaths(b *testing.B) {
+	ds, r := benchSetup(b)
+	ents := searchads.DefaultEntities()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		orgs := make(map[string]int)
+		for _, it := range ds.Iterations {
+			for _, site := range analysis.PathOf(it).PathSitesWithoutDestination() {
+				orgs[ents.EntityOf(site)]++
+			}
+		}
+		if len(orgs) == 0 {
+			b.Fatal("no organisations")
+		}
+	}
+	b.StopTimer()
+	for _, e := range searchads.AllEngines() {
+		for _, org := range []string{"Google", "Microsoft", "unknown"} {
+			b.Logf("Table 3 %-12s %-12s %.0f%%", e, org, r.During[e].OrgFractions[org]*100)
+		}
+	}
+}
+
+// BenchmarkFigure5_UIDRedirectorCDF regenerates Figure 5.
+func BenchmarkFigure5_UIDRedirectorCDF(b *testing.B) {
+	ds, r := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = analysis.Analyze(&searchads.Dataset{Iterations: ds.Iterations[:60]})
+	}
+	b.StopTimer()
+	for _, e := range searchads.AllEngines() {
+		cdf := r.During[e].UIDRedirectorCDF
+		b.Logf("Figure 5 %-12s P(<=0)=%.2f P(<=1)=%.2f P(<=2)=%.2f",
+			e, cdf.At(0), cdf.At(1), cdf.At(2))
+	}
+}
+
+// BenchmarkTable4_UIDCookieRedirectors regenerates Table 4.
+func BenchmarkTable4_UIDCookieRedirectors(b *testing.B) {
+	_, r := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		total := 0.0
+		for _, e := range searchads.AllEngines() {
+			for _, f := range r.During[e].UIDRedirectors {
+				total += f.Fraction
+			}
+		}
+		if total == 0 {
+			b.Fatal("no UID redirectors")
+		}
+	}
+	b.StopTimer()
+	for _, e := range searchads.AllEngines() {
+		for _, f := range r.During[e].UIDRedirectors {
+			b.Logf("Table 4 %-12s %-40s %.0f%%", e, f.Label, f.Fraction*100)
+		}
+	}
+}
+
+// BenchmarkSec431_DestinationTrackers regenerates §4.3.1: filter-list
+// matching over all destination-page traffic.
+func BenchmarkSec431_DestinationTrackers(b *testing.B) {
+	ds, r := benchSetup(b)
+	engine := filterlist.DefaultEngine()
+	var reqs []filterlist.RequestInfo
+	for _, it := range ds.Iterations {
+		for _, req := range it.DestRequests {
+			reqs = append(reqs, filterlist.RequestInfo{
+				URL: req.URL, Type: netsim.ResourceType(req.Type),
+				FirstParty: req.FirstParty, ThirdParty: req.ThirdParty,
+			})
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		matched := 0
+		for _, req := range reqs {
+			if engine.IsTracker(req) {
+				matched++
+			}
+		}
+		if matched == 0 {
+			b.Fatal("no tracker requests on destinations")
+		}
+	}
+	b.StopTimer()
+	for _, e := range searchads.AllEngines() {
+		a := r.After[e]
+		b.Logf("Sec 4.3.1 %-12s pages-with-trackers=%.0f%% distinct=%d median=%.0f",
+			e, a.PagesWithTrackers*100, a.DistinctTrackers, a.MedianTrackersPerPage)
+	}
+}
+
+// BenchmarkTable5_DestinationTrackerEntities regenerates Table 5.
+func BenchmarkTable5_DestinationTrackerEntities(b *testing.B) {
+	ds, r := benchSetup(b)
+	ents := searchads.DefaultEntities()
+	var hosts []string
+	for _, it := range ds.Iterations {
+		for _, req := range it.DestRequests {
+			hosts = append(hosts, req.URL)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		counts := map[string]int{}
+		for _, h := range hosts {
+			counts[ents.EntityOf(hostOf(h))]++
+		}
+		if len(counts) == 0 {
+			b.Fatal("no entities")
+		}
+	}
+	b.StopTimer()
+	for _, e := range searchads.AllEngines() {
+		line := "Table 5 " + e + ":"
+		for _, f := range r.After[e].TopEntities {
+			line += fmt.Sprintf(" %s(%.1f%%)", f.Label, f.Fraction*100)
+		}
+		b.Log(line)
+	}
+}
+
+func hostOf(raw string) string {
+	for i := 0; i+3 <= len(raw); i++ {
+		if raw[i:i+3] == "://" {
+			rest := raw[i+3:]
+			for j := 0; j < len(rest); j++ {
+				if rest[j] == '/' || rest[j] == '?' {
+					return rest[:j]
+				}
+			}
+			return rest
+		}
+	}
+	return raw
+}
+
+// BenchmarkTable6_UIDSmuggling regenerates Table 6 (MSCLKID / GCLID /
+// other UID parameters reaching advertisers).
+func BenchmarkTable6_UIDSmuggling(b *testing.B) {
+	ds, r := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = analysis.Analyze(&searchads.Dataset{Iterations: ds.Iterations[:60]})
+	}
+	b.StopTimer()
+	for _, e := range searchads.AllEngines() {
+		a := r.After[e]
+		b.Logf("Table 6 %-12s MSCLKID=%.0f%% GCLID=%.0f%% other=%.0f%% any=%.0f%%",
+			e, a.MSCLKID*100, a.GCLID*100, a.OtherUID*100, a.AnyUID*100)
+	}
+}
+
+// BenchmarkSec432_ClickIDPersistence regenerates §4.3.2's persistence
+// cross-reference.
+func BenchmarkSec432_ClickIDPersistence(b *testing.B) {
+	_, r := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sum := 0.0
+		for _, e := range searchads.AllEngines() {
+			sum += r.After[e].PersistedMSCLKID + r.After[e].PersistedGCLID
+		}
+		if sum == 0 {
+			b.Fatal("no persistence observed")
+		}
+	}
+	b.StopTimer()
+	for _, e := range searchads.AllEngines() {
+		b.Logf("Sec 4.3.2 %-12s persisted MSCLKID=%.0f%% GCLID=%.0f%%",
+			e, r.After[e].PersistedMSCLKID*100, r.After[e].PersistedGCLID*100)
+	}
+}
+
+// BenchmarkTable7_TopRedirectors regenerates Table 7 (share of
+// redirector occurrences per host).
+func BenchmarkTable7_TopRedirectors(b *testing.B) {
+	ds, r := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		counts := map[string]int{}
+		for _, it := range ds.Iterations {
+			for _, host := range analysis.PathOf(it).Redirectors() {
+				counts[host]++
+			}
+		}
+		if len(counts) == 0 {
+			b.Fatal("no redirectors")
+		}
+	}
+	b.StopTimer()
+	for _, e := range searchads.AllEngines() {
+		for _, f := range r.During[e].TopRedirectors {
+			b.Logf("Table 7 %-12s %-40s %.0f%%", e, f.Label, f.Fraction*100)
+		}
+	}
+}
+
+// BenchmarkSec31_RecorderCoverage regenerates the §3.1 crawler-vs-
+// extension coverage check (97% median).
+func BenchmarkSec31_RecorderCoverage(b *testing.B) {
+	ds, r := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var ratios []float64
+		for _, it := range ds.Iterations {
+			if it.ExtensionRequestCount > 0 {
+				ratios = append(ratios, float64(it.CrawlerRequestCount)/float64(it.ExtensionRequestCount))
+			}
+		}
+		if analysis.MedianFloat(ratios) < 0.9 {
+			b.Fatal("coverage collapsed")
+		}
+	}
+	b.StopTimer()
+	for _, e := range searchads.AllEngines() {
+		b.Logf("Sec 3.1 %-12s recorder coverage (median) = %.0f%%", e, r.RecorderCoverage[e]*100)
+	}
+}
+
+// BenchmarkSec32_TokenFunnel regenerates the §3.2 token classification
+// funnel (6,971 → 1,258 in the paper).
+func BenchmarkSec32_TokenFunnel(b *testing.B) {
+	ds, r := benchSetup(b)
+	obs := analysis.Observations(ds)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := tokens.Classify(obs)
+		if len(res.UserIDs) == 0 {
+			b.Fatal("no user IDs")
+		}
+	}
+	b.StopTimer()
+	b.Logf("Sec 3.2 funnel: total=%d user-ids=%d by-reason=%v",
+		r.Funnel.TotalTokens, r.Funnel.UserIDs, r.Funnel.ByReason)
+}
+
+// BenchmarkCrawl_EndToEnd measures the full pipeline: world build +
+// 5-engine crawl + analysis, per iteration count.
+func BenchmarkCrawl_EndToEnd(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		study := searchads.NewStudy(searchads.Config{Seed: int64(i + 1), QueriesPerEngine: 10})
+		_ = study.Analyze()
+	}
+}
+
+// BenchmarkAblation_PartitionedVsFlat compares the two storage models'
+// navigational-tracking outcomes (DESIGN.md §4.2): the numbers must
+// match, demonstrating that partitioning does not stop bounce tracking.
+func BenchmarkAblation_PartitionedVsFlat(b *testing.B) {
+	b.ResetTimer()
+	var flatNav, partNav float64
+	for i := 0; i < b.N; i++ {
+		flat := searchads.NewStudy(searchads.Config{
+			Seed: 5, Engines: []string{searchads.StartPage}, QueriesPerEngine: 15,
+		}).Analyze()
+		part := searchads.NewStudy(searchads.Config{
+			Seed: 5, Engines: []string{searchads.StartPage}, QueriesPerEngine: 15,
+			Storage: searchads.PartitionedStorage,
+		}).Analyze()
+		flatNav = flat.During["startpage"].NavTrackingFraction
+		partNav = part.During["startpage"].NavTrackingFraction
+		if flatNav != partNav {
+			b.Fatalf("partitioning changed navigational tracking: %.2f vs %.2f", flatNav, partNav)
+		}
+	}
+	b.StopTimer()
+	b.Logf("Ablation: nav tracking flat=%.0f%% partitioned=%.0f%% (unchanged, as §2.2.2 argues)",
+		flatNav*100, partNav*100)
+}
+
+// BenchmarkAblation_FilterEngine compares full ABP rule semantics
+// against a naive domain-set matcher (DESIGN.md §4.3): generic path
+// rules catch the long-tail trackers a domain set misses.
+func BenchmarkAblation_FilterEngine(b *testing.B) {
+	ds, _ := benchSetup(b)
+	full := filterlist.DefaultEngine()
+	domainOnly := filterlist.NewEngine()
+	// Domain-set baseline: only the ||domain^ rules, no generic ones.
+	domainOnly.AddList("domains", domainRulesOnly())
+	var reqs []filterlist.RequestInfo
+	for _, it := range ds.Iterations {
+		for _, req := range it.DestRequests {
+			reqs = append(reqs, filterlist.RequestInfo{
+				URL: req.URL, Type: netsim.ResourceType(req.Type),
+				FirstParty: req.FirstParty, ThirdParty: req.ThirdParty,
+			})
+		}
+	}
+	var fullN, domN int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fullN, domN = 0, 0
+		for _, req := range reqs {
+			if full.IsTracker(req) {
+				fullN++
+			}
+			if domainOnly.IsTracker(req) {
+				domN++
+			}
+		}
+	}
+	b.StopTimer()
+	if fullN <= domN {
+		b.Fatalf("generic rules added nothing: full=%d domain-only=%d", fullN, domN)
+	}
+	b.Logf("Ablation: full rules matched %d requests, domain-set baseline %d (+%d from generic rules)",
+		fullN, domN, fullN-domN)
+}
+
+func domainRulesOnly() string {
+	return `||google-analytics.com^
+||googletagmanager.com^
+||doubleclick.net^
+||googlesyndication.com^
+||clarity.ms^
+||bat.bing.com^
+||facebook.net^
+||amazon-adsystem.com^
+||criteo.com^
+||criteo.net^
+`
+}
+
+// BenchmarkAblation_StealthVsHeadless quantifies the stealth plugin's
+// necessity (§3.1): with the naive headless fingerprint the engines
+// detect the bot and serve no ads, so the study collapses.
+func BenchmarkAblation_StealthVsHeadless(b *testing.B) {
+	var stealthAds, headlessAds int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stealth := searchads.NewStudy(searchads.Config{
+			Seed: 6, Engines: []string{searchads.Bing}, QueriesPerEngine: 8,
+		}).Crawl()
+		headless := searchads.NewStudy(searchads.Config{
+			Seed: 6, Engines: []string{searchads.Bing}, QueriesPerEngine: 8,
+			NoStealth: true,
+		}).Crawl()
+		stealthAds, headlessAds = 0, 0
+		for _, it := range stealth.Iterations {
+			stealthAds += len(it.DisplayedAds)
+		}
+		for _, it := range headless.Iterations {
+			headlessAds += len(it.DisplayedAds)
+		}
+		if headlessAds != 0 || stealthAds == 0 {
+			b.Fatalf("bot detection inverted: stealth=%d headless=%d", stealthAds, headlessAds)
+		}
+	}
+	b.StopTimer()
+	b.Logf("Ablation: ads shown with stealth=%d, with naive headless fingerprint=%d", stealthAds, headlessAds)
+}
+
+// BenchmarkAblation_ReferrerSmuggling measures the §5-extension channel:
+// with the referrer-smuggling service enabled, a fraction of clicks pass
+// identifiers through document.referrer, invisible to query-parameter
+// detection alone.
+func BenchmarkAblation_ReferrerSmuggling(b *testing.B) {
+	var rate float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		report := searchads.NewStudy(searchads.Config{
+			Seed: 9, Engines: []string{searchads.DuckDuckGo}, QueriesPerEngine: 55,
+			ReferrerSmuggling: true,
+		}).Analyze()
+		rate = report.After["duckduckgo"].ReferrerUID
+		if rate == 0 {
+			b.Fatal("referrer smuggling never observed")
+		}
+	}
+	b.StopTimer()
+	b.Logf("Ablation: referrer-UID rate with smuggling service enabled = %.0f%%", rate*100)
+}
+
+// BenchmarkWorldBuild measures world construction alone (all engines,
+// pools, trackers, redirectors).
+func BenchmarkWorldBuild(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		w := websim.NewWorld(websim.Config{Seed: int64(i + 1), QueriesPerEngine: 100})
+		if w.Sites.Sites() == 0 {
+			b.Fatal("empty world")
+		}
+	}
+}
+
+// BenchmarkParallelCrawl contrasts sequential and parallel crawling of
+// all five engines.
+func BenchmarkParallelCrawl(b *testing.B) {
+	for _, parallel := range []bool{false, true} {
+		name := "sequential"
+		if parallel {
+			name = "parallel"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				w := websim.NewWorld(websim.Config{Seed: 9, QueriesPerEngine: 10})
+				ds := crawler.New(crawler.Config{World: w, Parallel: parallel}).Run()
+				if len(ds.Iterations) != 50 {
+					b.Fatalf("iterations = %d", len(ds.Iterations))
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFilterEngine_PaperScale measures matching against a list the
+// size of the paper's combined EasyList+EasyPrivacy (86,488 rules).
+func BenchmarkFilterEngine_PaperScale(b *testing.B) {
+	engine := filterlist.NewEngine()
+	engine.AddList("synthetic", filterlist.GenerateSyntheticList(86488))
+	reqs := []filterlist.RequestInfo{
+		{URL: "https://tracker-40001.example/px?x=1", Type: netsim.TypeImage, FirstParty: "a.example", ThirdParty: true},
+		{URL: "https://clean.example/app.js", Type: netsim.TypeScript, FirstParty: "clean.example"},
+		{URL: "https://sub.tracker-12345.example/unit.js", Type: netsim.TypeScript, FirstParty: "a.example", ThirdParty: true},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, req := range reqs {
+			engine.IsTracker(req)
+		}
+	}
+}
+
+// BenchmarkBrowser_ClickNavigation measures one ad click's full redirect
+// chase through the virtual network.
+func BenchmarkBrowser_ClickNavigation(b *testing.B) {
+	world := websim.NewWorld(websim.Config{Seed: 31, QueriesPerEngine: 5})
+	c := crawler.New(crawler.Config{World: world, Engines: []string{searchads.StartPage}, Iterations: 1, SkipRevisit: true})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ds := c.Run()
+		if ds.Iterations[0].Error != "" {
+			b.Fatal(ds.Iterations[0].Error)
+		}
+	}
+}

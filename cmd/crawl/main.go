@@ -1,0 +1,70 @@
+// Command crawl runs the paper's measurement pipeline over the simulated
+// web and writes the dataset as JSON.
+//
+// Usage:
+//
+//	crawl -out dataset.json [-seed 1] [-engines bing,google] [-queries 500]
+//	      [-iterations 0] [-partitioned] [-no-stealth] [-skip-revisit]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"searchads"
+)
+
+func main() {
+	var (
+		out         = flag.String("out", "dataset.json", "output dataset path")
+		seed        = flag.Int64("seed", 20221001, "world seed")
+		engines     = flag.String("engines", "", "comma-separated engines (default: all five)")
+		queries     = flag.Int("queries", 500, "queries per engine")
+		iterations  = flag.Int("iterations", 0, "iteration cap per engine (0 = one per query)")
+		partitioned = flag.Bool("partitioned", false, "crawl with partitioned cookie storage")
+		noStealth   = flag.Bool("no-stealth", false, "disable the stealth fingerprint (bots get no ads)")
+		skipRevisit = flag.Bool("skip-revisit", false, "skip the next-day profile revisit")
+		parallel    = flag.Bool("parallel", false, "crawl engines concurrently (not byte-reproducible)")
+		refSmuggle  = flag.Bool("referrer-smuggling", false, "enable the referrer-based UID-smuggling service")
+		quiet       = flag.Bool("quiet", false, "suppress progress output")
+	)
+	flag.Parse()
+
+	cfg := searchads.Config{
+		Seed:              *seed,
+		QueriesPerEngine:  *queries,
+		Iterations:        *iterations,
+		NoStealth:         *noStealth,
+		SkipRevisit:       *skipRevisit,
+		Parallel:          *parallel,
+		ReferrerSmuggling: *refSmuggle,
+	}
+	if *engines != "" {
+		cfg.Engines = strings.Split(*engines, ",")
+	}
+	if *partitioned {
+		cfg.Storage = searchads.PartitionedStorage
+	}
+
+	study := searchads.NewStudy(cfg)
+	if !*quiet {
+		fmt.Fprintln(os.Stderr, "building world and crawling...")
+	}
+	ds := study.Crawl()
+	if err := ds.Save(*out); err != nil {
+		fmt.Fprintln(os.Stderr, "crawl:", err)
+		os.Exit(1)
+	}
+	if !*quiet {
+		errs := 0
+		for _, it := range ds.Iterations {
+			if it.Error != "" {
+				errs++
+			}
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s: %d iterations (%d errors) across %d engines\n",
+			*out, len(ds.Iterations), errs, len(ds.Engines()))
+	}
+}

@@ -1,0 +1,76 @@
+// Command filtercheck tests URLs against the embedded
+// EasyList/EasyPrivacy-style filter lists, uBlock-style.
+//
+// Usage:
+//
+//	filtercheck [-type script] [-first-party shop.example] URL...
+//	echo 'https://bat.bing.com/bat.js' | filtercheck -stdin
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"net/url"
+	"os"
+
+	"searchads/internal/filterlist"
+	"searchads/internal/netsim"
+	"searchads/internal/urlx"
+)
+
+func main() {
+	var (
+		typ        = flag.String("type", "document", "resource type (document, script, image, xmlhttprequest, ping, ...)")
+		firstParty = flag.String("first-party", "", "first-party site (default: the URL's own site)")
+		stdin      = flag.Bool("stdin", false, "read URLs from stdin, one per line")
+	)
+	flag.Parse()
+
+	engine := filterlist.DefaultEngine()
+	fmt.Fprintf(os.Stderr, "loaded %d rules (%d lines skipped)\n", engine.Len(), engine.Skipped())
+
+	check := func(raw string) {
+		u, err := url.Parse(raw)
+		if err != nil {
+			fmt.Printf("%-60s ERROR %v\n", raw, err)
+			return
+		}
+		fp := *firstParty
+		if fp == "" {
+			fp = urlx.RegistrableDomain(u.Host)
+		}
+		info := filterlist.RequestInfo{
+			URL:        raw,
+			Type:       netsim.ResourceType(*typ),
+			FirstParty: fp,
+			ThirdParty: urlx.RegistrableDomain(u.Host) != fp,
+		}
+		rule, blocked := engine.Match(info)
+		switch {
+		case blocked:
+			fmt.Printf("%-60s BLOCKED by %s rule %q\n", raw, rule.List, rule.Raw)
+		case rule != nil:
+			fmt.Printf("%-60s ALLOWED (exception over %q)\n", raw, rule.Raw)
+		default:
+			fmt.Printf("%-60s clean\n", raw)
+		}
+	}
+
+	if *stdin {
+		sc := bufio.NewScanner(os.Stdin)
+		for sc.Scan() {
+			if line := sc.Text(); line != "" {
+				check(line)
+			}
+		}
+		return
+	}
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: filtercheck [flags] URL...")
+		os.Exit(2)
+	}
+	for _, raw := range flag.Args() {
+		check(raw)
+	}
+}

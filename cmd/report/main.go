@@ -1,0 +1,63 @@
+// Command report analyses a crawl dataset (or runs a fresh in-memory
+// study) and prints every table and figure of the paper's evaluation.
+//
+// Usage:
+//
+//	report -in dataset.json            # analyse a saved dataset
+//	report -seed 1 -queries 100        # run a fresh study end to end
+//	report -in dataset.json -experiments > EXPERIMENTS.md
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"searchads"
+	"searchads/internal/analysis"
+)
+
+func main() {
+	var (
+		in          = flag.String("in", "", "dataset JSON to analyse (empty = run a fresh study)")
+		seed        = flag.Int64("seed", 20221001, "world seed for a fresh study")
+		queries     = flag.Int("queries", 500, "queries per engine for a fresh study")
+		engines     = flag.String("engines", "", "comma-separated engines for a fresh study")
+		experiments = flag.Bool("experiments", false, "emit EXPERIMENTS.md (paper vs measured) instead of the report")
+		asJSON      = flag.Bool("json", false, "emit the report as JSON")
+	)
+	flag.Parse()
+
+	var report *searchads.Report
+	if *in != "" {
+		ds, err := searchads.LoadDataset(*in)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "report:", err)
+			os.Exit(1)
+		}
+		report = searchads.AnalyzeDataset(ds)
+	} else {
+		cfg := searchads.Config{Seed: *seed, QueriesPerEngine: *queries}
+		if *engines != "" {
+			cfg.Engines = strings.Split(*engines, ",")
+		}
+		report = searchads.NewStudy(cfg).Analyze()
+	}
+
+	if *experiments {
+		fmt.Print(analysis.RenderExperiments(report.Compare()))
+		return
+	}
+	if *asJSON {
+		data, err := report.JSON()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "report:", err)
+			os.Exit(1)
+		}
+		os.Stdout.Write(data)
+		fmt.Println()
+		return
+	}
+	fmt.Print(report.Render())
+}

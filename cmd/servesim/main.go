@@ -1,0 +1,56 @@
+// Command servesim serves the simulated web on a real loopback listener
+// through netsim.HTTPBridge, so the ecosystem can be inspected with curl
+// or a browser:
+//
+//	servesim -addr 127.0.0.1:8080 &
+//	curl -H 'Host: www.bing.com' 'http://127.0.0.1:8080/search?q=buy+shoes'
+//
+// Host routing follows the Host header; redirect chains can be walked by
+// re-issuing the Location URL with the corresponding Host.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"time"
+
+	"searchads"
+	"searchads/internal/netsim"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "127.0.0.1:8080", "listen address")
+		seed    = flag.Int64("seed", 20221001, "world seed")
+		queries = flag.Int("queries", 50, "queries per engine (sizes the ad pools)")
+	)
+	flag.Parse()
+
+	study := searchads.NewStudy(searchads.Config{Seed: *seed, QueriesPerEngine: *queries})
+	world := study.World()
+	fmt.Fprint(os.Stderr, world.Describe())
+	fmt.Fprintf(os.Stderr, "listening on http://%s (route with the Host header)\n", *addr)
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           &netsim.HTTPBridge{Net: world.Net},
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+		defer cancel()
+		srv.Shutdown(shutdownCtx)
+	}()
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "servesim:", err)
+		os.Exit(1)
+	}
+}

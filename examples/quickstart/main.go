@@ -1,0 +1,47 @@
+// Quickstart: run a small study end to end — build the simulated web,
+// crawl one engine, and print the analysis of a single ad click.
+package main
+
+import (
+	"fmt"
+
+	"searchads"
+)
+
+func main() {
+	study := searchads.NewStudy(searchads.Config{
+		Seed:             42,
+		Engines:          []string{searchads.DuckDuckGo},
+		QueriesPerEngine: 25,
+	})
+
+	ds := study.Crawl()
+	fmt.Printf("crawled %d iterations on DuckDuckGo\n\n", len(ds.Iterations))
+
+	// Inspect the first iteration: the redirect chain behind one ad
+	// click, hop by hop.
+	it := ds.Iterations[0]
+	fmt.Printf("query: %q\n", it.Query)
+	fmt.Printf("clicked ad #%d of %d (landing: %s)\n",
+		it.ClickedAd+1, len(it.DisplayedAds), it.DisplayedAds[it.ClickedAd].LandingDomain)
+	fmt.Println("navigation chain:")
+	for _, hop := range it.Hops {
+		cookie := ""
+		if len(hop.SetCookieNames) > 0 {
+			cookie = fmt.Sprintf("   [Set-Cookie: %v]", hop.SetCookieNames)
+		}
+		fmt.Printf("  %3d %-9s %s%s\n", hop.Status, hop.Mechanism, truncate(hop.URL, 90), cookie)
+	}
+	fmt.Printf("final URL: %s\n\n", truncate(it.FinalURL, 110))
+
+	// Full paper-style analysis of the crawl.
+	report := study.Analyze()
+	fmt.Println(report.Render())
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "..."
+}

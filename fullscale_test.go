@@ -1,0 +1,80 @@
+package searchads_test
+
+import (
+	"strings"
+	"testing"
+
+	"searchads"
+	"searchads/internal/analysis"
+)
+
+// TestFullScaleReproduction runs the paper's complete campaign — 500
+// queries against each of the five engines — and requires every paper
+// expectation to hold within tolerance. This is the repository's
+// headline claim; it takes a few seconds, so -short skips it.
+func TestFullScaleReproduction(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale study skipped in -short mode")
+	}
+	study := searchads.NewStudy(searchads.Config{
+		Seed:             20221001,
+		QueriesPerEngine: 500,
+		Parallel:         true,
+	})
+	report := study.Analyze()
+	comps := report.Compare()
+	ok, total := 0, 0
+	for _, c := range comps {
+		if c.Skipped {
+			continue
+		}
+		total++
+		if c.OK {
+			ok++
+		} else {
+			t.Errorf("%s %s %s: paper=%.2f measured=%.2f (tolerance %.2f)",
+				c.ID, c.Engine, c.Metric, c.Paper, c.Measured, c.Tolerance)
+		}
+	}
+	if total < 60 {
+		t.Fatalf("expectation set too small: %d", total)
+	}
+	t.Logf("full scale: %d/%d paper expectations within tolerance", ok, total)
+
+	// Spot-check the absolute Table 1 shape: 500 queries, destination
+	// diversity bounded by the per-engine pools (98/102/56/60/60).
+	wantDests := map[string]int{
+		"bing": 98, "google": 102, "duckduckgo": 56, "startpage": 60, "qwant": 60,
+	}
+	for e, want := range wantDests {
+		row := report.Table1[e]
+		if row.Queries != 500 {
+			t.Errorf("%s: queries = %d", e, row.Queries)
+		}
+		diff := row.DistinctDestinations - want
+		if diff < -12 || diff > 12 {
+			t.Errorf("%s: destinations = %d, paper reports %d", e, row.DistinctDestinations, want)
+		}
+	}
+
+	// The experiments artifact renders.
+	if md := analysis.RenderExperiments(comps); len(md) < 1000 {
+		t.Fatalf("experiments render too small: %d bytes", len(md))
+	}
+}
+
+// TestReportJSON covers the machine-readable output path.
+func TestReportJSON(t *testing.T) {
+	report := searchads.NewStudy(searchads.Config{
+		Seed: 17, Engines: []string{searchads.Bing}, QueriesPerEngine: 6,
+	}).Analyze()
+	data, err := report.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"Table1"`, `"During"`, `"After"`, `"RedirectorCDF"`} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("JSON missing %s", want)
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package searchads_test
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+
+	"searchads"
+	"searchads/internal/netsim"
+)
+
+// TestWorldOverRealHTTP serves the simulated web on a real loopback
+// listener (the cmd/servesim path) and walks a full ad-click redirect
+// chain with net/http: SERP → ad href → 302 hops → advertiser landing.
+func TestWorldOverRealHTTP(t *testing.T) {
+	world := searchads.NewStudy(searchads.Config{Seed: 61, QueriesPerEngine: 5}).World()
+	srv := httptest.NewServer(&netsim.HTTPBridge{Net: world.Net})
+	defer srv.Close()
+
+	client := srv.Client()
+	client.CheckRedirect = func(req *http.Request, via []*http.Request) error {
+		return http.ErrUseLastResponse // follow manually, like the paper's tracing
+	}
+
+	get := func(raw string) (*http.Response, string) {
+		t.Helper()
+		u, err := url.Parse(raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		req, _ := http.NewRequest(http.MethodGet, srv.URL+u.RequestURI(), nil)
+		req.Host = u.Host
+		resp, err := client.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return resp, string(body)
+	}
+
+	// 1. The Bing SERP over real TCP.
+	serpURL := "https://www.bing.com/search?q=" + url.QueryEscape(world.Queries["bing"][0])
+	resp, body := get(serpURL)
+	if resp.StatusCode != 200 {
+		t.Fatalf("SERP status = %d", resp.StatusCode)
+	}
+	if !strings.Contains(body, "data-ad=") {
+		t.Fatalf("SERP HTML carries no ads:\n%.400s", body)
+	}
+	// MUID arrives as a real Set-Cookie header.
+	var sawMUID bool
+	for _, c := range resp.Cookies() {
+		if c.Name == "MUID" {
+			sawMUID = true
+		}
+	}
+	if !sawMUID {
+		t.Fatal("MUID Set-Cookie missing over the bridge")
+	}
+
+	// 2. Extract the first ad href from the rendered HTML.
+	idx := strings.Index(body, `href="https://www.bing.com/aclk`)
+	if idx < 0 {
+		t.Fatalf("no bing.com/aclk href in SERP HTML")
+	}
+	rest := body[idx+len(`href="`):]
+	href := htmlUnescape(rest[:strings.IndexByte(rest, '"')])
+
+	// 3. Walk the chain, validating each hop via status + Location —
+	// exactly the paper's §3.2 methodology, over real HTTP.
+	hops := 0
+	current := href
+	for {
+		resp, _ := get(current)
+		if resp.StatusCode == http.StatusFound {
+			loc := resp.Header.Get("Location")
+			if loc == "" {
+				t.Fatal("302 without Location")
+			}
+			current = loc
+			hops++
+			if hops > 10 {
+				t.Fatal("chain too long")
+			}
+			continue
+		}
+		if resp.StatusCode != 200 {
+			t.Fatalf("chain ended with status %d at %s", resp.StatusCode, current)
+		}
+		break
+	}
+	final, _ := url.Parse(current)
+	if !strings.HasSuffix(final.Host, ".example") {
+		t.Fatalf("chain did not land on an advertiser: %s", current)
+	}
+	if hops == 0 {
+		t.Fatal("no redirect hops observed")
+	}
+}
+
+func htmlUnescape(s string) string {
+	r := strings.NewReplacer("&amp;", "&", "&lt;", "<", "&gt;", ">", "&quot;", `"`)
+	return r.Replace(s)
+}

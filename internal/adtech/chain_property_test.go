@@ -1,0 +1,91 @@
+package adtech
+
+import (
+	"testing"
+	"testing/quick"
+
+	"searchads/internal/detrand"
+	"searchads/internal/urlx"
+)
+
+// TestBuildChainUnwindInverse: walking a built chain through its
+// NextParam links always recovers the hop order and the landing URL —
+// the property the browser's redirect chase and the paper's path
+// reconstruction both depend on.
+func TestBuildChainUnwindInverse(t *testing.T) {
+	hostPool := []string{
+		"clickserve.dartsearch.net", "ad.doubleclick.net",
+		"pixel.everesttech.net", "6102.xg4ken.com",
+		"monitor.clickcease.com", "tpt.mediaplex.com",
+	}
+	f := func(sel []uint8, pathSeed uint8) bool {
+		if len(sel) > 6 {
+			sel = sel[:6]
+		}
+		hops := make([]string, len(sel))
+		for i, s := range sel {
+			hops[i] = hostPool[int(s)%len(hostPool)]
+		}
+		landing := urlx.MustParse("https://shop.example/landing?x=" + string(rune('a'+pathSeed%26)))
+		chain := BuildChain(hops, landing)
+
+		u := chain
+		for i := 0; ; i++ {
+			next, ok := urlx.Param(u, NextParam)
+			if !ok {
+				// Innermost: must be the landing URL, after exactly
+				// len(hops) unwinds.
+				return i == len(hops) && u.String() == landing.String()
+			}
+			if i >= len(hops) || u.Host != hops[i] {
+				return false
+			}
+			parsed, err := urlx.Resolve(landing, next)
+			if err != nil {
+				return false
+			}
+			u = parsed
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 250}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestChainHopPathsApplied: every known hop gets its documented endpoint
+// path.
+func TestChainHopPathsApplied(t *testing.T) {
+	landing := urlx.MustParse("https://d.example/")
+	for host, wantPath := range map[string]string{
+		"clickserve.dartsearch.net": "/link/click",
+		"6008.xg4ken.com":           "/media/redir.php", // via registrable-domain fallback
+		"ad.atdmt.com":              "/c/go",
+	} {
+		u := BuildChain([]string{host}, landing)
+		if u.Path != wantPath {
+			t.Errorf("%s path = %s, want %s", host, u.Path, wantPath)
+		}
+	}
+}
+
+// TestMintedClickIDShapes: GCLIDs and MSCLKIDs keep their recognisable
+// real-world shapes, which Table 6's by-name detection relies on.
+func TestMintedClickIDShapes(t *testing.T) {
+	g := GoogleAds(detrand.New(99))
+	m := MicrosoftAds(detrand.New(98))
+	for i := 0; i < 50; i++ {
+		gclid := g.MintClickID()
+		if len(gclid) != len("Cj0KCQjw")+48 {
+			t.Fatalf("gclid length = %d", len(gclid))
+		}
+		msclkid := m.MintClickID()
+		if len(msclkid) != 32 {
+			t.Fatalf("msclkid length = %d", len(msclkid))
+		}
+		for _, c := range msclkid {
+			if !(c >= '0' && c <= '9' || c >= 'a' && c <= 'f') {
+				t.Fatalf("msclkid %q not lowercase hex", msclkid)
+			}
+		}
+	}
+}

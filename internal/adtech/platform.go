@@ -1,0 +1,230 @@
+package adtech
+
+import (
+	"net/url"
+	"sort"
+	"strings"
+	"sync"
+
+	"searchads/internal/detrand"
+	"searchads/internal/urlx"
+)
+
+// Campaign is one advertiser's campaign on an ad platform. Its fields
+// encode the advertiser-side choices that shape the paper's observations:
+// which ad-tech services sit between the click server and the landing
+// page (Tables 2/7), whether the platform auto-tags clicks with its click
+// ID (Table 6), and extra tracking parameters.
+type Campaign struct {
+	// ID identifies the campaign.
+	ID string
+	// Landing is the destination URL (without tracking parameters).
+	Landing *url.URL
+	// Keywords trigger the ad for matching queries.
+	Keywords []string
+	// Stack is the ordered list of redirector hosts the click bounces
+	// through after the platform's click server (may be empty).
+	Stack []string
+	// AutoTag makes the platform append its click identifier (GCLID for
+	// Google Ads, MSCLKID for Microsoft Advertising) to the landing URL.
+	AutoTag bool
+	// CrossTagGCLID adds a GCLID via the advertiser's tracking template
+	// even on Microsoft's platform (the paper finds GCLIDs in
+	// Bing/DuckDuckGo clicks, Table 6).
+	CrossTagGCLID bool
+	// OtherUIDParam, when non-empty, is an additional user-identifying
+	// query parameter the chain appends (affiliate/attribution IDs).
+	OtherUIDParam string
+	// DirectFromEngine routes the click straight from the engine's own
+	// bounce endpoint to the stack/landing, skipping the platform click
+	// server — the "qwant.com - destination" (14%) and "startpage.com -
+	// google.com - destination" (6%) paths of Table 2.
+	DirectFromEngine bool
+	// PersistsClickIDs lists the click-ID parameter names the
+	// advertiser's landing page persists to first-party storage
+	// (§4.3.2).
+	PersistsClickIDs []string
+}
+
+// LandingDomain returns the campaign's destination site (eTLD+1).
+func (c *Campaign) LandingDomain() string {
+	return urlx.RegistrableDomain(c.Landing.Host)
+}
+
+// Platform models one advertising system.
+type Platform struct {
+	// Name is "googleads" or "microsoft".
+	Name string
+	// ClickHost is the click server's hostname (www.googleadservices.com
+	// for Google, bing.com for Microsoft — Microsoft serves ad clicks
+	// from the engine's own domain).
+	ClickHost string
+	// ClickPath is the click endpoint path.
+	ClickPath string
+	// ClickIDParam is the platform's click identifier parameter name.
+	ClickIDParam string
+	// ClickIDPrefix gives minted IDs their recognisable shape.
+	ClickIDPrefix string
+
+	mu    sync.Mutex
+	seed  *detrand.Source
+	mintN int
+}
+
+// GoogleAds returns Google's advertising system ("StartPage relies on
+// Google AdSense to show ads").
+func GoogleAds(seed *detrand.Source) *Platform {
+	return &Platform{
+		Name:          "googleads",
+		ClickHost:     "www.googleadservices.com",
+		ClickPath:     "/pagead/aclk",
+		ClickIDParam:  "gclid",
+		ClickIDPrefix: "Cj0KCQjw",
+		seed:          seed.Derive("platform", "googleads"),
+	}
+}
+
+// MicrosoftAds returns Microsoft's advertising system ("DuckDuckGo and
+// Qwant use Microsoft's advertising system").
+func MicrosoftAds(seed *detrand.Source) *Platform {
+	return &Platform{
+		Name:          "microsoft",
+		ClickHost:     "www.bing.com",
+		ClickPath:     "/aclk",
+		ClickIDParam:  "msclkid",
+		ClickIDPrefix: "",
+		seed:          seed.Derive("platform", "microsoft"),
+	}
+}
+
+// MintClickID returns a fresh click identifier. Click IDs are unique per
+// ad impression — which is exactly why the paper's filter (ii) discards
+// per-ad-varying tokens while Table 6 still reports GCLID/MSCLKID by
+// name.
+func (p *Platform) MintClickID() string {
+	p.mu.Lock()
+	p.mintN++
+	n := p.mintN
+	p.mu.Unlock()
+	if p.ClickIDPrefix != "" {
+		return p.ClickIDPrefix + p.seed.DeriveN("clickid", n).Token(48, detrand.Base64URLLike)
+	}
+	return p.seed.DeriveN("clickid", n).Token(32, detrand.HexLower)
+}
+
+// MintOtherUID mints a value for a campaign's extra UID parameter.
+func (p *Platform) MintOtherUID() string {
+	p.mu.Lock()
+	p.mintN++
+	n := p.mintN
+	p.mu.Unlock()
+	return p.seed.DeriveN("otheruid", n).Token(24, detrand.AlphaNum)
+}
+
+// AdClick is a fully-constructed ad click: the href placed in the SERP
+// and the metadata the engine needs to render the ad element.
+type AdClick struct {
+	// Href is the URL the browser navigates to when the ad is clicked
+	// (the click server, wrapping the whole bounce chain).
+	Href *url.URL
+	// FinalLanding is the landing URL including appended tracking
+	// parameters.
+	FinalLanding *url.URL
+	// ClickID is the minted platform click ID ("" if the campaign does
+	// not auto-tag).
+	ClickID string
+	// Campaign is the underlying campaign.
+	Campaign *Campaign
+}
+
+// BuildClick constructs the click URL for one rendered ad impression:
+// landing-URL decoration (click IDs, extra UID params), the campaign's
+// redirector stack, and the platform click server on the outside.
+func (p *Platform) BuildClick(c *Campaign) *AdClick {
+	landing := urlx.CopyURL(c.Landing)
+	click := &AdClick{Campaign: c}
+	params := map[string]string{}
+	if c.AutoTag {
+		click.ClickID = p.MintClickID()
+		params[p.ClickIDParam] = click.ClickID
+	}
+	if c.CrossTagGCLID && p.ClickIDParam != "gclid" {
+		params["gclid"] = "Cj0KCQjw" + p.seed.DeriveN("crossgclid", p.bump()).Token(48, detrand.Base64URLLike)
+	}
+	if c.OtherUIDParam != "" {
+		params[c.OtherUIDParam] = p.MintOtherUID()
+	}
+	if len(params) > 0 {
+		landing = urlx.WithParams(landing, params)
+	}
+	click.FinalLanding = landing
+	inner := BuildChain(c.Stack, landing)
+	click.Href = BuildChain([]string{p.ClickHost}, inner)
+	// The click server's own hop uses the platform's click path.
+	click.Href.Path = p.ClickPath
+	return click
+}
+
+func (p *Platform) bump() int {
+	p.mu.Lock()
+	p.mintN++
+	n := p.mintN
+	p.mu.Unlock()
+	return n
+}
+
+// Pool is the set of campaigns an engine's ad system draws from.
+type Pool struct {
+	Campaigns []*Campaign
+}
+
+// Select returns up to n campaigns for a query: keyword matches first
+// (most specific advertisers), then deterministic filler so a SERP always
+// carries ads, mirroring how broad-match auctions always fill slots.
+func (pool *Pool) Select(query string, n int, seed *detrand.Source) []*Campaign {
+	if n <= 0 || len(pool.Campaigns) == 0 {
+		return nil
+	}
+	terms := strings.Fields(strings.ToLower(query))
+	var matched, rest []*Campaign
+	for _, c := range pool.Campaigns {
+		if campaignMatches(c, terms) {
+			matched = append(matched, c)
+		} else {
+			rest = append(rest, c)
+		}
+	}
+	// Deterministic shuffle of the filler, keyed by the query.
+	r := seed.Derive("select", query).Rand()
+	r.Shuffle(len(rest), func(i, j int) { rest[i], rest[j] = rest[j], rest[i] })
+	out := append(matched, rest...)
+	if len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+func campaignMatches(c *Campaign, terms []string) bool {
+	for _, k := range c.Keywords {
+		for _, t := range terms {
+			if k == t {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Domains returns the sorted distinct landing domains in the pool.
+func (pool *Pool) Domains() []string {
+	set := map[string]bool{}
+	for _, c := range pool.Campaigns {
+		set[c.LandingDomain()] = true
+	}
+	out := make([]string, 0, len(set))
+	for d := range set {
+		out = append(out, d)
+	}
+	sort.Strings(out)
+	return out
+}

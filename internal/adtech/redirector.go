@@ -1,0 +1,265 @@
+// Package adtech implements the advertising-system side of the simulated
+// web: the two ad platforms the paper's search engines rely on (Google
+// Ads and Microsoft Advertising), click-URL construction, click-ID
+// minting (GCLID / MSCLKID), campaign ad-tech stacks, and the redirector
+// services users bounce through (§2.2.2, Tables 2, 4, 7).
+package adtech
+
+import (
+	"net/http"
+	"net/url"
+	"strconv"
+	"sync"
+	"time"
+
+	"searchads/internal/detrand"
+	"searchads/internal/netsim"
+	"searchads/internal/urlx"
+)
+
+// NextParam is the query parameter carrying the next hop of a redirect
+// chain. Real ad-tech uses many names (ds_dest_url, u, url, ...); the
+// simulated services standardise on one, with per-host aliases preserved
+// for realism in BuildChain.
+const NextParam = "next"
+
+// Policy describes one redirector service's behaviour during a bounce.
+type Policy struct {
+	// Host is the exact hostname (or registrable domain when Wildcard)
+	// the service answers on.
+	Host string
+	// Wildcard registers the whole eTLD+1 (xg4ken.com runs numbered
+	// subdomains).
+	Wildcard bool
+	// Path is the bounce endpoint path.
+	Path string
+	// UIDCookieProb is the probability the service stores a
+	// user-identifying first-party cookie during a bounce (Table 4).
+	// Zero means the service never identifies users (e.g. dartsearch).
+	UIDCookieProb float64
+	// CookieName is the UID cookie's name.
+	CookieName string
+	// NonUIDCookie makes the service store a timestamp cookie when it
+	// does not store a UID one — traffic-accounting state that the token
+	// heuristics must reject.
+	NonUIDCookie bool
+	// ExtraDelay simulates slow fraud-scoring services.
+	ExtraDelay time.Duration
+	// SmuggleViaReferrer makes the service pass its identifier through
+	// document.referrer instead of decorating the destination URL: it
+	// first redirects to its own URL decorated with the identifier,
+	// then JS-navigates to the destination, whose document.referrer now
+	// carries the ID. The paper lists this technique as a limitation of
+	// its query-parameter-only detection (§5); this implementation and
+	// the matching analysis close that gap.
+	SmuggleViaReferrer bool
+}
+
+// Registry owns every redirector service and serves their bounces.
+type Registry struct {
+	mu       sync.Mutex
+	policies map[string]*Policy // by host (exact) or site (wildcard)
+	seed     *detrand.Source
+	mintN    int
+}
+
+// NewRegistry returns a registry minting identifiers from seed.
+func NewRegistry(seed *detrand.Source) *Registry {
+	return &Registry{
+		policies: make(map[string]*Policy),
+		seed:     seed.Derive("redirectors"),
+	}
+}
+
+// Add registers a policy. Adding a second policy for the same host
+// replaces the first.
+func (r *Registry) Add(p *Policy) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if p.Path == "" {
+		p.Path = "/redirect"
+	}
+	if p.CookieName == "" {
+		p.CookieName = "uid"
+	}
+	r.policies[p.Host] = p
+}
+
+// Policies returns all registered policies (indexed by host).
+func (r *Registry) Policies() map[string]*Policy {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]*Policy, len(r.policies))
+	for k, v := range r.policies {
+		out[k] = v
+	}
+	return out
+}
+
+// Register installs every policy's handler on the network.
+func (r *Registry) Register(net *netsim.Network) {
+	for _, p := range r.Policies() {
+		policy := p
+		h := netsim.HandlerFunc(func(req *netsim.Request) *netsim.Response {
+			return r.Bounce(policy, req)
+		})
+		if policy.Wildcard {
+			net.HandleSite(policy.Host, h)
+		} else {
+			net.Handle(policy.Host, h)
+		}
+	}
+}
+
+// mintUID returns a fresh high-entropy identifier value, unique across
+// the whole study and deterministic in request order.
+func (r *Registry) mintUID(host string) string {
+	r.mu.Lock()
+	r.mintN++
+	n := r.mintN
+	r.mu.Unlock()
+	return r.seed.Derive("uid", host).DeriveN("n", n).Token(26, detrand.Base64URLLike)
+}
+
+// bounceDecision returns whether this bounce stores a UID cookie. The
+// decision stream is derived per (host, serial) so it is deterministic.
+func (r *Registry) bounceDecision(host string, prob float64) bool {
+	r.mu.Lock()
+	r.mintN++
+	n := r.mintN
+	r.mu.Unlock()
+	return detrand.Bernoulli(r.seed.Derive("decide", host).DeriveN("n", n).Rand(), prob)
+}
+
+// Bounce implements one redirect hop: read the next-hop parameter, apply
+// the cookie policy, and 302 onward. Engines whose own domains double as
+// redirectors (bing.com/aclk, google.com/aclk) call this directly from
+// their handlers.
+func (r *Registry) Bounce(p *Policy, req *netsim.Request) *netsim.Response {
+	next := req.Query(NextParam)
+	if next == "" {
+		return netsim.NewResponse(http.StatusNotFound)
+	}
+	if p.SmuggleViaReferrer {
+		return r.referrerBounce(p, req, next)
+	}
+	resp := netsim.Redirect(http.StatusFound, next)
+
+	if _, already := req.Cookie(p.CookieName); already {
+		// Returning visitor: the stored identifier is re-sent by the
+		// browser; the service refreshes nothing and can link this
+		// bounce to the previous ones (the privacy harm of §4.2.2).
+		return resp
+	}
+	if p.UIDCookieProb > 0 && r.bounceDecision(p.Host, p.UIDCookieProb) {
+		c := netsim.NewCookie(p.CookieName, r.mintUID(p.Host))
+		c.SameSite = netsim.SameSiteNone
+		c.Secure = true
+		c.Expires = req.Time.Add(390 * 24 * time.Hour)
+		resp.AddCookie(c)
+	} else if p.NonUIDCookie {
+		// Accounting cookie: a same-valued-across-users timestamp that
+		// the §3.2 heuristics must discard.
+		c := netsim.NewCookie("last_click", unixSeconds(req.Time))
+		c.SameSite = netsim.SameSiteNone
+		resp.AddCookie(c)
+	}
+	return resp
+}
+
+// referrerBounce implements the two-step referrer-smuggling hop: first a
+// 302 onto the service's own URL decorated with the identifier, then a
+// JS navigation to the destination, which observes the decorated URL as
+// its document.referrer.
+func (r *Registry) referrerBounce(p *Policy, req *netsim.Request, next string) *netsim.Response {
+	uid := ""
+	if c, ok := req.Cookie(p.CookieName); ok {
+		uid = c.Value
+	}
+	if req.Query("ruid") == "" {
+		// Step 1: decorate our own URL with the identifier.
+		if uid == "" {
+			uid = r.mintUID(p.Host)
+		}
+		own := urlx.CopyURL(req.URL)
+		own = urlx.WithParams(own, map[string]string{"ruid": uid})
+		resp := netsim.Redirect(http.StatusFound, own.String())
+		if _, already := req.Cookie(p.CookieName); !already {
+			c := netsim.NewCookie(p.CookieName, uid)
+			c.SameSite = netsim.SameSiteNone
+			c.Secure = true
+			c.Expires = req.Time.Add(390 * 24 * time.Hour)
+			resp.AddCookie(c)
+		}
+		return resp
+	}
+	// Step 2: JS-navigate to the destination; document.referrer at the
+	// destination becomes this decorated URL.
+	resp := netsim.NewResponse(http.StatusOK)
+	resp.Page = &netsim.Page{
+		Title:      "redirecting",
+		Root:       netsim.NewElement("div"),
+		JSRedirect: next,
+	}
+	return resp
+}
+
+func unixSeconds(t time.Time) string {
+	return strconv.FormatInt(t.Unix(), 10)
+}
+
+// hopPaths gives each well-known redirector its realistic endpoint path.
+var hopPaths = map[string]string{
+	"clickserve.dartsearch.net":        "/link/click",
+	"ad.doubleclick.net":               "/ddm/clk",
+	"pixel.everesttech.net":            "/cq",
+	"xg4ken.com":                       "/media/redir.php",
+	"t23.intelliad.de":                 "/index.php",
+	"1045.netrk.net":                   "/rd",
+	"monitor.clickcease.com":           "/tracker/tracker.aspx",
+	"monitor.ppcprotect.com":           "/v1/track",
+	"tpt.mediaplex.com":                "/click",
+	"track.effiliation.com":            "/servlet/effi.redir",
+	"click.linksynergy.com":            "/deeplink",
+	"tracking.deepsearch.adlucent.com": "/redir",
+	"t.myvisualiq.net":                 "/impression_pixel",
+	"awin1.com":                        "/cread.php",
+	"zenaps.com":                       "/rclick.php",
+	"ad.atdmt.com":                     "/c/go",
+	"googleadservices.com":             "/pagead/aclk",
+	"www.googleadservices.com":         "/pagead/aclk",
+	// Engine-owned bounce endpoints.
+	"www.bing.com":      "/aclk",
+	"www.google.com":    "/aclk",
+	"duckduckgo.com":    "/y.js",
+	"api.qwant.com":     "/v3/redirect",
+	"www.startpage.com": "/do/clickthrough",
+}
+
+// HopPath returns the bounce endpoint path for a redirector host.
+func HopPath(host string) string {
+	if p, ok := hopPaths[host]; ok {
+		return p
+	}
+	if p, ok := hopPaths[urlx.RegistrableDomain(host)]; ok {
+		return p
+	}
+	return "/redirect"
+}
+
+// BuildChain composes the nested bounce URL for a redirect chain: the
+// returned URL enters hops[0]; each hop's NextParam carries the following
+// hop; the innermost target is the landing URL. An empty hops slice
+// returns the landing URL itself.
+func BuildChain(hops []string, landing *url.URL) *url.URL {
+	next := landing
+	for i := len(hops) - 1; i >= 0; i-- {
+		host := hops[i]
+		u := &url.URL{Scheme: "https", Host: host, Path: HopPath(host)}
+		q := url.Values{}
+		q.Set(NextParam, next.String())
+		u.RawQuery = q.Encode()
+		next = u
+	}
+	return next
+}

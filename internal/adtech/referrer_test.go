@@ -1,0 +1,77 @@
+package adtech
+
+import (
+	"testing"
+
+	"searchads/internal/detrand"
+	"searchads/internal/netsim"
+	"searchads/internal/tokens"
+	"searchads/internal/urlx"
+)
+
+func TestReferrerBounceTwoSteps(t *testing.T) {
+	reg := NewRegistry(detrand.New(13))
+	p := &Policy{
+		Host: "rs.example", CookieName: "rsid",
+		UIDCookieProb: 1, SmuggleViaReferrer: true,
+	}
+	reg.Add(p)
+
+	// Step 1: no ruid yet — the service redirects onto its own
+	// decorated URL and plants its cookie.
+	req1 := &netsim.Request{
+		URL:  urlx.MustParse("https://rs.example/sync?next=https%3A%2F%2Fdest.example%2Fland"),
+		Time: netsim.StudyEpoch,
+	}
+	resp1 := reg.Bounce(p, req1)
+	if !resp1.IsRedirect() {
+		t.Fatalf("step 1 status = %d", resp1.Status)
+	}
+	loc, _ := resp1.Location()
+	decorated := urlx.MustParse(loc)
+	if decorated.Host != "rs.example" {
+		t.Fatalf("step 1 must redirect to the service's own URL, got %s", loc)
+	}
+	ruid, ok := urlx.Param(decorated, "ruid")
+	if !ok || !tokens.PassesValueHeuristics(ruid) {
+		t.Fatalf("decorated URL lacks identifier: %s", loc)
+	}
+	if len(resp1.SetCookies) != 1 || resp1.SetCookies[0].Value != ruid {
+		t.Fatalf("cookie must carry the same identifier: %v", resp1.SetCookies)
+	}
+
+	// Step 2: decorated URL — a 200 page that JS-navigates onward, so
+	// the destination's document.referrer is the decorated URL.
+	req2 := &netsim.Request{
+		URL:     decorated,
+		Cookies: []*netsim.Cookie{netsim.NewCookie("rsid", ruid)},
+		Time:    netsim.StudyEpoch,
+	}
+	resp2 := reg.Bounce(p, req2)
+	if resp2.IsRedirect() || resp2.Page == nil {
+		t.Fatalf("step 2 must serve a JS-redirect page, got %+v", resp2)
+	}
+	if resp2.Page.JSRedirect != "https://dest.example/land" {
+		t.Fatalf("JS redirect target = %q", resp2.Page.JSRedirect)
+	}
+}
+
+func TestReferrerBounceReusesCookieIdentifier(t *testing.T) {
+	reg := NewRegistry(detrand.New(14))
+	p := &Policy{Host: "rs.example", CookieName: "rsid", UIDCookieProb: 1, SmuggleViaReferrer: true}
+	reg.Add(p)
+	req := &netsim.Request{
+		URL:     urlx.MustParse("https://rs.example/sync?next=https%3A%2F%2Fd.example%2F"),
+		Cookies: []*netsim.Cookie{netsim.NewCookie("rsid", "ExistingIdentifier0001")},
+		Time:    netsim.StudyEpoch,
+	}
+	resp := reg.Bounce(p, req)
+	loc, _ := resp.Location()
+	got, _ := urlx.Param(urlx.MustParse(loc), "ruid")
+	if got != "ExistingIdentifier0001" {
+		t.Fatalf("returning visitor got new identifier %q", got)
+	}
+	if len(resp.SetCookies) != 0 {
+		t.Fatal("no new cookie for a returning visitor")
+	}
+}

@@ -1,0 +1,143 @@
+package advertiser
+
+import (
+	"net/http"
+	"strings"
+	"sync"
+
+	"searchads/internal/detrand"
+	"searchads/internal/netsim"
+	"searchads/internal/urlx"
+)
+
+// clickIDCookieNames maps an incoming click-ID query parameter to the
+// first-party cookie name the advertiser's tag persists it under, the
+// real-world conventions of Google's and Microsoft's conversion tags
+// ("advertisers might store click-tracking first-party cookies to track
+// actions taken after the ad click", §4.3.2).
+var clickIDCookieNames = map[string]string{
+	"gclid":   "_gcl_aw",
+	"msclkid": "_uetmsclkid",
+}
+
+// Site is one advertiser's web property.
+type Site struct {
+	// Domain is the site's registrable domain.
+	Domain string
+	// LandingPath is the ad's landing page path.
+	LandingPath string
+	// Trackers are the third-party services embedded on the landing
+	// page. An empty list models the 7% of clean destinations.
+	Trackers []*Tracker
+	// PersistParams lists the click-ID query parameters the site's own
+	// tag persists into first-party cookies.
+	PersistParams []string
+	// PersistToLocalStorage additionally mirrors persisted click IDs
+	// into localStorage.
+	PersistToLocalStorage bool
+}
+
+// LandingURL returns the site's canonical landing URL.
+func (s *Site) LandingURL() string {
+	return "https://" + s.Domain + s.LandingPath
+}
+
+// SiteRegistry serves every advertiser site.
+type SiteRegistry struct {
+	mu    sync.Mutex
+	sites map[string]*Site
+	seed  *detrand.Source
+	sessN int
+}
+
+// NewSiteRegistry builds a registry over the given sites.
+func NewSiteRegistry(seed *detrand.Source, sites []*Site) *SiteRegistry {
+	reg := &SiteRegistry{
+		sites: make(map[string]*Site, len(sites)),
+		seed:  seed.Derive("advertisers"),
+	}
+	for _, s := range sites {
+		reg.sites[s.Domain] = s
+	}
+	return reg
+}
+
+// Register installs every site on the network. Each site answers on its
+// apex and www. subdomain.
+func (reg *SiteRegistry) Register(net *netsim.Network) {
+	for domain, s := range reg.sites {
+		site := s
+		h := netsim.HandlerFunc(func(req *netsim.Request) *netsim.Response {
+			return reg.serve(site, req)
+		})
+		net.HandleSite(domain, h)
+	}
+}
+
+// Lookup returns the site for a domain.
+func (reg *SiteRegistry) Lookup(domain string) (*Site, bool) {
+	s, ok := reg.sites[domain]
+	return s, ok
+}
+
+// Sites returns the number of registered sites.
+func (reg *SiteRegistry) Sites() int { return len(reg.sites) }
+
+func (reg *SiteRegistry) serve(s *Site, req *netsim.Request) *netsim.Response {
+	resp := netsim.NewResponse(http.StatusOK)
+	if strings.HasSuffix(req.URL.Path, "/site.js") {
+		resp.Script = reg.siteTag(s)
+		return resp
+	}
+	// Landing page (any path serves the landing document).
+	page := &netsim.Page{
+		Title: s.Domain,
+		Root: netsim.NewElement("div", "id", "main").Append(
+			netsim.NewElement("h1").Append(),
+			netsim.NewElement("a", "href", "https://"+s.Domain+"/products"),
+		),
+		Resources: []netsim.ResourceRef{
+			{URL: "https://" + s.Domain + "/static/site.js", Type: netsim.TypeScript},
+			{URL: "https://" + s.Domain + "/static/style.css", Type: netsim.TypeStylesheet},
+		},
+	}
+	for _, t := range s.Trackers {
+		page.Resources = append(page.Resources, netsim.ResourceRef{
+			URL: t.ScriptURL(), Type: netsim.TypeScript,
+		})
+	}
+	resp.Page = page
+	// First-party session cookie: a rotating value the §3.2 session
+	// filter must reject.
+	if _, ok := req.Cookie("sess"); !ok {
+		reg.mu.Lock()
+		reg.sessN++
+		n := reg.sessN
+		reg.mu.Unlock()
+		c := netsim.NewCookie("sess", reg.seed.Derive("sess", s.Domain).DeriveN("n", n).Token(16, detrand.HexLower))
+		resp.AddCookie(c)
+	}
+	return resp
+}
+
+// siteTag is the advertiser's own tag: it persists incoming click IDs to
+// first-party storage, which is how "MSCLKID values are persisted in
+// 15%, 17%, and 1% of cases" (§4.3.2) arises.
+func (reg *SiteRegistry) siteTag(s *Site) netsim.ScriptProgram {
+	return netsim.ScriptFunc(func(env netsim.ScriptEnv) {
+		for _, param := range s.PersistParams {
+			v, ok := urlx.Param(env.PageURL(), param)
+			if !ok || v == "" {
+				continue
+			}
+			name := clickIDCookieNames[param]
+			if name == "" {
+				name = "_" + param
+			}
+			env.SetDocumentCookie(netsim.NewCookie(name, v))
+			if s.PersistToLocalStorage {
+				env.LocalStorageSet(name, v)
+			}
+		}
+	})
+}

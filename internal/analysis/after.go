@@ -1,0 +1,170 @@
+package analysis
+
+import (
+	"net/url"
+	"strings"
+
+	"searchads/internal/crawler"
+	"searchads/internal/entities"
+	"searchads/internal/filterlist"
+	"searchads/internal/tokens"
+	"searchads/internal/urlx"
+)
+
+// knownClickIDParams are the click identifiers Table 6 reports by name.
+var knownClickIDParams = map[string]bool{
+	"msclkid": true,
+	"gclid":   true,
+}
+
+// analyzeAfter implements §4.3: trackers on destination pages and UID
+// smuggling to advertisers.
+func analyzeAfter(iters []*crawler.Iteration, cls *tokens.Result, filter *filterlist.Engine, ents *entities.List) *AfterResult {
+	res := &AfterResult{}
+	clicks := 0
+	pagesWithTrackers := 0
+	distinctTrackers := map[string]bool{}
+	var perPageCounts []int
+	entityCounts := map[string]int{}
+	entityTotal := 0
+	var msclkid, gclid, other, anyUID, referrerUID int
+	var persistedMS, persistedGC int
+
+	for _, it := range iters {
+		if it.FinalURL == "" {
+			continue
+		}
+		clicks++
+
+		// §4.3.1 — tracker requests during the 15-second dwell.
+		pageTrackers := map[string]bool{}
+		for _, req := range it.DestRequests {
+			if !filter.IsTracker(requestInfo(req)) {
+				continue
+			}
+			u, err := url.Parse(req.URL)
+			if err != nil {
+				continue
+			}
+			host := strings.ToLower(urlx.Hostname(u.Host))
+			if !pageTrackers[host] {
+				pageTrackers[host] = true
+				entityCounts[ents.EntityOf(host)]++
+				entityTotal++
+			}
+			distinctTrackers[host] = true
+		}
+		if len(pageTrackers) > 0 {
+			pagesWithTrackers++
+		}
+		perPageCounts = append(perPageCounts, len(pageTrackers))
+
+		// §4.3.2 — UID parameters received by the advertiser.
+		params := finalURLParams(it.FinalURL)
+		hasMS := params["msclkid"] != ""
+		hasGC := params["gclid"] != ""
+		hasOther := false
+		for k, v := range params {
+			if knownClickIDParams[k] {
+				continue
+			}
+			if cls.IsUserID(v) || tokens.PassesValueHeuristics(v) && isAdTrackingParam(k) {
+				hasOther = true
+			}
+		}
+		if hasMS {
+			msclkid++
+		}
+		if hasGC {
+			gclid++
+		}
+		if hasOther {
+			other++
+		}
+		if hasMS || hasGC || hasOther {
+			anyUID++
+		}
+		// Referrer-based smuggling (§5 extension): identifiers in the
+		// destination document's referrer.
+		for _, v := range finalURLParams(it.FinalReferrer) {
+			if cls.IsUserID(v) {
+				referrerUID++
+				break
+			}
+		}
+
+		// Persistence: the click-ID value reappears in the
+		// destination's first-party storage.
+		destSite := PathOf(it).DestinationSite()
+		if hasMS && persistedOnSite(it, destSite, params["msclkid"]) {
+			persistedMS++
+		}
+		if hasGC && persistedOnSite(it, destSite, params["gclid"]) {
+			persistedGC++
+		}
+	}
+
+	if clicks > 0 {
+		res.PagesWithTrackers = float64(pagesWithTrackers) / float64(clicks)
+		res.MSCLKID = float64(msclkid) / float64(clicks)
+		res.GCLID = float64(gclid) / float64(clicks)
+		res.OtherUID = float64(other) / float64(clicks)
+		res.AnyUID = float64(anyUID) / float64(clicks)
+		res.ReferrerUID = float64(referrerUID) / float64(clicks)
+		res.PersistedMSCLKID = float64(persistedMS) / float64(clicks)
+		res.PersistedGCLID = float64(persistedGC) / float64(clicks)
+	}
+	res.DistinctTrackers = len(distinctTrackers)
+	res.MedianTrackersPerPage = Median(perPageCounts)
+	res.TopEntities = topFreqs(entityCounts, entityTotal, 6)
+	return res
+}
+
+// finalURLParams returns the destination URL's query parameters.
+func finalURLParams(raw string) map[string]string {
+	out := map[string]string{}
+	u, err := url.Parse(raw)
+	if err != nil {
+		return out
+	}
+	for k, vs := range u.Query() {
+		if len(vs) > 0 {
+			out[k] = vs[0]
+		}
+	}
+	return out
+}
+
+// isAdTrackingParam recognises the affiliate/attribution parameter
+// vocabulary whose values are per-user identifiers even when the §3.2
+// pipeline classifies them as per-ad (the paper's Table 6 "other UID
+// parameters").
+func isAdTrackingParam(key string) bool {
+	switch strings.ToLower(key) {
+	case "irclickid", "ransiteid", "wbraid", "dclid", "ef_id", "s_kwcid", "awc", "vmcid":
+		return true
+	}
+	return false
+}
+
+// persistedOnSite reports whether value appears in the destination
+// site's first-party cookies or localStorage ("We cross-reference values
+// obtained from destination pages' first-party storage ... with the
+// query parameters these pages receive", §4.3.2).
+func persistedOnSite(it *crawler.Iteration, destSite, value string) bool {
+	if value == "" {
+		return false
+	}
+	for _, c := range it.Cookies {
+		if urlx.RegistrableDomain(c.Domain) == destSite && c.Value == value {
+			return true
+		}
+	}
+	for _, s := range it.LocalStorage {
+		if u, err := url.Parse(s.Origin); err == nil &&
+			urlx.RegistrableDomain(u.Host) == destSite && s.Value == value {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,407 @@
+package analysis
+
+import (
+	"net/url"
+	"strings"
+
+	"searchads/internal/crawler"
+	"searchads/internal/entities"
+	"searchads/internal/filterlist"
+	"searchads/internal/netsim"
+	"searchads/internal/tokens"
+	"searchads/internal/urlx"
+)
+
+// Report is the full §4 analysis of a dataset, one entry per engine plus
+// global results.
+type Report struct {
+	// Table1 summarises the crawl (queries, destinations, paths).
+	Table1 map[string]Table1Row
+	// Before is §4.1 (first-party re-identification, SERP trackers).
+	Before map[string]BeforeResult
+	// During is §4.2 (beacons, navigation tracking: Figures 4/5,
+	// Tables 2/3/4/7).
+	During map[string]*DuringResult
+	// After is §4.3 (destination trackers: Table 5; UID smuggling:
+	// Table 6; persistence).
+	After map[string]*AfterResult
+	// Funnel is the §3.2 token funnel.
+	Funnel FunnelResult
+	// RecorderCoverage is the §3.1 crawler-vs-extension median ratio
+	// per engine.
+	RecorderCoverage map[string]float64
+
+	// EngineOrder lists engines in table order.
+	EngineOrder []string
+
+	classifier *tokens.Result
+}
+
+// Table1Row reproduces Table 1.
+type Table1Row struct {
+	Queries              int
+	DistinctDestinations int
+	DistinctPaths        int
+}
+
+// BeforeResult reproduces §4.1 for one engine.
+type BeforeResult struct {
+	// StoresUserIDs says whether the engine kept user-identifying
+	// values in first-party storage on the SERP (§4.1.1: true for
+	// Google and Bing only).
+	StoresUserIDs bool
+	// IdentifierKeys lists the storage keys holding identifiers.
+	IdentifierKeys []string
+	// TrackerRequests counts SERP requests matching the filter lists
+	// (§4.1.2 finds zero).
+	TrackerRequests int
+	// TotalRequests counts all SERP requests.
+	TotalRequests int
+}
+
+// BeaconSummary describes one post-click first-party endpoint (§4.2.1).
+type BeaconSummary struct {
+	Endpoint        string
+	Count           int
+	WithUIDCookie   int
+	CarriesDestURL  bool
+	CarriesQuery    bool
+	CarriesPosition bool
+}
+
+// DuringResult reproduces §4.2 for one engine.
+type DuringResult struct {
+	// Beacons lists the engine's post-click endpoints.
+	Beacons []BeaconSummary
+	// RedirectorCDF is Figure 4 (number of redirector sites per click).
+	RedirectorCDF CDF
+	// UIDRedirectorCDF is Figure 5 (redirectors storing UID cookies).
+	UIDRedirectorCDF CDF
+	// NavTrackingFraction is the share of clicks bounced through at
+	// least one redirector (4%/100%/100%/86%/100%).
+	NavTrackingFraction float64
+	// TopPaths is Table 2 (top-5 domain paths).
+	TopPaths []Freq
+	// OrgFractions is Table 3 (fraction of paths touching each
+	// organisation).
+	OrgFractions map[string]float64
+	// UIDRedirectors is Table 4 (redirectors storing UID cookies, as a
+	// fraction of all clicks).
+	UIDRedirectors []Freq
+	// TopRedirectors is Table 7 (share of redirector occurrences).
+	TopRedirectors []Freq
+}
+
+// AfterResult reproduces §4.3 for one engine.
+type AfterResult struct {
+	// PagesWithTrackers is the fraction of destinations with at least
+	// one tracker request (93% overall).
+	PagesWithTrackers float64
+	// DistinctTrackers counts distinct tracker hosts over all
+	// iterations (277/218/326/437/260).
+	DistinctTrackers int
+	// MedianTrackersPerPage is the per-iteration median (9/11/6/8/6).
+	MedianTrackersPerPage float64
+	// TopEntities is Table 5.
+	TopEntities []Freq
+	// MSCLKID/GCLID/OtherUID are the Table 6 fractions.
+	MSCLKID, GCLID, OtherUID float64
+	// AnyUID is the §4.3.2 overall rate (80/94/68/92/53%).
+	AnyUID float64
+	// ReferrerUID is the fraction of clicks where the destination's
+	// document.referrer carried a user identifier — the §5-limitation
+	// channel this reproduction additionally detects.
+	ReferrerUID float64
+	// PersistedMSCLKID/GCLID are the §4.3.2 persistence fractions over
+	// all iterations.
+	PersistedMSCLKID, PersistedGCLID float64
+}
+
+// FunnelResult is the §3.2 token funnel.
+type FunnelResult struct {
+	TotalTokens int
+	ByReason    map[tokens.Reason]int
+	UserIDs     int
+}
+
+// Options configures an analysis run.
+type Options struct {
+	// Filter is the tracker-detection engine (default: the embedded
+	// EasyList+EasyPrivacy lists).
+	Filter *filterlist.Engine
+	// Entities is the organisation list (default: the embedded
+	// Disconnect-style list).
+	Entities *entities.List
+}
+
+// Analyze runs the full §4 pipeline over a dataset.
+func Analyze(ds *crawler.Dataset) *Report { return AnalyzeWith(ds, Options{}) }
+
+// AnalyzeWith runs the pipeline with explicit dependencies.
+func AnalyzeWith(ds *crawler.Dataset, opts Options) *Report {
+	if opts.Filter == nil {
+		opts.Filter = filterlist.DefaultEngine()
+	}
+	if opts.Entities == nil {
+		opts.Entities = entities.Default()
+	}
+	classifier := tokens.Classify(Observations(ds))
+
+	r := &Report{
+		Table1:           make(map[string]Table1Row),
+		Before:           make(map[string]BeforeResult),
+		During:           make(map[string]*DuringResult),
+		After:            make(map[string]*AfterResult),
+		RecorderCoverage: make(map[string]float64),
+		EngineOrder:      ds.Engines(),
+		classifier:       classifier,
+	}
+	r.Funnel = FunnelResult{
+		TotalTokens: classifier.TotalTokens,
+		ByReason:    classifier.ByReason,
+		UserIDs:     classifier.ByReason[tokens.ReasonUserID],
+	}
+	for engine, iters := range ds.ByEngine() {
+		r.Table1[engine] = table1(iters)
+		r.Before[engine] = analyzeBefore(engine, iters, classifier, opts.Filter)
+		r.During[engine] = analyzeDuring(iters, classifier, opts.Entities)
+		r.After[engine] = analyzeAfter(iters, classifier, opts.Filter, opts.Entities)
+		r.RecorderCoverage[engine] = recorderCoverage(iters)
+	}
+	return r
+}
+
+// IsUserID exposes the classifier verdict for a value.
+func (r *Report) IsUserID(value string) bool { return r.classifier.IsUserID(value) }
+
+func table1(iters []*crawler.Iteration) Table1Row {
+	row := Table1Row{Queries: len(iters)}
+	dests := map[string]bool{}
+	paths := map[string]bool{}
+	for _, it := range iters {
+		if it.FinalURL == "" {
+			continue
+		}
+		p := PathOf(it)
+		dests[p.DestinationSite()] = true
+		paths[p.FullKey()] = true
+	}
+	row.DistinctDestinations = len(dests)
+	row.DistinctPaths = len(paths)
+	return row
+}
+
+func recorderCoverage(iters []*crawler.Iteration) float64 {
+	var ratios []float64
+	for _, it := range iters {
+		if it.ExtensionRequestCount > 0 {
+			ratios = append(ratios, float64(it.CrawlerRequestCount)/float64(it.ExtensionRequestCount))
+		}
+	}
+	return MedianFloat(ratios)
+}
+
+// analyzeBefore implements §4.1: identifiers in first-party storage and
+// tracker requests while rendering the SERP.
+func analyzeBefore(engine string, iters []*crawler.Iteration, cls *tokens.Result, filter *filterlist.Engine) BeforeResult {
+	res := BeforeResult{}
+	site := engineSite(engine)
+	if len(iters) > 0 && iters[0].EngineHost != "" {
+		site = urlx.RegistrableDomain(iters[0].EngineHost)
+	}
+	keys := map[string]bool{}
+	for _, it := range iters {
+		for _, c := range it.SERPCookies {
+			if urlx.RegistrableDomain(c.Domain) != site {
+				continue
+			}
+			if cls.IsUserID(c.Value) {
+				res.StoresUserIDs = true
+				keys[c.Name] = true
+			}
+		}
+		for _, req := range it.SERPRequests {
+			res.TotalRequests++
+			if filter.IsTracker(requestInfo(req)) {
+				res.TrackerRequests++
+			}
+		}
+	}
+	for k := range keys {
+		res.IdentifierKeys = append(res.IdentifierKeys, k)
+	}
+	sortStrings(res.IdentifierKeys)
+	return res
+}
+
+func requestInfo(req crawler.RequestRecord) filterlist.RequestInfo {
+	return filterlist.RequestInfo{
+		URL:        req.URL,
+		Type:       netsim.ResourceType(req.Type),
+		FirstParty: req.FirstParty,
+		ThirdParty: req.ThirdParty,
+	}
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// analyzeDuring implements §4.2: post-click beacons and navigation
+// tracking.
+func analyzeDuring(iters []*crawler.Iteration, cls *tokens.Result, ents *entities.List) *DuringResult {
+	res := &DuringResult{OrgFractions: make(map[string]float64)}
+	beacons := map[string]*BeaconSummary{}
+	var redirCounts, uidRedirCounts []int
+	pathCounts := map[string]int{}
+	orgCounts := map[string]int{}
+	uidRedirectorCounts := map[string]int{}
+	redirectorOccurrences := map[string]int{}
+	totalOccurrences := 0
+	navTracking := 0
+	clicks := 0
+
+	for _, it := range iters {
+		if it.FinalURL == "" {
+			continue
+		}
+		clicks++
+		p := PathOf(it)
+		pathCounts[p.Key()]++
+
+		reds := p.Redirectors()
+		redirCounts = append(redirCounts, len(reds))
+		if len(reds) > 0 {
+			navTracking++
+		}
+		for _, host := range reds {
+			redirectorOccurrences[host]++
+			totalOccurrences++
+		}
+		// Organisations touched by the path (destination excluded).
+		seenOrgs := map[string]bool{}
+		for _, site := range p.PathSitesWithoutDestination() {
+			seenOrgs[ents.EntityOf(site)] = true
+		}
+		for org := range seenOrgs {
+			orgCounts[org]++
+		}
+
+		// Redirectors that stored UID cookies during this click
+		// (Figure 5 / Table 4): the bounce's Set-Cookie names joined
+		// with the profile's stored values, classified by §3.2.
+		uidHosts := uidStoringRedirectors(it, p, cls)
+		uidRedirCounts = append(uidRedirCounts, len(uidHosts))
+		for _, h := range uidHosts {
+			uidRedirectorCounts[h]++
+		}
+
+		// Post-click first-party beacons (§4.2.1).
+		for _, req := range it.ClickRequests {
+			if req.Initiator != "click" {
+				continue
+			}
+			u, err := url.Parse(req.URL)
+			if err != nil {
+				continue
+			}
+			key := u.Host + u.Path
+			b := beacons[key]
+			if b == nil {
+				b = &BeaconSummary{Endpoint: key}
+				beacons[key] = b
+			}
+			b.Count++
+			q := u.Query()
+			if q.Get("url") != "" || q.Get("du") != "" {
+				b.CarriesDestURL = true
+			}
+			if q.Get("q") != "" {
+				b.CarriesQuery = true
+			}
+			if q.Get("pos") != "" || q.Get("position") != "" {
+				b.CarriesPosition = true
+			}
+			for _, v := range req.Cookies {
+				if cls.IsUserID(v) {
+					b.WithUIDCookie++
+					break
+				}
+			}
+		}
+	}
+
+	res.RedirectorCDF = NewCDF(redirCounts)
+	res.UIDRedirectorCDF = NewCDF(uidRedirCounts)
+	if clicks > 0 {
+		res.NavTrackingFraction = float64(navTracking) / float64(clicks)
+	}
+	res.TopPaths = topFreqs(pathCounts, clicks, 5)
+	for org, c := range orgCounts {
+		res.OrgFractions[org] = float64(c) / float64(max(clicks, 1))
+	}
+	res.UIDRedirectors = topFreqs(uidRedirectorCounts, clicks, 6)
+	res.TopRedirectors = topFreqs(redirectorOccurrences, totalOccurrences, 8)
+	for _, b := range beacons {
+		res.Beacons = append(res.Beacons, *b)
+	}
+	sortBeacons(res.Beacons)
+	return res
+}
+
+func sortBeacons(bs []BeaconSummary) {
+	for i := 1; i < len(bs); i++ {
+		for j := i; j > 0 && bs[j].Endpoint < bs[j-1].Endpoint; j-- {
+			bs[j], bs[j-1] = bs[j-1], bs[j]
+		}
+	}
+}
+
+// uidStoringRedirectors returns the display hosts of redirectors that
+// stored a user-identifying cookie during this iteration's bounce.
+func uidStoringRedirectors(it *crawler.Iteration, p Path, cls *tokens.Result) []string {
+	// Index stored cookie values by (domain, name).
+	stored := map[[2]string]string{}
+	for _, c := range it.Cookies {
+		stored[[2]string{c.Domain, c.Name}] = c.Value
+	}
+	dest := p.DestinationSite()
+	seen := map[string]bool{}
+	var out []string
+	for _, h := range it.Hops {
+		u, err := url.Parse(h.URL)
+		if err != nil {
+			continue
+		}
+		host := strings.ToLower(urlx.Hostname(u.Host))
+		site := urlx.RegistrableDomain(host)
+		if site == p.OriginSite || site == dest {
+			continue
+		}
+		for _, name := range h.SetCookieNames {
+			v, ok := stored[[2]string{host, name}]
+			if !ok {
+				continue
+			}
+			if cls.IsUserID(v) {
+				d := displayHost(host)
+				if !seen[d] {
+					seen[d] = true
+					out = append(out, d)
+				}
+			}
+		}
+	}
+	return out
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

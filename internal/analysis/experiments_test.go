@@ -1,0 +1,73 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPaperExpectationsWellFormed(t *testing.T) {
+	exps := PaperExpectations()
+	if len(exps) < 40 {
+		t.Fatalf("expectations = %d, want a comprehensive set", len(exps))
+	}
+	for _, e := range exps {
+		if e.ID == "" || e.Metric == "" || e.Measure == nil {
+			t.Fatalf("malformed expectation: %+v", e)
+		}
+		if e.Tolerance <= 0 {
+			t.Fatalf("%s/%s: tolerance must be positive", e.ID, e.Metric)
+		}
+	}
+}
+
+func TestCompareAgainstPaper(t *testing.T) {
+	r, _ := report(t)
+	comps := r.Compare()
+	var failures []string
+	ok, total := 0, 0
+	for _, c := range comps {
+		if c.Skipped {
+			continue
+		}
+		total++
+		if c.OK {
+			ok++
+		} else {
+			failures = append(failures,
+				c.ID+" "+c.Engine+" "+c.Metric)
+		}
+	}
+	// The shared test crawl is small (60 iterations/engine), so allow
+	// some slack — but the bulk of the paper's numbers must reproduce.
+	if float64(ok)/float64(total) < 0.85 {
+		t.Fatalf("only %d/%d expectations within tolerance; failing: %v", ok, total, failures)
+	}
+	t.Logf("paper expectations within tolerance: %d/%d (failing: %v)", ok, total, failures)
+}
+
+func TestCompareSkipsMissingEngines(t *testing.T) {
+	// An empty report: every expectation is skipped, none crash.
+	empty := &Report{
+		During:           map[string]*DuringResult{},
+		After:            map[string]*AfterResult{},
+		RecorderCoverage: map[string]float64{},
+	}
+	for _, c := range empty.Compare() {
+		if !c.Skipped {
+			t.Fatalf("%s/%s not skipped on empty report", c.ID, c.Metric)
+		}
+	}
+}
+
+func TestRenderExperiments(t *testing.T) {
+	r, _ := report(t)
+	out := RenderExperiments(r.Compare())
+	for _, want := range []string{
+		"paper vs. measured", "| ID |", "Table 6", "Figure 4",
+		"expectations within tolerance",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("experiments render missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,107 @@
+package analysis
+
+import (
+	"net/url"
+	"sort"
+
+	"searchads/internal/adtech"
+	"searchads/internal/crawler"
+	"searchads/internal/tokens"
+)
+
+// Observations flattens a dataset into the token observations the §3.2
+// classifier consumes: every cookie, localStorage value, and query
+// parameter, tagged with browser instance, ad index, and revisit flags.
+func Observations(ds *crawler.Dataset) []tokens.Observation {
+	var obs []tokens.Observation
+	for _, it := range ds.Iterations {
+		obs = append(obs, iterationObservations(it)...)
+	}
+	return obs
+}
+
+func iterationObservations(it *crawler.Iteration) []tokens.Observation {
+	var obs []tokens.Observation
+	addCookies := func(cs []crawler.CookieRecord, revisit bool) {
+		for _, c := range cs {
+			obs = append(obs, tokens.Observation{
+				Key: c.Name, Value: c.Value, Source: tokens.SourceCookie,
+				Host: c.Domain, Instance: it.Instance, AdIndex: -1, Revisit: revisit,
+			})
+		}
+	}
+	addStorage := func(ss []crawler.StorageRecord, revisit bool) {
+		for _, s := range ss {
+			obs = append(obs, tokens.Observation{
+				Key: s.Key, Value: s.Value, Source: tokens.SourceLocalStorage,
+				Host: s.Origin, Instance: it.Instance, AdIndex: -1, Revisit: revisit,
+			})
+		}
+	}
+	addCookies(it.Cookies, false)
+	addCookies(it.RevisitCookies, true)
+	addStorage(it.LocalStorage, false)
+	addStorage(it.RevisitLocalStorage, true)
+
+	// Ad URL parameters, indexed by ad position: filter (ii) compares
+	// "the tokens resulting from the URLs of all ads that appear on the
+	// results page" and discards per-ad-varying values as ad IDs.
+	for _, ad := range it.DisplayedAds {
+		for _, kv := range collectURLParams(ad.Href) {
+			obs = append(obs, tokens.Observation{
+				Key: kv[0], Value: kv[1], Source: tokens.SourceQueryParam,
+				Host: kv[2], Instance: it.Instance, AdIndex: ad.Position - 1,
+			})
+		}
+	}
+	// Destination URL parameters: the UID-smuggling surface (§4.3.2).
+	for _, kv := range collectURLParams(it.FinalURL) {
+		obs = append(obs, tokens.Observation{
+			Key: kv[0], Value: kv[1], Source: tokens.SourceQueryParam,
+			Host: kv[2], Instance: it.Instance, AdIndex: -1,
+		})
+	}
+	// Destination referrer parameters: the §5 extension channel.
+	for _, kv := range collectURLParams(it.FinalReferrer) {
+		obs = append(obs, tokens.Observation{
+			Key: kv[0], Value: kv[1], Source: tokens.SourceQueryParam,
+			Host: kv[2], Instance: it.Instance, AdIndex: -1,
+		})
+	}
+	return obs
+}
+
+// collectURLParams extracts (key, value, host) triples from a URL's
+// query string, recursing into nested next-hop URLs so parameters at
+// every chain depth are observed.
+func collectURLParams(raw string) [][3]string {
+	var out [][3]string
+	seen := 0
+	var walk func(raw string)
+	walk = func(raw string) {
+		seen++
+		if raw == "" || seen > 12 {
+			return
+		}
+		u, err := url.Parse(raw)
+		if err != nil {
+			return
+		}
+		q := u.Query()
+		keys := make([]string, 0, len(q))
+		for k := range q {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			for _, v := range q[k] {
+				out = append(out, [3]string{k, v, u.Host})
+				if k == adtech.NextParam {
+					walk(v)
+				}
+			}
+		}
+	}
+	walk(raw)
+	return out
+}

@@ -1,0 +1,114 @@
+package analysis
+
+import "sort"
+
+// CDF is an empirical cumulative distribution over small integer counts,
+// the form of Figures 4 and 5.
+type CDF struct {
+	// P[k] = fraction of observations with value <= k, for k = 0..len-1.
+	P []float64
+	// N is the number of observations.
+	N int
+}
+
+// NewCDF builds the CDF of the given counts up to max(counts).
+func NewCDF(counts []int) CDF {
+	if len(counts) == 0 {
+		return CDF{}
+	}
+	maxV := 0
+	for _, c := range counts {
+		if c > maxV {
+			maxV = c
+		}
+	}
+	cdf := CDF{P: make([]float64, maxV+1), N: len(counts)}
+	for _, c := range counts {
+		if c < 0 {
+			c = 0
+		}
+		cdf.P[c]++
+	}
+	cum := 0.0
+	for k := range cdf.P {
+		cum += cdf.P[k]
+		cdf.P[k] = cum / float64(len(counts))
+	}
+	return cdf
+}
+
+// At returns P(X <= k); values past the support are 1 (or 0 for an
+// empty CDF).
+func (c CDF) At(k int) float64 {
+	if len(c.P) == 0 {
+		return 0
+	}
+	if k < 0 {
+		return 0
+	}
+	if k >= len(c.P) {
+		return 1
+	}
+	return c.P[k]
+}
+
+// Median returns the median of xs (0 for empty input).
+func Median(xs []int) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]int(nil), xs...)
+	sort.Ints(s)
+	n := len(s)
+	if n%2 == 1 {
+		return float64(s[n/2])
+	}
+	return float64(s[n/2-1]+s[n/2]) / 2
+}
+
+// MedianFloat returns the median of xs (0 for empty input).
+func MedianFloat(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// Freq is a labelled frequency, used by the top-N tables.
+type Freq struct {
+	Label string
+	// Fraction is the share in [0, 1].
+	Fraction float64
+	// Count is the absolute occurrence count.
+	Count int
+}
+
+// topFreqs converts a count map into Freqs sorted by descending count
+// (label ascending on ties), keeping at most n entries (n <= 0 keeps
+// all). denom is the fraction denominator.
+func topFreqs(counts map[string]int, denom int, n int) []Freq {
+	out := make([]Freq, 0, len(counts))
+	for label, c := range counts {
+		f := Freq{Label: label, Count: c}
+		if denom > 0 {
+			f.Fraction = float64(c) / float64(denom)
+		}
+		out = append(out, f)
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Count != out[b].Count {
+			return out[a].Count > out[b].Count
+		}
+		return out[a].Label < out[b].Label
+	})
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}

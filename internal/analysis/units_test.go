@@ -1,0 +1,132 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"searchads/internal/crawler"
+)
+
+func TestTopFreqs(t *testing.T) {
+	counts := map[string]int{"a": 5, "b": 10, "c": 5, "d": 1}
+	fs := topFreqs(counts, 20, 3)
+	if len(fs) != 3 {
+		t.Fatalf("len = %d", len(fs))
+	}
+	if fs[0].Label != "b" || fs[0].Fraction != 0.5 {
+		t.Fatalf("top = %+v", fs[0])
+	}
+	// Ties break alphabetically.
+	if fs[1].Label != "a" || fs[2].Label != "c" {
+		t.Fatalf("tie order = %s, %s", fs[1].Label, fs[2].Label)
+	}
+	// n <= 0 keeps all; denom <= 0 leaves fractions zero.
+	all := topFreqs(counts, 0, 0)
+	if len(all) != 4 || all[0].Fraction != 0 {
+		t.Fatalf("all = %+v", all)
+	}
+}
+
+func TestCDFProperties(t *testing.T) {
+	f := func(raw []uint8) bool {
+		counts := make([]int, len(raw))
+		for i, v := range raw {
+			counts[i] = int(v % 7)
+		}
+		cdf := NewCDF(counts)
+		if len(counts) == 0 {
+			return cdf.At(3) == 0
+		}
+		// Monotone, ends at 1.
+		prev := 0.0
+		for k := 0; k < len(cdf.P); k++ {
+			if cdf.At(k) < prev {
+				return false
+			}
+			prev = cdf.At(k)
+		}
+		return cdf.At(len(cdf.P)) == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEngineOrderHandlesUnknownEngines(t *testing.T) {
+	r := &Report{EngineOrder: []string{"zeta-engine", "bing"}}
+	order := r.engineOrder()
+	if order[0] != "bing" || order[len(order)-1] != "zeta-engine" {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestPathOfEmptyIteration(t *testing.T) {
+	p := PathOf(&crawler.Iteration{Engine: "bing", EngineHost: "www.bing.com"})
+	if len(p.Sites) != 1 || p.Sites[0] != "bing.com" {
+		t.Fatalf("sites = %v", p.Sites)
+	}
+	if p.Redirectors() != nil {
+		t.Fatal("no redirectors expected")
+	}
+	if p.Key() != "bing.com - destination" {
+		t.Fatalf("key = %q", p.Key())
+	}
+	empty := Path{}
+	if empty.Key() != "" || empty.DestinationSite() != "" || empty.PathSitesWithoutDestination() != nil {
+		t.Fatal("empty path accessors must be zero values")
+	}
+}
+
+func TestCollectURLParamsRecursion(t *testing.T) {
+	raw := "https://a.example/r?next=" +
+		"https%3A%2F%2Fb.example%2Fr%3Fnext%3Dhttps%253A%252F%252Fc.example%252Fland%253Fgclid%253DX%26k%3Dv"
+	kvs := collectURLParams(raw)
+	var hosts []string
+	for _, kv := range kvs {
+		if kv[0] == "gclid" {
+			hosts = append(hosts, kv[2])
+		}
+	}
+	if len(hosts) != 1 || hosts[0] != "c.example" {
+		t.Fatalf("gclid hosts = %v (kvs=%v)", hosts, kvs)
+	}
+	// Depth cap prevents runaway recursion.
+	deep := "https://x.example/?next=https://x.example/"
+	for i := 0; i < 30; i++ {
+		deep = "https://x.example/?next=" + deep
+	}
+	_ = collectURLParams(deep) // must terminate
+	if got := collectURLParams(""); got != nil {
+		t.Fatal("empty URL must yield nothing")
+	}
+	if got := collectURLParams("http://%zz"); got != nil {
+		t.Fatal("bad URL must yield nothing")
+	}
+}
+
+func TestIsAdTrackingParam(t *testing.T) {
+	for _, k := range []string{"irclickid", "wbraid", "EF_ID", "s_kwcid"} {
+		if !isAdTrackingParam(k) {
+			t.Errorf("%s not recognised", k)
+		}
+	}
+	if isAdTrackingParam("q") || isAdTrackingParam("utm_source") {
+		t.Fatal("over-broad ad-param recognition")
+	}
+}
+
+func TestRenderExperimentsMarksFailures(t *testing.T) {
+	comps := []Comparison{
+		{Expectation: Expectation{ID: "T", Engine: "bing", Metric: "m", Paper: 0.5}, Measured: 0.9, OK: false},
+		{Expectation: Expectation{ID: "T", Engine: "google", Metric: "m", Paper: 0.5}, Measured: 0.5, OK: true},
+		{Expectation: Expectation{ID: "T", Engine: "ghost", Metric: "m", Paper: 0.5}, Skipped: true},
+	}
+	out := RenderExperiments(comps)
+	if !strings.Contains(out, "**NO**") || !strings.Contains(out, "skipped") {
+		t.Fatalf("render = %s", out)
+	}
+	if !strings.Contains(out, "1/2 expectations within tolerance") {
+		t.Fatalf("summary wrong: %s", out)
+	}
+}

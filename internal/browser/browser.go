@@ -1,0 +1,437 @@
+// Package browser models the instrumented browser the paper drives with
+// Puppeteer (§3.1): top-level navigation with full redirect chasing
+// (HTTP 30x, meta refresh, and JS location changes), subresource and
+// iframe loading, script execution with first-party storage access, click
+// handling (onclick handlers and ping attributes), and request recording.
+//
+// Two recorders run side by side: the crawler's own log and an
+// "extension" log, reproducing the paper's cross-check ("We use a Chrome
+// extension alongside Puppeteer crawlers to record web requests during
+// all the crawling time ... In median, the crawlers recorded 97% of the
+// requests recorded by the extension").
+package browser
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"net/url"
+	"time"
+
+	"searchads/internal/detrand"
+	"searchads/internal/netsim"
+	"searchads/internal/storage"
+	"searchads/internal/urlx"
+)
+
+// Fingerprint is the surface websites can probe for bot detection. The
+// stealth plugin the paper uses ("puppeteer-extra-plugin-stealth ...
+// applies various techniques to make the detection of headless Puppeteer
+// crawlers by websites harder") manipulates exactly these signals.
+type Fingerprint struct {
+	UserAgent string
+	// Headless leaks through the default headless-Chrome user agent.
+	Headless bool
+	// WebDriver is the navigator.webdriver flag.
+	WebDriver bool
+	// Plugins is the plugin count (zero in naive headless browsers).
+	Plugins int
+	// Languages is the navigator.languages length.
+	Languages int
+}
+
+// DefaultHeadlessFingerprint is what a bare Puppeteer browser exposes.
+func DefaultHeadlessFingerprint() Fingerprint {
+	return Fingerprint{
+		UserAgent: "Mozilla/5.0 (X11; Linux x86_64) HeadlessChrome/106.0",
+		Headless:  true,
+		WebDriver: true,
+		Plugins:   0,
+		Languages: 0,
+	}
+}
+
+// StealthFingerprint is the surface after puppeteer-extra-plugin-stealth.
+func StealthFingerprint() Fingerprint {
+	return Fingerprint{
+		UserAgent: "Mozilla/5.0 (X11; Linux x86_64) Chrome/106.0.0.0 Safari/537.36",
+		Headless:  false,
+		WebDriver: false,
+		Plugins:   3,
+		Languages: 2,
+	}
+}
+
+// Options configure a browser instance.
+type Options struct {
+	// StorageMode selects flat or partitioned cookie/localStorage
+	// behaviour (§2.2.1).
+	StorageMode storage.Mode
+	// CaptureProb is the probability the crawler-side recorder captures
+	// any given request; the extension recorder always captures. 0 means
+	// 1.0 (capture everything).
+	CaptureProb float64
+	// Fingerprint is the bot-detection surface; zero value means the
+	// stealth fingerprint.
+	Fingerprint Fingerprint
+	// Seed drives the recorder's capture-loss stream.
+	Seed *detrand.Source
+	// MaxRedirects caps a navigation's hop chain. 0 means 25.
+	MaxRedirects int
+}
+
+// Hop is one step of a navigation chain, as reconstructed by the paper's
+// methodology ("we trace the series of URLs the browser navigates
+// through after clicking an ad", §3.2).
+type Hop struct {
+	// URL is the document URL requested at this hop.
+	URL string
+	// Status is the HTTP status returned.
+	Status int
+	// Location is the Location header for 30x hops ("" otherwise).
+	Location string
+	// Mechanism is how the browser got here: "initial", "http" (30x),
+	// "meta" (meta refresh), or "js" (script-driven location change).
+	Mechanism string
+	// SetCookieNames lists cookies set by this hop's response.
+	SetCookieNames []string
+}
+
+// NavResult is the outcome of a top-level navigation.
+type NavResult struct {
+	// FinalURL is the settled document URL.
+	FinalURL *url.URL
+	// Page is the settled document.
+	Page *netsim.Page
+	// Hops is the navigation chain, including the initial request and
+	// the final document.
+	Hops []Hop
+}
+
+// Browser is one instance. The paper runs "each iteration in a new
+// browser instance to ensure no stale data is cached from previous
+// iterations"; callers mirror that by constructing a new Browser per
+// iteration.
+type Browser struct {
+	net   *netsim.Network
+	jar   *storage.Jar
+	local *storage.LocalStorage
+	opts  Options
+
+	captureRand *detrand.Source
+	captureN    int
+
+	crawlerLog   []*netsim.Request
+	extensionLog []*netsim.Request
+
+	currentURL *url.URL
+	page       *netsim.Page
+	firstParty string
+	// docReferrer is the settled document's document.referrer value.
+	docReferrer string
+
+	pendingRedirect string
+}
+
+// New constructs a browser on the given network.
+func New(net *netsim.Network, opts Options) *Browser {
+	if opts.CaptureProb == 0 {
+		opts.CaptureProb = 1.0
+	}
+	if opts.MaxRedirects == 0 {
+		opts.MaxRedirects = 25
+	}
+	if opts.Fingerprint == (Fingerprint{}) {
+		opts.Fingerprint = StealthFingerprint()
+	}
+	if opts.Seed == nil {
+		opts.Seed = detrand.New(1)
+	}
+	return &Browser{
+		net:         net,
+		jar:         storage.NewJar(opts.StorageMode),
+		local:       storage.NewLocalStorage(opts.StorageMode),
+		opts:        opts,
+		captureRand: opts.Seed.Derive("capture"),
+	}
+}
+
+// Jar exposes the cookie jar for dataset dumps.
+func (b *Browser) Jar() *storage.Jar { return b.jar }
+
+// LocalStorage exposes DOM storage for dataset dumps.
+func (b *Browser) LocalStorage() *storage.LocalStorage { return b.local }
+
+// CrawlerRequests returns the crawler-side request log.
+func (b *Browser) CrawlerRequests() []*netsim.Request { return b.crawlerLog }
+
+// ExtensionRequests returns the extension-side request log (always
+// complete).
+func (b *Browser) ExtensionRequests() []*netsim.Request { return b.extensionLog }
+
+// CurrentURL returns the settled top-level document URL (nil before any
+// navigation).
+func (b *Browser) CurrentURL() *url.URL { return b.currentURL }
+
+// Page returns the settled top-level document (nil before navigation).
+func (b *Browser) Page() *netsim.Page { return b.page }
+
+// FirstParty returns the current top-level site.
+func (b *Browser) FirstParty() string { return b.firstParty }
+
+// DocumentReferrer returns the settled document's document.referrer.
+func (b *Browser) DocumentReferrer() string { return b.docReferrer }
+
+// send issues one request through the network with cookies attached, logs
+// it on both recorders, and stores response cookies.
+func (b *Browser) send(req *netsim.Request, topLevelNav bool) (*netsim.Response, error) {
+	now := b.net.Clock().Now()
+	req.Cookies = b.jar.Cookies(now, req.URL.String(), req.FirstParty, topLevelNav)
+	if req.Header == nil {
+		req.Header = make(http.Header)
+	}
+	req.Header.Set("User-Agent", b.opts.Fingerprint.UserAgent)
+	if b.opts.Fingerprint.Headless {
+		req.Header.Set("X-Headless", "1")
+	}
+	if b.opts.Fingerprint.WebDriver {
+		req.Header.Set("X-Webdriver", "1")
+	}
+
+	resp, err := b.net.RoundTrip(req)
+
+	// The extension records everything, including failed requests; the
+	// crawler drops a deterministic fraction ("it does not guarantee
+	// that it can attach request handlers to a web page before it sends
+	// any requests", §3.1).
+	b.extensionLog = append(b.extensionLog, req)
+	b.captureN++
+	r := b.captureRand.DeriveN("req", b.captureN).Rand()
+	if detrand.Bernoulli(r, b.opts.CaptureProb) {
+		b.crawlerLog = append(b.crawlerLog, req)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if len(resp.SetCookies) > 0 {
+		b.jar.SetCookies(b.net.Clock().Now(), req.URL.String(), req.FirstParty, resp.SetCookies)
+	}
+	return resp, nil
+}
+
+// ErrTooManyRedirects is returned when a navigation loops past the
+// configured hop budget.
+var ErrTooManyRedirects = errors.New("browser: too many redirects")
+
+// Navigate performs a top-level navigation, following HTTP redirects,
+// meta refreshes, and script-driven location changes until the document
+// settles, then loads the settled page's subresources and frames and runs
+// its scripts.
+func (b *Browser) Navigate(rawURL string) (*NavResult, error) {
+	return b.navigate(rawURL, "initial", "")
+}
+
+func (b *Browser) navigate(rawURL, mechanism, referrer string) (*NavResult, error) {
+	res := &NavResult{}
+	next := rawURL
+	for hop := 0; ; hop++ {
+		if hop >= b.opts.MaxRedirects {
+			return res, fmt.Errorf("%w: %d hops reaching %s", ErrTooManyRedirects, hop, next)
+		}
+		u, err := url.Parse(next)
+		if err != nil {
+			return res, fmt.Errorf("browser: bad navigation URL %q: %w", next, err)
+		}
+		if b.currentURL != nil && !u.IsAbs() {
+			u = b.currentURL.ResolveReference(u)
+		}
+		site := urlx.RegistrableDomain(u.Host)
+		req := &netsim.Request{
+			Method:     http.MethodGet,
+			URL:        u,
+			Type:       netsim.TypeDocument,
+			FirstParty: site, // at commit, the target becomes first party
+			Initiator:  mechanism,
+			Referrer:   referrer,
+		}
+		resp, err := b.send(req, true)
+		if err != nil {
+			return res, err
+		}
+		h := Hop{URL: u.String(), Status: resp.Status, Mechanism: mechanism}
+		for _, c := range resp.SetCookies {
+			h.SetCookieNames = append(h.SetCookieNames, c.Name)
+		}
+		if loc, ok := resp.Location(); ok && resp.IsRedirect() {
+			h.Location = loc
+			res.Hops = append(res.Hops, h)
+			resolved, err := urlx.Resolve(u, loc)
+			if err != nil {
+				return res, err
+			}
+			next = resolved.String()
+			mechanism = "http"
+			continue
+		}
+		res.Hops = append(res.Hops, h)
+
+		// Document settled at u. document.referrer keeps the value the
+		// navigation carried (unchanged across 30x hops).
+		b.currentURL = u
+		b.firstParty = site
+		b.page = resp.Page
+		b.docReferrer = referrer
+		res.FinalURL = u
+		res.Page = resp.Page
+
+		if resp.Page == nil {
+			return res, nil
+		}
+		if redirect := b.loadPage(resp.Page, u, site); redirect != "" {
+			mech := "js"
+			if redirect == resp.Page.MetaRefresh {
+				mech = "meta"
+			}
+			// Meta/JS redirects make the redirecting document the next
+			// referrer — which is how referrer-based UID smuggling
+			// passes identifiers (paper §5).
+			sub, err := b.navigate(redirect, mech, u.String())
+			res.Hops = append(res.Hops, sub.Hops...)
+			res.FinalURL, res.Page = sub.FinalURL, sub.Page
+			return res, err
+		}
+		return res, nil
+	}
+}
+
+// loadPage fetches the page's subresources and frames and runs scripts.
+// It returns a pending redirect target ("" if none): meta refresh takes
+// effect after load; scripts may also call Redirect.
+func (b *Browser) loadPage(p *netsim.Page, pageURL *url.URL, firstParty string) string {
+	b.pendingRedirect = ""
+	b.fetchResources(p, pageURL, firstParty)
+	for _, frameRef := range p.Frames {
+		b.loadFrame(frameRef, pageURL, firstParty, p)
+	}
+	if b.pendingRedirect != "" {
+		return b.pendingRedirect
+	}
+	if p.MetaRefresh != "" {
+		return p.MetaRefresh
+	}
+	if p.JSRedirect != "" {
+		return p.JSRedirect
+	}
+	return ""
+}
+
+func (b *Browser) fetchResources(p *netsim.Page, pageURL *url.URL, firstParty string) {
+	for _, ref := range p.Resources {
+		u, err := urlx.Resolve(pageURL, ref.URL)
+		if err != nil {
+			continue
+		}
+		req := &netsim.Request{
+			Method:     http.MethodGet,
+			URL:        u,
+			Type:       ref.Type,
+			FirstParty: firstParty,
+			Initiator:  "page",
+			Referrer:   pageURL.String(),
+		}
+		resp, err := b.send(req, false)
+		if err != nil {
+			continue // missing resources don't fail page loads
+		}
+		if resp.Script != nil {
+			env := &scriptEnv{b: b, page: p, pageURL: pageURL, firstParty: firstParty, src: u}
+			resp.Script.Run(env)
+		}
+	}
+}
+
+// loadFrame loads an iframe document: its ads become scrapeable alongside
+// the parent ("ads are either part of the main page or are loaded through
+// an iframe", §3.1).
+func (b *Browser) loadFrame(frameRef string, pageURL *url.URL, firstParty string, parent *netsim.Page) {
+	u, err := urlx.Resolve(pageURL, frameRef)
+	if err != nil {
+		return
+	}
+	req := &netsim.Request{
+		Method:     http.MethodGet,
+		URL:        u,
+		Type:       netsim.TypeSubdocument,
+		FirstParty: firstParty,
+		Initiator:  "page",
+	}
+	resp, err := b.send(req, false)
+	if err != nil || resp.Page == nil {
+		return
+	}
+	// Graft the frame's DOM under the parent so element queries see it.
+	if parent.Root != nil && resp.Page.Root != nil {
+		parent.Root.Append(resp.Page.Root)
+	}
+	b.fetchResources(resp.Page, u, firstParty)
+}
+
+// Click fires the element's click handlers and ping attributes, then
+// navigates to its href. This is the paper's ad-click step (§4.2.1).
+func (b *Browser) Click(el *netsim.Element) (*NavResult, error) {
+	if el == nil {
+		return nil, errors.New("browser: click on nil element")
+	}
+	if b.currentURL == nil {
+		return nil, errors.New("browser: click before any navigation")
+	}
+	// onclick beacons fire on the originating page, before navigation
+	// ("after the user clicks on an ad but before the browser begins
+	// navigating away", §4.2.1).
+	for _, beacon := range el.OnClick {
+		b.fireBeacon(beacon)
+	}
+	if ping := el.Attr("ping"); ping != "" {
+		b.fireBeacon(netsim.Beacon{Method: http.MethodPost, URL: ping, Type: netsim.TypePing})
+	}
+	href := el.Attr("href")
+	if href == "" {
+		return nil, errors.New("browser: clicked element has no href")
+	}
+	u, err := urlx.Resolve(b.currentURL, href)
+	if err != nil {
+		return nil, err
+	}
+	return b.navigate(u.String(), "initial", b.currentURL.String())
+}
+
+func (b *Browser) fireBeacon(beacon netsim.Beacon) {
+	u, err := urlx.Resolve(b.currentURL, beacon.URL)
+	if err != nil {
+		return
+	}
+	typ := beacon.Type
+	if typ == "" {
+		typ = netsim.TypePing
+	}
+	method := beacon.Method
+	if method == "" {
+		method = http.MethodPost
+	}
+	req := &netsim.Request{
+		Method:     method,
+		URL:        u,
+		Type:       typ,
+		FirstParty: b.firstParty,
+		Initiator:  "click",
+		Body:       beacon.Body,
+	}
+	b.send(req, false) // beacon failures are fire-and-forget
+}
+
+// Dwell advances virtual time, modelling the paper's 15-second stay on
+// destination pages ("waiting for 15 seconds on the ad's destination
+// website").
+func (b *Browser) Dwell() {
+	b.net.Clock().Advance(15 * time.Second)
+}

@@ -1,0 +1,116 @@
+package browser
+
+import (
+	"net/http"
+	"net/url"
+	"time"
+
+	"searchads/internal/netsim"
+)
+
+// scriptEnv implements netsim.ScriptEnv for scripts executing in a page.
+// It gives a script exactly the powers a third-party script has in a real
+// browser: first-party storage of the *including* page, its own network
+// requests, link decoration, and navigation.
+type scriptEnv struct {
+	b          *Browser
+	page       *netsim.Page
+	pageURL    *url.URL
+	firstParty string
+	src        *url.URL
+}
+
+var _ netsim.ScriptEnv = (*scriptEnv)(nil)
+
+func (e *scriptEnv) PageURL() *url.URL   { return e.pageURL }
+func (e *scriptEnv) FirstParty() string  { return e.firstParty }
+func (e *scriptEnv) ScriptSrc() *url.URL { return e.src }
+func (e *scriptEnv) Referrer() string    { return e.b.docReferrer }
+func (e *scriptEnv) Now() time.Time      { return e.b.net.Clock().Now() }
+
+// SetDocumentCookie writes a cookie through document.cookie: the cookie
+// belongs to the page's origin, regardless of where the script came from
+// — how trackers plant first-party cookies ("first-party cookies set by
+// third-party javascript", §6).
+func (e *scriptEnv) SetDocumentCookie(c *netsim.Cookie) {
+	if c == nil {
+		return
+	}
+	c.HTTPOnly = false // document.cookie cannot set HttpOnly
+	e.b.jar.SetCookies(e.Now(), e.pageURL.String(), e.firstParty, []*netsim.Cookie{c})
+}
+
+// DocumentCookies lists the cookies visible to the page document.
+func (e *scriptEnv) DocumentCookies() []*netsim.Cookie {
+	return e.b.jar.Cookies(e.Now(), e.pageURL.String(), e.firstParty, false)
+}
+
+// LocalStorageSet writes to the page origin's storage area.
+func (e *scriptEnv) LocalStorageSet(key, value string) {
+	origin := e.pageURL.Scheme + "://" + e.pageURL.Host
+	e.b.local.Set(e.firstParty, origin, key, value)
+}
+
+// LocalStorageGet reads from the page origin's storage area.
+func (e *scriptEnv) LocalStorageGet(key string) (string, bool) {
+	origin := e.pageURL.Scheme + "://" + e.pageURL.Host
+	return e.b.local.Get(e.firstParty, origin, key)
+}
+
+// Fetch issues a network request on behalf of the script. Response
+// cookies are processed under the current first party, i.e. as
+// third-party cookies when the script's server is cross-site.
+func (e *scriptEnv) Fetch(method string, u *url.URL, typ netsim.ResourceType, body string) {
+	if u == nil {
+		return
+	}
+	if method == "" {
+		method = http.MethodGet
+	}
+	if typ == "" {
+		typ = netsim.TypeXHR
+	}
+	req := &netsim.Request{
+		Method:     method,
+		URL:        u,
+		Type:       typ,
+		FirstParty: e.firstParty,
+		Initiator:  "script:" + e.src.Host,
+		Body:       body,
+	}
+	e.b.send(req, false)
+}
+
+// DecorateLinks rewrites anchor hrefs through fn — the URL-decoration
+// primitive of UID smuggling (§2.2.2).
+func (e *scriptEnv) DecorateLinks(fn func(href *url.URL) *url.URL) {
+	if e.page == nil || e.page.Root == nil || fn == nil {
+		return
+	}
+	e.page.Root.Walk(func(el *netsim.Element) bool {
+		if el.Tag != "a" {
+			return true
+		}
+		raw := el.Attr("href")
+		if raw == "" {
+			return true
+		}
+		u, err := url.Parse(raw)
+		if err != nil {
+			return true
+		}
+		if !u.IsAbs() {
+			u = e.pageURL.ResolveReference(u)
+		}
+		if replacement := fn(u); replacement != nil {
+			el.Attrs["href"] = replacement.String()
+		}
+		return true
+	})
+}
+
+// Redirect schedules a top-level JS navigation, applied when the page
+// finishes loading.
+func (e *scriptEnv) Redirect(to string) {
+	e.b.pendingRedirect = to
+}

@@ -1,0 +1,307 @@
+package crawler
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"searchads/internal/browser"
+	"searchads/internal/netsim"
+	"searchads/internal/serp"
+	"searchads/internal/storage"
+	"searchads/internal/urlx"
+	"searchads/internal/websim"
+)
+
+// Config parameterises a crawl.
+type Config struct {
+	// World is the simulated web to crawl.
+	World *websim.World
+	// Engines selects which engines to crawl; nil = the world's
+	// configured engines.
+	Engines []string
+	// Iterations caps iterations per engine; 0 = one per query.
+	Iterations int
+	// StorageMode is the browser's cookie model. The paper crawls with
+	// Chrome's default (flat); Partitioned supports the ablation of
+	// DESIGN.md §4.
+	StorageMode storage.Mode
+	// CaptureProb is the crawler-side recorder's capture probability
+	// (the paper measured a 97% median against the extension recorder).
+	// 0 means 0.97.
+	CaptureProb float64
+	// Stealth applies the stealth fingerprint (default). Without it the
+	// engines detect the bot and serve no ads — reproducing why the
+	// paper needed puppeteer-extra-plugin-stealth.
+	NoStealth bool
+	// SkipRevisit disables the next-day re-iteration (faster, but the
+	// session-identifier filter loses its signal).
+	SkipRevisit bool
+	// Parallel crawls the engines concurrently (one goroutine per
+	// engine). Within an engine, iterations stay sequential — the
+	// unvisited-first ad choice is order-dependent. Identifier minting
+	// across engines interleaves nondeterministically, so parallel
+	// datasets are not byte-identical across runs; every aggregate
+	// statistic is unchanged.
+	Parallel bool
+}
+
+// Crawler runs the measurement pipeline.
+type Crawler struct {
+	cfg Config
+}
+
+// New returns a crawler for the given config.
+func New(cfg Config) *Crawler {
+	if cfg.CaptureProb == 0 {
+		cfg.CaptureProb = 0.97
+	}
+	if len(cfg.Engines) == 0 {
+		cfg.Engines = cfg.World.Cfg.Engines
+	}
+	return &Crawler{cfg: cfg}
+}
+
+// Run executes the full crawl and returns the dataset.
+func (c *Crawler) Run() *Dataset {
+	w := c.cfg.World
+	ds := &Dataset{
+		Seed:        w.Cfg.Seed,
+		StorageMode: c.cfg.StorageMode.String(),
+		CreatedAt:   w.Net.Clock().Now(),
+	}
+	perEngine := make([][]*Iteration, len(c.cfg.Engines))
+	runEngine := func(idx int, name string) {
+		engine := w.Engine(name)
+		if engine == nil {
+			return
+		}
+		queries := w.Queries[name]
+		n := len(queries)
+		if c.cfg.Iterations > 0 && c.cfg.Iterations < n {
+			n = c.cfg.Iterations
+		}
+		visited := make(map[string]bool) // landing domains already seen
+		for i := 0; i < n; i++ {
+			it := c.runIteration(engine, queries[i], i, visited)
+			perEngine[idx] = append(perEngine[idx], it)
+		}
+	}
+	if c.cfg.Parallel {
+		var wg sync.WaitGroup
+		for idx, name := range c.cfg.Engines {
+			wg.Add(1)
+			go func(idx int, name string) {
+				defer wg.Done()
+				runEngine(idx, name)
+			}(idx, name)
+		}
+		wg.Wait()
+	} else {
+		for idx, name := range c.cfg.Engines {
+			runEngine(idx, name)
+		}
+	}
+	for _, iters := range perEngine {
+		ds.Iterations = append(ds.Iterations, iters...)
+	}
+	return ds
+}
+
+// runIteration performs one full crawl iteration in a fresh browser
+// instance.
+func (c *Crawler) runIteration(engine *serp.Engine, query string, index int, visited map[string]bool) *Iteration {
+	w := c.cfg.World
+	name := engine.Spec.Name
+	it := &Iteration{
+		Engine:     name,
+		EngineHost: engine.Spec.Host,
+		Index:      index,
+		Instance:   fmt.Sprintf("%s-%04d", name, index),
+		Query:      query,
+		ClickedAd:  -1,
+	}
+	fp := browser.StealthFingerprint()
+	if c.cfg.NoStealth {
+		fp = browser.DefaultHeadlessFingerprint()
+	}
+	b := browser.New(w.Net, browser.Options{
+		StorageMode: c.cfg.StorageMode,
+		CaptureProb: c.cfg.CaptureProb,
+		Fingerprint: fp,
+		Seed:        w.Seed.Derive("browser", it.Instance),
+	})
+
+	// Stage 1 — before the click: main page, then the results page.
+	if _, err := b.Navigate("https://" + engine.Spec.Host + "/"); err != nil {
+		it.Error = fmt.Sprintf("home: %v", err)
+		return it
+	}
+	if _, err := b.Navigate(engine.SearchURL(query)); err != nil {
+		it.Error = fmt.Sprintf("serp: %v", err)
+		return it
+	}
+	it.SERPRequests = recordRequests(b.CrawlerRequests())
+	it.SERPCookies = recordCookies(b.Jar(), w.Net.Clock().Now())
+
+	// Scrape the displayed ads.
+	ads := serp.FindAds(name, b.Page())
+	for pos, ad := range ads {
+		it.DisplayedAds = append(it.DisplayedAds, AdRecord{
+			Href:          ad.Attr("href"),
+			LandingDomain: ad.Attr("data-landing"),
+			Position:      pos + 1,
+		})
+	}
+	if len(ads) == 0 {
+		it.Error = "no ads displayed"
+		it.CrawlerRequestCount = len(b.CrawlerRequests())
+		it.ExtensionRequestCount = len(b.ExtensionRequests())
+		return it
+	}
+
+	// Stage 2 — the click. "Our system prioritizes ads with landing
+	// domains it has not visited yet, aiming to maximize the number of
+	// different destination websites" (§3.1).
+	choice := chooseAd(it.DisplayedAds, visited)
+	it.ClickedAd = choice
+	visited[it.DisplayedAds[choice].LandingDomain] = true
+	clickStart := len(b.CrawlerRequests())
+	res, err := b.Click(ads[choice])
+	if err != nil {
+		it.Error = fmt.Sprintf("click: %v", err)
+		it.CrawlerRequestCount = len(b.CrawlerRequests())
+		it.ExtensionRequestCount = len(b.ExtensionRequests())
+		return it
+	}
+	for _, h := range res.Hops {
+		it.Hops = append(it.Hops, HopRecord{
+			URL:            h.URL,
+			Status:         h.Status,
+			Location:       h.Location,
+			Mechanism:      h.Mechanism,
+			SetCookieNames: h.SetCookieNames,
+		})
+	}
+	if res.FinalURL != nil {
+		it.FinalURL = res.FinalURL.String()
+	}
+	it.FinalReferrer = b.DocumentReferrer()
+
+	// Stage 3 — after the click: 15 seconds on the destination. The
+	// click navigation interleaves chain hops, beacons, and the
+	// destination page's own subresource traffic; requests made on
+	// behalf of the destination site belong to the "after" stage.
+	b.Dwell()
+	destSite := ""
+	if res.FinalURL != nil {
+		destSite = urlx.RegistrableDomain(res.FinalURL.Host)
+	}
+	clickReqs, destReqs := splitClickRequests(b.CrawlerRequests()[clickStart:], destSite)
+	it.ClickRequests = recordRequests(clickReqs)
+	it.DestRequests = recordRequests(destReqs)
+	now := w.Net.Clock().Now()
+	it.Cookies = recordCookies(b.Jar(), now)
+	it.LocalStorage = recordStorage(b.LocalStorage())
+	it.CrawlerRequestCount = len(b.CrawlerRequests())
+	it.ExtensionRequestCount = len(b.ExtensionRequests())
+
+	// Next-day revisit on the same profile (§3.2 filter iii): values
+	// that changed are session identifiers, values that persisted are
+	// user-identifier candidates.
+	if !c.cfg.SkipRevisit {
+		w.Net.Clock().Advance(24 * time.Hour)
+		b.Navigate(engine.SearchURL(query))
+		if it.FinalURL != "" {
+			if u, err := urlx.Resolve(urlx.MustParse("https://x.example/"), it.FinalURL); err == nil {
+				b.Navigate(u.String())
+			}
+		}
+		it.RevisitCookies = recordCookies(b.Jar(), w.Net.Clock().Now())
+		it.RevisitLocalStorage = recordStorage(b.LocalStorage())
+		// Rewind the revisit jump so a 500-iteration crawl stays inside
+		// the study window; each iteration runs a fresh profile, so no
+		// cross-iteration state observes the rollback.
+		w.Net.Clock().Rewind(24 * time.Hour)
+	}
+	return it
+}
+
+// splitClickRequests separates click-stage traffic (chain hops and
+// engine beacons, §4.2) from destination-stage traffic (the landing
+// page's subresources and tracker calls, §4.3).
+func splitClickRequests(reqs []*netsim.Request, destSite string) (click, dest []*netsim.Request) {
+	for _, r := range reqs {
+		switch {
+		case r.Type == netsim.TypeDocument, r.Initiator == "click":
+			click = append(click, r)
+		case destSite != "" && r.FirstParty == destSite:
+			dest = append(dest, r)
+		default:
+			click = append(click, r)
+		}
+	}
+	return click, dest
+}
+
+// chooseAd returns the index of the first ad whose landing domain has
+// not been visited, falling back to the first ad.
+func chooseAd(ads []AdRecord, visited map[string]bool) int {
+	for i, ad := range ads {
+		if !visited[ad.LandingDomain] {
+			return i
+		}
+	}
+	return 0
+}
+
+func recordRequests(reqs []*netsim.Request) []RequestRecord {
+	out := make([]RequestRecord, 0, len(reqs))
+	for _, r := range reqs {
+		rec := RequestRecord{
+			URL:        r.URL.String(),
+			Method:     r.Method,
+			Type:       string(r.Type),
+			FirstParty: r.FirstParty,
+			Initiator:  r.Initiator,
+			Referrer:   r.Referrer,
+			ThirdParty: r.IsThirdParty(),
+		}
+		if len(r.Cookies) > 0 {
+			rec.Cookies = make(map[string]string, len(r.Cookies))
+			for _, ck := range r.Cookies {
+				rec.Cookies[ck.Name] = ck.Value
+			}
+		}
+		out = append(out, rec)
+	}
+	return out
+}
+
+func recordCookies(jar *storage.Jar, now time.Time) []CookieRecord {
+	all := jar.All(now)
+	out := make([]CookieRecord, 0, len(all))
+	for _, c := range all {
+		out = append(out, CookieRecord{
+			PartitionKey: c.PartitionKey,
+			Domain:       c.Domain,
+			Name:         c.Name,
+			Value:        c.Value,
+		})
+	}
+	return out
+}
+
+func recordStorage(ls *storage.LocalStorage) []StorageRecord {
+	all := ls.All()
+	out := make([]StorageRecord, 0, len(all))
+	for _, e := range all {
+		out = append(out, StorageRecord{
+			PartitionKey: e.PartitionKey,
+			Origin:       e.Origin,
+			Key:          e.Key,
+			Value:        e.Value,
+		})
+	}
+	return out
+}

@@ -1,0 +1,170 @@
+// Package crawler implements the paper's measurement pipeline (§3.1):
+// for each search query it starts a fresh browser instance, loads the
+// engine's main page, runs the query, scrapes the displayed ads, clicks
+// one (preferring landing domains not yet visited), traces the full
+// redirect chain, dwells 15 seconds on the destination, and records all
+// cookies, localStorage values, and web requests at each step. An extra
+// next-day iteration per browser instance feeds the session-identifier
+// filter of §3.2.
+package crawler
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+)
+
+// RequestRecord is one recorded web request.
+type RequestRecord struct {
+	URL        string            `json:"url"`
+	Method     string            `json:"method"`
+	Type       string            `json:"type"`
+	FirstParty string            `json:"first_party"`
+	Initiator  string            `json:"initiator"`
+	Referrer   string            `json:"referrer,omitempty"`
+	ThirdParty bool              `json:"third_party"`
+	Cookies    map[string]string `json:"cookies,omitempty"`
+}
+
+// HopRecord is one step of the post-click navigation chain.
+type HopRecord struct {
+	URL            string   `json:"url"`
+	Status         int      `json:"status"`
+	Location       string   `json:"location,omitempty"`
+	Mechanism      string   `json:"mechanism"`
+	SetCookieNames []string `json:"set_cookie_names,omitempty"`
+}
+
+// AdRecord describes one displayed ad.
+type AdRecord struct {
+	Href          string `json:"href"`
+	LandingDomain string `json:"landing_domain"`
+	Position      int    `json:"position"`
+}
+
+// CookieRecord is a cookie at rest after a stage.
+type CookieRecord struct {
+	PartitionKey string `json:"partition_key,omitempty"`
+	Domain       string `json:"domain"`
+	Name         string `json:"name"`
+	Value        string `json:"value"`
+}
+
+// StorageRecord is a localStorage entry at rest.
+type StorageRecord struct {
+	PartitionKey string `json:"partition_key,omitempty"`
+	Origin       string `json:"origin"`
+	Key          string `json:"key"`
+	Value        string `json:"value"`
+}
+
+// Iteration is the complete record of one crawl iteration.
+type Iteration struct {
+	Engine string `json:"engine"`
+	// EngineHost is the engine's canonical host; path analysis derives
+	// the origin site from it.
+	EngineHost string `json:"engine_host"`
+	Index      int    `json:"index"`
+	Instance   string `json:"instance"`
+	Query      string `json:"query"`
+
+	// SERPRequests are the requests recorded while loading the engine
+	// home page and results page (the "before clicking" stage, §4.1).
+	SERPRequests []RequestRecord `json:"serp_requests"`
+	// SERPCookies is first-party storage after the results page loaded.
+	SERPCookies []CookieRecord `json:"serp_cookies"`
+
+	// DisplayedAds lists the scraped ads.
+	DisplayedAds []AdRecord `json:"displayed_ads"`
+	// ClickedAd is the index into DisplayedAds (-1 if none).
+	ClickedAd int `json:"clicked_ad"`
+
+	// ClickRequests are requests fired between the click and the
+	// destination settling: beacons and chain hops (§4.2).
+	ClickRequests []RequestRecord `json:"click_requests"`
+	// Hops is the navigation chain from the click to the destination.
+	Hops []HopRecord `json:"hops"`
+	// FinalURL is the settled destination URL (with query parameters —
+	// the UID-smuggling surface of §4.3.2).
+	FinalURL string `json:"final_url"`
+	// FinalReferrer is the destination document's document.referrer —
+	// the channel referrer-based UID smuggling uses (paper §5).
+	FinalReferrer string `json:"final_referrer,omitempty"`
+
+	// DestRequests are requests made by the destination page during the
+	// 15-second dwell (§4.3.1).
+	DestRequests []RequestRecord `json:"dest_requests"`
+
+	// Cookies / LocalStorage are the profile contents after the dwell.
+	Cookies      []CookieRecord  `json:"cookies"`
+	LocalStorage []StorageRecord `json:"local_storage"`
+
+	// RevisitCookies / RevisitLocalStorage are the profile contents
+	// after the next-day revisit (§3.2 filter iii).
+	RevisitCookies      []CookieRecord  `json:"revisit_cookies,omitempty"`
+	RevisitLocalStorage []StorageRecord `json:"revisit_local_storage,omitempty"`
+
+	// CrawlerRequestCount / ExtensionRequestCount support the §3.1
+	// recorder-coverage check (97% median).
+	CrawlerRequestCount   int `json:"crawler_request_count"`
+	ExtensionRequestCount int `json:"extension_request_count"`
+
+	// Error records a failed iteration ("" on success).
+	Error string `json:"error,omitempty"`
+}
+
+// Dataset is a complete crawl output.
+type Dataset struct {
+	Seed        int64        `json:"seed"`
+	StorageMode string       `json:"storage_mode"`
+	CreatedAt   time.Time    `json:"created_at"`
+	Iterations  []*Iteration `json:"iterations"`
+}
+
+// ByEngine groups iterations by engine name, preserving order.
+func (d *Dataset) ByEngine() map[string][]*Iteration {
+	out := make(map[string][]*Iteration)
+	for _, it := range d.Iterations {
+		out[it.Engine] = append(out[it.Engine], it)
+	}
+	return out
+}
+
+// Engines returns the engine names present, in first-seen order.
+func (d *Dataset) Engines() []string {
+	var names []string
+	seen := map[string]bool{}
+	for _, it := range d.Iterations {
+		if !seen[it.Engine] {
+			seen[it.Engine] = true
+			names = append(names, it.Engine)
+		}
+	}
+	return names
+}
+
+// Save writes the dataset as JSON.
+func (d *Dataset) Save(path string) error {
+	data, err := json.MarshalIndent(d, "", " ")
+	if err != nil {
+		return fmt.Errorf("crawler: marshal dataset: %w", err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("crawler: write dataset: %w", err)
+	}
+	return nil
+}
+
+// Load reads a dataset written by Save.
+func Load(path string) (*Dataset, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("crawler: read dataset: %w", err)
+	}
+	var d Dataset
+	if err := json.Unmarshal(data, &d); err != nil {
+		return nil, fmt.Errorf("crawler: parse dataset: %w", err)
+	}
+	return &d, nil
+}

@@ -1,0 +1,63 @@
+// Package crawler_test hosts the parallel-mode tests as an external test
+// package: they consume the analysis package, which itself imports
+// crawler, so they cannot live inside it.
+package crawler_test
+
+import (
+	"testing"
+
+	"searchads/internal/analysis"
+	. "searchads/internal/crawler"
+	"searchads/internal/websim"
+)
+
+func TestParallelCrawlMatchesSequentialAggregates(t *testing.T) {
+	seq := New(Config{World: websim.NewWorld(websim.Config{Seed: 55, QueriesPerEngine: 20})}).Run()
+	par := New(Config{World: websim.NewWorld(websim.Config{Seed: 55, QueriesPerEngine: 20}), Parallel: true}).Run()
+
+	if len(seq.Iterations) != len(par.Iterations) {
+		t.Fatalf("iteration counts differ: %d vs %d", len(seq.Iterations), len(par.Iterations))
+	}
+	// Engine grouping and order are preserved.
+	se, pe := seq.Engines(), par.Engines()
+	for i := range se {
+		if se[i] != pe[i] {
+			t.Fatalf("engine order differs: %v vs %v", se, pe)
+		}
+	}
+	// Per-iteration structure matches: same query, same destination
+	// domain choice (ad choice is deterministic within an engine), same
+	// hop count.
+	for i := range seq.Iterations {
+		a, b := seq.Iterations[i], par.Iterations[i]
+		if a.Query != b.Query || a.Engine != b.Engine {
+			t.Fatalf("iteration %d identity differs", i)
+		}
+		if a.Error != b.Error {
+			t.Fatalf("iteration %d errors differ: %q vs %q", i, a.Error, b.Error)
+		}
+		da := a.DisplayedAds[a.ClickedAd].LandingDomain
+		db := b.DisplayedAds[b.ClickedAd].LandingDomain
+		if da != db {
+			t.Fatalf("iteration %d clicked different destinations: %s vs %s", i, da, db)
+		}
+		if len(a.Hops) != len(b.Hops) {
+			t.Fatalf("iteration %d hop counts differ", i)
+		}
+	}
+}
+
+func TestParallelCrawlAnalysisShape(t *testing.T) {
+	par := New(Config{World: websim.NewWorld(websim.Config{Seed: 56, QueriesPerEngine: 25}), Parallel: true}).Run()
+	r := analysis.Analyze(par)
+	// The headline shapes hold under parallel crawling too.
+	if r.During["google"].NavTrackingFraction != 1.0 {
+		t.Errorf("google nav tracking = %.2f", r.During["google"].NavTrackingFraction)
+	}
+	if got := r.During["bing"].RedirectorCDF.At(0); got < 0.8 {
+		t.Errorf("bing P(0 redirectors) = %.2f", got)
+	}
+	if !r.Before["bing"].StoresUserIDs || r.Before["qwant"].StoresUserIDs {
+		t.Error("before-click identifiers wrong under parallel crawl")
+	}
+}

@@ -1,0 +1,122 @@
+package detrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeriveDeterministic(t *testing.T) {
+	a := New(42).Derive("engine", "bing").DeriveN("iter", 7)
+	b := New(42).Derive("engine", "bing").DeriveN("iter", 7)
+	if a.Uint64() != b.Uint64() {
+		t.Fatal("same derivation path must yield same seed")
+	}
+	if a.Rand().Int63() != b.Rand().Int63() {
+		t.Fatal("same seed must yield same stream")
+	}
+}
+
+func TestDeriveIndependence(t *testing.T) {
+	root := New(42)
+	seen := map[uint64]string{}
+	for _, labels := range [][]string{
+		{"a"}, {"b"}, {"a", "b"}, {"ab"}, {"a", ""}, {"", "a"},
+	} {
+		s := root.Derive(labels...)
+		if prev, dup := seen[s.Uint64()]; dup {
+			t.Fatalf("derivation collision: %v and %s", labels, prev)
+		}
+		seen[s.Uint64()] = labels[0]
+	}
+}
+
+func TestDeriveSeparatorSafety(t *testing.T) {
+	// Labels ("ab","c") and ("a","bc") must not collide: the separator
+	// byte keeps label boundaries distinct.
+	a := New(1).Derive("ab", "c")
+	b := New(1).Derive("a", "bc")
+	if a.Uint64() == b.Uint64() {
+		t.Fatal("label boundary collision")
+	}
+}
+
+func TestToken(t *testing.T) {
+	s := New(7).Derive("gclid")
+	tok := s.Token(22, Base64URLLike)
+	if len(tok) != 22 {
+		t.Fatalf("len = %d", len(tok))
+	}
+	if tok != s.Token(22, Base64URLLike) {
+		t.Fatal("token must be deterministic per source")
+	}
+	if tok == New(7).Derive("msclkid").Token(22, Base64URLLike) {
+		t.Fatal("different paths must give different tokens")
+	}
+	for _, c := range tok {
+		if !containsRune(Base64URLLike, c) {
+			t.Fatalf("token char %q outside alphabet", c)
+		}
+	}
+}
+
+func containsRune(s string, r rune) bool {
+	for _, c := range s {
+		if c == r {
+			return true
+		}
+	}
+	return false
+}
+
+func TestPickDistribution(t *testing.T) {
+	r := New(3).Rand()
+	weights := []float64{0.7, 0.2, 0.1}
+	counts := make([]int, 3)
+	const n = 20000
+	for i := 0; i < n; i++ {
+		counts[Pick(r, weights)]++
+	}
+	for i, w := range weights {
+		got := float64(counts[i]) / n
+		if math.Abs(got-w) > 0.02 {
+			t.Errorf("bucket %d: got %.3f, want %.3f±0.02", i, got, w)
+		}
+	}
+}
+
+func TestPickPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for zero weights")
+		}
+	}()
+	Pick(New(1).Rand(), []float64{0, 0})
+}
+
+func TestBernoulli(t *testing.T) {
+	r := New(9).Rand()
+	hits := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if Bernoulli(r, 0.86) {
+			hits++
+		}
+	}
+	got := float64(hits) / n
+	if math.Abs(got-0.86) > 0.02 {
+		t.Fatalf("Bernoulli(0.86) rate = %.3f", got)
+	}
+}
+
+// Property: deriving with any labels never equals the parent seed stream
+// (no accidental identity derivation).
+func TestDeriveNeverIdentity(t *testing.T) {
+	f := func(label string) bool {
+		root := New(1234)
+		return root.Derive(label).Uint64() != root.Uint64()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

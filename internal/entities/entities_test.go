@@ -1,0 +1,129 @@
+package entities
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestEntityOf(t *testing.T) {
+	l := Default()
+	cases := []struct{ host, want string }{
+		{"ad.doubleclick.net", "Google"},
+		{"clickserve.dartsearch.net", "Google"},
+		{"www.googleadservices.com", "Google"},
+		{"bat.bing.com", "Microsoft"},
+		{"ad.atdmt.com", "Microsoft"},
+		{"pixel.everesttech.net", "Adobe"},
+		{"6102.xg4ken.com", "Kenshoo"},
+		{"monitor.ppcprotect.com", "PPCProtect"},
+		{"tpt.mediaplex.com", "Conversant Media"},
+		{"click.linksynergy.com", "Rakuten"},
+		{"t.myvisualiq.net", "Nielsen"},
+		{"improving.duckduckgo.com", "DuckDuckGo"},
+		{"t23.intelliad.de", Unknown},
+		{"1045.netrk.net", Unknown},
+		{"metricswift.example", Unknown},
+		{"", Unknown},
+	}
+	for _, c := range cases {
+		if got := l.EntityOf(c.host); got != c.want {
+			t.Errorf("EntityOf(%q) = %q, want %q", c.host, got, c.want)
+		}
+	}
+}
+
+func TestSameEntity(t *testing.T) {
+	l := Default()
+	if !l.SameEntity("google.com", "ad.doubleclick.net") {
+		t.Error("google.com and doubleclick.net are both Google")
+	}
+	if l.SameEntity("google.com", "bing.com") {
+		t.Error("Google != Microsoft")
+	}
+	if l.SameEntity("unknown-a.example", "unknown-b.example") {
+		t.Error("two unknown domains must not be the same entity")
+	}
+}
+
+func TestAddOverride(t *testing.T) {
+	l := Default()
+	l.Add("TestOrg", "netrk.net")
+	if got := l.EntityOf("1045.netrk.net"); got != "TestOrg" {
+		t.Fatalf("override failed: %q", got)
+	}
+	l.Add("Empty", "") // ignored
+	for _, e := range l.Entities() {
+		if e == "Empty" && len(l.Domains("Empty")) > 0 {
+			t.Fatal("empty domain stored")
+		}
+	}
+}
+
+func TestExactHostPrecedence(t *testing.T) {
+	l := New()
+	l.Add("Site", "example.com")
+	l.Add("CDNCo", "cdn.example.com")
+	if got := l.EntityOf("cdn.example.com"); got != "CDNCo" {
+		t.Fatalf("exact host should win: %q", got)
+	}
+	if got := l.EntityOf("www.example.com"); got != "Site" {
+		t.Fatalf("registrable fallback: %q", got)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	l := Default()
+	data, err := json.Marshal(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseDisconnectJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != l.Len() {
+		t.Fatalf("round trip lost entries: %d != %d", back.Len(), l.Len())
+	}
+	if back.EntityOf("criteo.net") != "Criteo" {
+		t.Fatal("round trip lost Criteo")
+	}
+}
+
+func TestParseBadJSON(t *testing.T) {
+	if _, err := ParseDisconnectJSON([]byte("{not json")); err == nil {
+		t.Fatal("expected parse error")
+	}
+}
+
+func TestInventoryCoversPaperOrganisations(t *testing.T) {
+	// Table 3's row set (minus "unknown"): every org the paper names
+	// must exist in the default list.
+	l := Default()
+	want := []string{
+		"Adobe", "Conversant Media", "DuckDuckGo", "Facebook", "Google",
+		"Kenshoo", "Microsoft", "Nielsen", "PPCProtect", "Qwant",
+		"Rakuten", "StartPage",
+	}
+	have := map[string]bool{}
+	for _, e := range l.Entities() {
+		have[e] = true
+	}
+	for _, w := range want {
+		if !have[w] {
+			t.Errorf("entity %q missing from default list", w)
+		}
+	}
+	if l.Len() < 30 {
+		t.Errorf("default list too small: %d domains", l.Len())
+	}
+}
+
+func TestDomainsSorted(t *testing.T) {
+	l := Default()
+	ds := l.Domains("Google")
+	for i := 1; i < len(ds); i++ {
+		if ds[i-1] > ds[i] {
+			t.Fatalf("domains not sorted: %v", ds)
+		}
+	}
+}

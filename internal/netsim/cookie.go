@@ -1,0 +1,106 @@
+package netsim
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// SameSiteMode mirrors the SameSite cookie attribute.
+type SameSiteMode int
+
+// SameSite attribute values.
+const (
+	SameSiteDefault SameSiteMode = iota
+	SameSiteLax
+	SameSiteStrict
+	SameSiteNone
+)
+
+func (m SameSiteMode) String() string {
+	switch m {
+	case SameSiteLax:
+		return "Lax"
+	case SameSiteStrict:
+		return "Strict"
+	case SameSiteNone:
+		return "None"
+	default:
+		return ""
+	}
+}
+
+// Cookie is the wire-level cookie model shared by responses (Set-Cookie)
+// and requests (Cookie header). The storage package layers jar semantics
+// (host-only vs domain cookies, partitioning, expiry) on top.
+type Cookie struct {
+	Name  string
+	Value string
+
+	// Domain is the Domain attribute; empty means host-only.
+	Domain string
+	Path   string
+	// Expires is the absolute expiry in virtual time; zero means a
+	// session cookie.
+	Expires  time.Time
+	Secure   bool
+	HTTPOnly bool
+	SameSite SameSiteMode
+
+	// Partitioned marks a CHIPS-style cookie that opts into partitioned
+	// storage even on flat-storage browsers.
+	Partitioned bool
+}
+
+// NewCookie returns a session cookie with name and value.
+func NewCookie(name, value string) *Cookie {
+	return &Cookie{Name: name, Value: value, Path: "/"}
+}
+
+// WithDomain sets the Domain attribute (a domain cookie visible to all
+// subdomains) and returns the cookie for chaining.
+func (c *Cookie) WithDomain(d string) *Cookie {
+	c.Domain = strings.TrimPrefix(strings.ToLower(d), ".")
+	return c
+}
+
+// WithTTL sets Expires to now+ttl and returns the cookie for chaining.
+func (c *Cookie) WithTTL(now time.Time, ttl time.Duration) *Cookie {
+	c.Expires = now.Add(ttl)
+	return c
+}
+
+// Clone returns a copy of the cookie.
+func (c *Cookie) Clone() *Cookie {
+	cp := *c
+	return &cp
+}
+
+// String renders the cookie approximately as a Set-Cookie header value,
+// for logs and diagnostics.
+func (c *Cookie) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s=%s", c.Name, c.Value)
+	if c.Domain != "" {
+		fmt.Fprintf(&b, "; Domain=%s", c.Domain)
+	}
+	if c.Path != "" && c.Path != "/" {
+		fmt.Fprintf(&b, "; Path=%s", c.Path)
+	}
+	if !c.Expires.IsZero() {
+		fmt.Fprintf(&b, "; Expires=%s", c.Expires.UTC().Format(time.RFC1123))
+	}
+	if c.Secure {
+		b.WriteString("; Secure")
+	}
+	if c.HTTPOnly {
+		b.WriteString("; HttpOnly")
+	}
+	if s := c.SameSite.String(); s != "" {
+		fmt.Fprintf(&b, "; SameSite=%s", s)
+	}
+	if c.Partitioned {
+		b.WriteString("; Partitioned")
+	}
+	return b.String()
+}

@@ -1,0 +1,95 @@
+package serp
+
+import (
+	"net/http"
+	"testing"
+
+	"searchads/internal/netsim"
+	"searchads/internal/urlx"
+)
+
+func serveDirect(t *testing.T, e *Engine, rawURL string) *netsim.Response {
+	t.Helper()
+	return e.serve(&netsim.Request{URL: urlx.MustParse(rawURL), Header: make(http.Header)})
+}
+
+func TestEngineHomePage(t *testing.T) {
+	_, e := testWorld(t, Bing)
+	resp := serveDirect(t, e, "https://www.bing.com/")
+	if resp.Status != 200 || resp.Page == nil {
+		t.Fatalf("home = %+v", resp)
+	}
+	form := resp.Page.Root.Find(func(el *netsim.Element) bool { return el.Tag == "form" })
+	if form == nil || form.Attr("action") != "/search" {
+		t.Fatal("home page search form missing")
+	}
+	// Home visits also set the engine's cookies (§4.1.1).
+	var sawMUID bool
+	for _, c := range resp.SetCookies {
+		if c.Name == "MUID" {
+			sawMUID = true
+		}
+	}
+	if !sawMUID {
+		t.Fatal("MUID not set on home page")
+	}
+}
+
+func TestEngineUnknownPathIs404(t *testing.T) {
+	_, e := testWorld(t, Bing)
+	if resp := serveDirect(t, e, "https://www.bing.com/nonexistent"); resp.Status != http.StatusNotFound {
+		t.Fatalf("status = %d", resp.Status)
+	}
+}
+
+func TestEngineStaticAssetsServed(t *testing.T) {
+	_, e := testWorld(t, Google)
+	if resp := serveDirect(t, e, "https://www.google.com/static/serp.js"); resp.Status != 200 {
+		t.Fatalf("static asset status = %d", resp.Status)
+	}
+}
+
+func TestEngineBounceWithoutNextIs404(t *testing.T) {
+	_, e := testWorld(t, DuckDuckGo)
+	if resp := serveDirect(t, e, "https://duckduckgo.com/y.js"); resp.Status != http.StatusNotFound {
+		t.Fatalf("bounce without next = %d", resp.Status)
+	}
+}
+
+func TestBeaconSinkAcceptsAllEngineBeacons(t *testing.T) {
+	for _, tc := range []struct{ engine, url string }{
+		{Bing, "https://www.bing.com/fd/ls/GLinkPingPost.aspx?url=x"},
+		{Google, "https://www.google.com/gen_204?label=ad_click"},
+		{DuckDuckGo, "https://improving.duckduckgo.com/t/ad_click?q=x"},
+		{StartPage, "https://www.startpage.com/sp/cl?pos=1"},
+		{Qwant, "https://www.qwant.com/action/click_serp?q=x"},
+	} {
+		_, e := testWorld(t, tc.engine)
+		if resp := serveDirect(t, e, tc.url); resp.Status != http.StatusNoContent {
+			t.Errorf("%s beacon status = %d", tc.engine, resp.Status)
+		}
+	}
+}
+
+func TestRenderAdsWithoutPool(t *testing.T) {
+	e := &Engine{Spec: BingSpec()}
+	container := e.renderAds("query")
+	if len(container.Children) != 0 {
+		t.Fatal("pool-less engine rendered ads")
+	}
+}
+
+func TestQwantBotGetsEmptyFrame(t *testing.T) {
+	_, e := testWorld(t, Qwant)
+	req := &netsim.Request{
+		URL:    urlx.MustParse("https://www.qwant.com/ads-frame?q=x"),
+		Header: http.Header{"X-Headless": []string{"1"}},
+	}
+	resp := e.serve(req)
+	if resp.Page == nil {
+		t.Fatal("frame must still serve a document")
+	}
+	if ads := FindAds(Qwant, resp.Page); len(ads) != 0 {
+		t.Fatalf("bot got %d ads in frame", len(ads))
+	}
+}

@@ -1,0 +1,364 @@
+// Package serp implements the five search engines the paper studies:
+// Google and Bing (traditional, user-tracking) and DuckDuckGo, StartPage,
+// and Qwant (privacy-branded). Each engine serves its results page with
+// ads from its advertising platform, its post-click beacon endpoints
+// (§4.2.1), and — where the real engine does — an own-domain bounce
+// endpoint that participates in the redirect chain (§4.2.2).
+package serp
+
+import (
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"searchads/internal/adtech"
+	"searchads/internal/detrand"
+	"searchads/internal/netsim"
+	"searchads/internal/urlx"
+)
+
+// AdsPerSERP is how many ads a results page carries.
+const AdsPerSERP = 4
+
+// Spec is the static description of one search engine.
+type Spec struct {
+	// Name is the engine's short name ("google", "bing", ...).
+	Name string
+	// Host is the engine's canonical host.
+	Host string
+	// ExtraHosts are additional engine-owned hosts (beacon endpoints,
+	// API subdomains).
+	ExtraHosts []string
+	// SearchPath is the results-page path.
+	SearchPath string
+	// QueryParam is the search query parameter name.
+	QueryParam string
+	// AdsInFrame loads the ad block through an iframe instead of the
+	// main document ("ads are either part of the main page or are
+	// loaded through an iframe", §3.1).
+	AdsInFrame bool
+	// AdContainerTitle titles the ads container element; the paper's
+	// scraper keys on it for StartPage ("all ads on StartPage are
+	// inside an HTML element titled 'Sponsored Links'").
+	AdContainerTitle string
+	// BouncePath is the engine's own-domain click-bounce endpoint (""
+	// if the engine has none).
+	BouncePath string
+	// BounceHost overrides the bounce endpoint's host (api.qwant.com).
+	BounceHost string
+	// WrapOwnAds routes the engine's ad hrefs through its bounce
+	// endpoint. Google serves /aclk for StartPage's chains but links
+	// its own SERP ads straight to googleadservices.com, so it keeps
+	// this false.
+	WrapOwnAds bool
+	// UpstreamHops are engine-specific hosts between the engine bounce
+	// and the platform click server (StartPage routes through
+	// google.com before googleadservices.com).
+	UpstreamHops []string
+	// StoresUserID makes the engine plant user-identifying first-party
+	// cookies on SERP visits — true only for Google and Bing (§4.1.1).
+	StoresUserID bool
+	// UIDCookies names the engine's identifier cookies (NID/AEC, MUID).
+	UIDCookies []string
+	// PrefCookies are constant, non-identifying first-party values
+	// (client-side preferences, §4.1.1: private engines "did store
+	// other values in first-party storage ... used for purposes other
+	// than user identification").
+	PrefCookies map[string]string
+	// SessionCookie, when non-empty, is re-minted on every SERP visit —
+	// the rotating value the §3.2 session filter must reject.
+	SessionCookie string
+}
+
+// Engine is a running search engine bound to a platform, campaign pool,
+// and redirector registry.
+type Engine struct {
+	Spec     Spec
+	Platform *adtech.Platform
+	Pool     *adtech.Pool
+
+	// BouncePolicy governs UID-cookie behaviour of the engine's own
+	// bounce endpoint (google.com identifies StartPage users in 100% of
+	// cases, Table 4; the private engines' endpoints store nothing).
+	BouncePolicy *adtech.Policy
+	redirectors  *adtech.Registry
+
+	// Beacons builds the engine's post-click beacon requests.
+	Beacons func(e *Engine, query string, ad *adtech.AdClick, pos int) []netsim.Beacon
+
+	seed  *detrand.Source
+	mu    sync.Mutex
+	mintN int
+}
+
+// NewEngine wires an engine from its parts.
+func NewEngine(spec Spec, platform *adtech.Platform, pool *adtech.Pool, reg *adtech.Registry, seed *detrand.Source) *Engine {
+	return &Engine{
+		Spec:        spec,
+		Platform:    platform,
+		Pool:        pool,
+		redirectors: reg,
+		seed:        seed.Derive("engine", spec.Name),
+	}
+}
+
+// SearchURL returns the results-page URL for a query.
+func (e *Engine) SearchURL(query string) string {
+	u := &url.URL{Scheme: "https", Host: e.Spec.Host, Path: e.Spec.SearchPath}
+	q := url.Values{}
+	q.Set(e.Spec.QueryParam, query)
+	u.RawQuery = q.Encode()
+	return u.String()
+}
+
+// Register installs the engine's hosts on the network.
+func (e *Engine) Register(net *netsim.Network) {
+	net.HandleSite(urlx.RegistrableDomain(e.Spec.Host), netsim.HandlerFunc(e.serve))
+	for _, h := range e.Spec.ExtraHosts {
+		net.Handle(h, netsim.HandlerFunc(e.serve))
+	}
+}
+
+func (e *Engine) mint(label string) string {
+	e.mu.Lock()
+	e.mintN++
+	n := e.mintN
+	e.mu.Unlock()
+	return e.seed.Derive(label).DeriveN("n", n).Token(24, detrand.AlphaNumDash)
+}
+
+// serve dispatches the engine's endpoints.
+func (e *Engine) serve(req *netsim.Request) *netsim.Response {
+	path := req.URL.Path
+	switch {
+	case e.Spec.BouncePath != "" && path == e.Spec.BouncePath:
+		return e.bounce(req)
+	case e.Platform != nil && req.URL.Host == e.Platform.ClickHost && path == e.Platform.ClickPath:
+		// Microsoft serves ad clicks from the engine's own domain
+		// (bing.com/aclk); Google's click host is registered separately.
+		return e.platformBounce(req)
+	case strings.HasPrefix(path, "/beacon") || isBeaconPath(path):
+		return e.beaconSink(req)
+	case path == "/ads-frame":
+		return e.adsFrame(req)
+	case path == e.Spec.SearchPath:
+		return e.serveSERP(req)
+	case path == "/" && e.Spec.SearchPath != "/":
+		return e.serveHome(req)
+	case strings.HasPrefix(path, "/static/"):
+		return netsim.NewResponse(http.StatusOK)
+	default:
+		return netsim.NewResponse(http.StatusNotFound)
+	}
+}
+
+// isBeaconPath recognises the engines' real post-click endpoints.
+func isBeaconPath(path string) bool {
+	switch path {
+	case "/fd/ls/GLinkPingPost.aspx", // Bing
+		"/gen_204",           // Google
+		"/t/ad_click",        // improving.duckduckgo.com
+		"/action/click_serp", // Qwant
+		"/sp/cl":             // StartPage
+		return true
+	}
+	return false
+}
+
+func (e *Engine) beaconSink(req *netsim.Request) *netsim.Response {
+	return netsim.NewResponse(http.StatusNoContent)
+}
+
+// bounce serves the engine's own click-bounce endpoint.
+func (e *Engine) bounce(req *netsim.Request) *netsim.Response {
+	policy := e.BouncePolicy
+	if policy == nil {
+		policy = &adtech.Policy{Host: req.URL.Host}
+	}
+	return e.redirectors.Bounce(policy, req)
+}
+
+// platformBounce serves the ad platform's click endpoint when it lives on
+// the engine's own domain (bing.com/aclk). Bing's click server stores
+// user-identifying cookies (Table 4: bing.com identifies >95% of
+// DuckDuckGo users).
+func (e *Engine) platformBounce(req *netsim.Request) *netsim.Response {
+	policy := e.BouncePolicy
+	if policy == nil {
+		policy = &adtech.Policy{Host: req.URL.Host}
+	}
+	return e.redirectors.Bounce(policy, req)
+}
+
+// serveHome serves the engine's landing page with a search form.
+func (e *Engine) serveHome(req *netsim.Request) *netsim.Response {
+	resp := netsim.NewResponse(http.StatusOK)
+	resp.Page = &netsim.Page{
+		Title: e.Spec.Name,
+		Root: netsim.NewElement("div").Append(
+			netsim.NewElement("form", "action", e.Spec.SearchPath, "id", "search-form"),
+		),
+		Resources: []netsim.ResourceRef{
+			{URL: "https://" + e.Spec.Host + "/static/app.js", Type: netsim.TypeScript},
+		},
+	}
+	e.applyStorage(req, resp)
+	return resp
+}
+
+// applyStorage sets the engine's first-party cookies: identifier cookies
+// for Google/Bing (§4.1.1), constant preference values for the private
+// engines, and rotating session values where configured.
+func (e *Engine) applyStorage(req *netsim.Request, resp *netsim.Response) {
+	if e.Spec.StoresUserID {
+		for _, name := range e.Spec.UIDCookies {
+			if _, ok := req.Cookie(name); ok {
+				continue // identifier persists across visits
+			}
+			c := netsim.NewCookie(name, e.mint("uid/"+name))
+			c.WithDomain(urlx.RegistrableDomain(e.Spec.Host))
+			c.Expires = req.Time.Add(180 * 24 * time.Hour)
+			resp.AddCookie(c)
+		}
+	}
+	for name, value := range e.Spec.PrefCookies {
+		if _, ok := req.Cookie(name); !ok {
+			c := netsim.NewCookie(name, value)
+			c.Expires = req.Time.Add(365 * 24 * time.Hour)
+			resp.AddCookie(c)
+		}
+	}
+	if e.Spec.SessionCookie != "" {
+		// Re-minted every visit: a value that changes on the next-day
+		// revisit and must be filtered as a session identifier.
+		c := netsim.NewCookie(e.Spec.SessionCookie, e.mint("sess"))
+		resp.AddCookie(c)
+	}
+}
+
+// botDetected implements the server-side arms race against naive
+// headless crawlers; the paper needed puppeteer-extra-plugin-stealth to
+// avoid this. Detected bots receive a SERP without ads.
+func botDetected(req *netsim.Request) bool {
+	if req.Header.Get("X-Headless") == "1" || req.Header.Get("X-Webdriver") == "1" {
+		return true
+	}
+	return strings.Contains(req.Header.Get("User-Agent"), "HeadlessChrome")
+}
+
+// serveSERP renders the results page: organic results plus AdsPerSERP
+// ads from the engine's platform pool.
+func (e *Engine) serveSERP(req *netsim.Request) *netsim.Response {
+	query := req.Query(e.Spec.QueryParam)
+	resp := netsim.NewResponse(http.StatusOK)
+	root := netsim.NewElement("div", "id", "serp")
+
+	// Organic results: plain links, never to trackers (§4.1.2).
+	organics := netsim.NewElement("div", "id", "organic")
+	for i := 0; i < 8; i++ {
+		organics.Append(netsim.NewElement("a",
+			"href", "https://organic-"+strconv.Itoa(i)+".example/result",
+			"data-organic", "1"))
+	}
+	root.Append(organics)
+
+	page := &netsim.Page{
+		Title: query + " - " + e.Spec.Name,
+		Root:  root,
+		Resources: []netsim.ResourceRef{
+			{URL: "https://" + e.Spec.Host + "/static/serp.js", Type: netsim.TypeScript},
+			{URL: "https://" + e.Spec.Host + "/static/logo.png", Type: netsim.TypeImage},
+		},
+	}
+
+	if !botDetected(req) {
+		if e.Spec.AdsInFrame {
+			frame := &url.URL{Scheme: "https", Host: e.Spec.Host, Path: "/ads-frame"}
+			q := url.Values{}
+			q.Set(e.Spec.QueryParam, query)
+			frame.RawQuery = q.Encode()
+			page.Frames = append(page.Frames, frame.String())
+		} else {
+			root.Append(e.renderAds(query))
+		}
+	}
+	resp.Page = page
+	e.applyStorage(req, resp)
+	return resp
+}
+
+// adsFrame serves the iframe-hosted ad block.
+func (e *Engine) adsFrame(req *netsim.Request) *netsim.Response {
+	query := req.Query(e.Spec.QueryParam)
+	resp := netsim.NewResponse(http.StatusOK)
+	if botDetected(req) {
+		resp.Page = &netsim.Page{Root: netsim.NewElement("div")}
+		return resp
+	}
+	resp.Page = &netsim.Page{Root: e.renderAds(query)}
+	return resp
+}
+
+// renderAds builds the ads container. Every ad element carries the
+// landing domain ("The landing domains are included within the HTML
+// objects of the advertisements on all search engines", §3.1).
+func (e *Engine) renderAds(query string) *netsim.Element {
+	title := e.Spec.AdContainerTitle
+	if title == "" {
+		title = "Ads"
+	}
+	container := netsim.NewElement("div", "id", "ads", "title", title)
+	if e.Pool == nil || e.Platform == nil {
+		return container
+	}
+	campaigns := e.Pool.Select(query, AdsPerSERP, e.seed)
+	for pos, c := range campaigns {
+		click := e.Platform.BuildClick(c)
+		href := e.buildHref(click)
+		el := netsim.NewElement("a",
+			"href", href.String(),
+			"data-landing", c.LandingDomain(),
+			"data-ad", "1",
+			"data-pos", strconv.Itoa(pos+1),
+		)
+		el.Text = "Ad · " + c.LandingDomain()
+		if e.Beacons != nil {
+			el.OnClick = e.Beacons(e, query, click, pos+1)
+		}
+		container.Append(el)
+	}
+	return container
+}
+
+// buildHref composes the full bounce chain for one ad: the engine's own
+// bounce endpoint (if it wraps its ads), engine-specific upstream hops,
+// the platform click server, and the campaign's ad-tech stack.
+// DirectFromEngine campaigns skip the platform click server entirely
+// (the "qwant.com - destination" and "startpage.com - google.com -
+// destination" paths of Table 2).
+func (e *Engine) buildHref(click *adtech.AdClick) *url.URL {
+	var hops []string
+	hops = append(hops, e.Spec.UpstreamHops...)
+	if !click.Campaign.DirectFromEngine {
+		hops = append(hops, e.Platform.ClickHost)
+	}
+	hops = append(hops, click.Campaign.Stack...)
+	target := adtech.BuildChain(hops, click.FinalLanding)
+	if !e.Spec.WrapOwnAds || e.Spec.BouncePath == "" {
+		return target
+	}
+	host := e.Spec.BounceHost
+	if host == "" {
+		host = e.Spec.Host
+	}
+	// The engine's own bounce endpoint wraps the chain; its path comes
+	// from the Spec, so custom engines work without a hopPaths entry.
+	u := &url.URL{Scheme: "https", Host: host, Path: e.Spec.BouncePath}
+	q := url.Values{}
+	q.Set(adtech.NextParam, target.String())
+	u.RawQuery = q.Encode()
+	return u
+}

@@ -1,0 +1,285 @@
+// Package storage implements browser-side state: a cookie jar supporting
+// both flat and partitioned storage (the two models the paper contrasts in
+// §2.2.1 and Figure 1) and per-origin localStorage.
+//
+// In flat mode all cookies live in one namespace, so a tracker reads the
+// same cookie regardless of which top-level site embedded it — classic
+// cross-site tracking. In partitioned mode the jar key is extended with
+// the top-level site ("a hierarchical namespace where a tracker accesses a
+// different storage area on each website that loads it"), which defeats
+// third-party-cookie tracking but, as the paper shows, not navigational
+// tracking: a redirector is first-party during the bounce and reads its
+// own partition.
+package storage
+
+import (
+	"sort"
+	"strings"
+	"time"
+
+	"searchads/internal/netsim"
+	"searchads/internal/urlx"
+)
+
+// Mode selects the jar's storage model.
+type Mode int
+
+// Storage models.
+const (
+	// Flat is a single shared cookie namespace (Chrome's default at the
+	// time of the study).
+	Flat Mode = iota
+	// Partitioned keys third-party cookies by top-level site (Safari,
+	// Firefox, Brave).
+	Partitioned
+)
+
+func (m Mode) String() string {
+	if m == Partitioned {
+		return "partitioned"
+	}
+	return "flat"
+}
+
+// StoredCookie is a cookie at rest, annotated with the partition it lives
+// in. PartitionKey is "" in the unpartitioned (first-party keyed by
+// nothing) store.
+type StoredCookie struct {
+	PartitionKey string // top-level site, or "" for the flat store
+	Domain       string // cookie's domain (host for host-only cookies)
+	HostOnly     bool
+	Path         string
+	Name         string
+	Value        string
+	Expires      time.Time // zero = session cookie
+	Secure       bool
+	HTTPOnly     bool
+	SameSite     netsim.SameSiteMode
+	Created      time.Time
+}
+
+// key identifies a cookie for replacement purposes (RFC 6265 §5.3 step 11:
+// same name, domain, path).
+type cookieKey struct {
+	partition string
+	domain    string
+	path      string
+	name      string
+}
+
+// Jar is a cookie store. The zero value is not usable; construct with
+// NewJar.
+type Jar struct {
+	mode    Mode
+	cookies map[cookieKey]*StoredCookie
+}
+
+// NewJar returns an empty jar in the given mode.
+func NewJar(mode Mode) *Jar {
+	return &Jar{mode: mode, cookies: make(map[cookieKey]*StoredCookie)}
+}
+
+// Mode returns the jar's storage model.
+func (j *Jar) Mode() Mode { return j.mode }
+
+// partitionFor computes the storage partition for a cookie set in a
+// context where the top-level site is firstParty.
+func (j *Jar) partitionFor(firstParty string, chips bool) string {
+	if j.mode == Partitioned || chips {
+		// CHIPS cookies are partitioned even on flat browsers.
+		return firstParty
+	}
+	return ""
+}
+
+// SetCookies stores the response cookies under the rules of RFC 6265 plus
+// the jar's partitioning model. requestURL is the URL the Set-Cookie came
+// from; firstParty is the top-level site of the tab at that moment; now is
+// the virtual time.
+//
+// Invalid cookies (domain attribute not covering the request host, or a
+// bare public suffix) are dropped, as real browsers drop them.
+func (j *Jar) SetCookies(now time.Time, requestURL string, firstParty string, cookies []*netsim.Cookie) {
+	u, err := urlx.Resolve(urlx.MustParse("https://invalid.example/"), requestURL)
+	if err != nil {
+		return
+	}
+	host := strings.ToLower(urlx.Hostname(u.Host))
+	for _, c := range cookies {
+		if c == nil || c.Name == "" {
+			continue
+		}
+		domain := host
+		hostOnly := true
+		if c.Domain != "" {
+			d := strings.TrimPrefix(strings.ToLower(c.Domain), ".")
+			if urlx.IsPublicSuffix(d) || !domainMatch(host, d) {
+				continue // rejected, as real browsers reject it
+			}
+			domain = d
+			hostOnly = false
+		}
+		path := c.Path
+		if path == "" {
+			path = "/"
+		}
+		sc := &StoredCookie{
+			PartitionKey: j.partitionFor(firstParty, c.Partitioned),
+			Domain:       domain,
+			HostOnly:     hostOnly,
+			Path:         path,
+			Name:         c.Name,
+			Value:        c.Value,
+			Expires:      c.Expires,
+			Secure:       c.Secure,
+			HTTPOnly:     c.HTTPOnly,
+			SameSite:     c.SameSite,
+			Created:      now,
+		}
+		k := cookieKey{sc.PartitionKey, sc.Domain, sc.Path, sc.Name}
+		if !sc.Expires.IsZero() && !sc.Expires.After(now) {
+			delete(j.cookies, k) // expired set = deletion
+			continue
+		}
+		j.cookies[k] = sc
+	}
+}
+
+// domainMatch implements RFC 6265 §5.1.3.
+func domainMatch(host, domain string) bool {
+	if host == domain {
+		return true
+	}
+	return strings.HasSuffix(host, "."+domain)
+}
+
+// pathMatch implements RFC 6265 §5.1.4 (simplified to prefix semantics).
+func pathMatch(requestPath, cookiePath string) bool {
+	if requestPath == "" {
+		requestPath = "/"
+	}
+	if requestPath == cookiePath {
+		return true
+	}
+	if strings.HasPrefix(requestPath, cookiePath) {
+		return strings.HasSuffix(cookiePath, "/") || requestPath[len(cookiePath)] == '/'
+	}
+	return false
+}
+
+// Cookies returns the cookies the browser would attach to a request for
+// requestURL made in a tab whose top-level site is firstParty.
+// topLevelNav marks top-level navigations, which (like real browsers)
+// still send SameSite=Lax cookies cross-site.
+func (j *Jar) Cookies(now time.Time, requestURL string, firstParty string, topLevelNav bool) []*netsim.Cookie {
+	u, err := urlx.Resolve(urlx.MustParse("https://invalid.example/"), requestURL)
+	if err != nil {
+		return nil
+	}
+	host := strings.ToLower(urlx.Hostname(u.Host))
+	requestSite := urlx.RegistrableDomain(host)
+	crossSite := firstParty != "" && requestSite != firstParty
+
+	var matched []*StoredCookie
+	for k, sc := range j.cookies {
+		if !sc.Expires.IsZero() && !sc.Expires.After(now) {
+			delete(j.cookies, k)
+			continue
+		}
+		if sc.PartitionKey != "" && sc.PartitionKey != firstParty {
+			continue
+		}
+		if sc.HostOnly {
+			if sc.Domain != host {
+				continue
+			}
+		} else if !domainMatch(host, sc.Domain) {
+			continue
+		}
+		if !pathMatch(u.Path, sc.Path) {
+			continue
+		}
+		if sc.Secure && u.Scheme != "https" {
+			continue
+		}
+		if crossSite && !topLevelNav {
+			// Subresource cross-site: only SameSite=None travels.
+			if sc.SameSite != netsim.SameSiteNone {
+				continue
+			}
+		}
+		if crossSite && topLevelNav && sc.SameSite == netsim.SameSiteStrict {
+			continue
+		}
+		matched = append(matched, sc)
+	}
+	// Stable order: longer paths first, then by creation, then name — the
+	// RFC 6265 serialisation order (made fully deterministic by the name
+	// tiebreak).
+	sort.Slice(matched, func(a, b int) bool {
+		if len(matched[a].Path) != len(matched[b].Path) {
+			return len(matched[a].Path) > len(matched[b].Path)
+		}
+		if !matched[a].Created.Equal(matched[b].Created) {
+			return matched[a].Created.Before(matched[b].Created)
+		}
+		return matched[a].Name < matched[b].Name
+	})
+	out := make([]*netsim.Cookie, len(matched))
+	for i, sc := range matched {
+		out[i] = &netsim.Cookie{Name: sc.Name, Value: sc.Value}
+	}
+	return out
+}
+
+// All returns every stored, unexpired cookie, sorted deterministically.
+// The analysis pipeline consumes this dump ("The system records all
+// first-party and third-party cookies ... at each step", §3.1).
+func (j *Jar) All(now time.Time) []StoredCookie {
+	out := make([]StoredCookie, 0, len(j.cookies))
+	for _, sc := range j.cookies {
+		if !sc.Expires.IsZero() && !sc.Expires.After(now) {
+			continue
+		}
+		out = append(out, *sc)
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].PartitionKey != out[b].PartitionKey {
+			return out[a].PartitionKey < out[b].PartitionKey
+		}
+		if out[a].Domain != out[b].Domain {
+			return out[a].Domain < out[b].Domain
+		}
+		return out[a].Name < out[b].Name
+	})
+	return out
+}
+
+// Get returns the value of the first cookie with the given domain and
+// name in any partition, for tests and server-side assertions.
+func (j *Jar) Get(domain, name string) (string, bool) {
+	var keys []cookieKey
+	for k := range j.cookies {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(a, b int) bool {
+		if keys[a].partition != keys[b].partition {
+			return keys[a].partition < keys[b].partition
+		}
+		return keys[a].domain < keys[b].domain
+	})
+	for _, k := range keys {
+		if k.domain == domain && k.name == name {
+			return j.cookies[k].Value, true
+		}
+	}
+	return "", false
+}
+
+// Len reports the number of stored cookies (including expired ones not
+// yet purged).
+func (j *Jar) Len() int { return len(j.cookies) }
+
+// Clear empties the jar (a fresh browser instance, §3.1: "We run each
+// iteration in a new browser instance").
+func (j *Jar) Clear() { j.cookies = make(map[cookieKey]*StoredCookie) }

@@ -1,0 +1,212 @@
+package tokens
+
+import "sort"
+
+// Source says where a token was observed.
+type Source string
+
+// Token sources: "We consider all query parameters, localStorage, and
+// cookie values. We call them tokens." (§3.2)
+const (
+	SourceQueryParam   Source = "queryparam"
+	SourceCookie       Source = "cookie"
+	SourceLocalStorage Source = "localstorage"
+)
+
+// Observation is one sighting of a token during the crawl.
+type Observation struct {
+	// Key is the parameter/cookie/storage key under which the value was
+	// seen.
+	Key string
+	// Value is the token itself.
+	Value string
+	// Source says which storage or channel carried it.
+	Source Source
+	// Host is the domain (cookies), origin (localStorage), or request
+	// host (query params) of the sighting.
+	Host string
+	// Instance identifies the browser instance (= crawl iteration); the
+	// paper runs "each iteration ... in a new browser instance".
+	Instance string
+	// AdIndex is the index of the ad URL on the results page the token
+	// came from, or -1 when not applicable. Filter (ii) compares token
+	// values across the ad URLs of one results page.
+	AdIndex int
+	// Revisit marks observations from the extra iteration executed "one
+	// day later" on the same profile (filter iii).
+	Revisit bool
+}
+
+// Reason explains why a token was discarded (or kept).
+type Reason string
+
+// Discard reasons, in pipeline order.
+const (
+	ReasonCrossInstance Reason = "constant-across-instances" // filter (i)
+	ReasonAdIdentifier  Reason = "ad-identifier"             // filter (ii)
+	ReasonSessionID     Reason = "session-identifier"        // filter (iii)
+	ReasonHeuristics    Reason = "value-heuristics"          // filter (iv)
+	ReasonManualPass    Reason = "manual-pass"
+	ReasonUserID        Reason = "user-identifier" // survived everything
+)
+
+// Result is the classification outcome.
+type Result struct {
+	// TotalTokens is the number of unique token values observed (the
+	// paper's dataset had 6,971).
+	TotalTokens int
+	// UserIDs is the set of values classified as user identifiers (the
+	// paper ended with 1,258).
+	UserIDs map[string]bool
+	// ByReason counts unique tokens per discard reason (UserID counts
+	// the survivors), reproducing the §3.2 funnel.
+	ByReason map[Reason]int
+	// reasons maps each value to its (first) classification.
+	reasons map[string]Reason
+}
+
+// IsUserID reports whether value was classified as a user identifier.
+func (r *Result) IsUserID(value string) bool { return r.UserIDs[value] }
+
+// ReasonFor returns the classification of a value ("" if never seen).
+func (r *Result) ReasonFor(value string) Reason { return r.reasons[value] }
+
+// Classifier runs the §3.2 pipeline. The zero value is ready to use.
+type Classifier struct {
+	// KeepManualPass disables the final manual-equivalent pass when
+	// false is wanted; default (false zero value) runs it. Set
+	// SkipManualPass to compare the funnel before/after, as the paper
+	// reports both counts.
+	SkipManualPass bool
+}
+
+// Classify applies filters (i)–(iv) and the manual pass to the
+// observations and returns the classification of every unique value.
+func Classify(obs []Observation) *Result { return (&Classifier{}).Classify(obs) }
+
+// Classify implements the pipeline.
+func (c *Classifier) Classify(obs []Observation) *Result {
+	type valueCtx struct {
+		instances map[string]bool
+	}
+	values := make(map[string]*valueCtx)
+	// adKey groups filter-(ii) contexts: per (instance, key), the set of
+	// values seen across different ad URLs of one results page.
+	type adCtx struct {
+		byAdIndex map[int]string
+		distinct  map[string]bool
+	}
+	adKeys := make(map[[2]string]*adCtx)
+	// sessKey groups filter-(iii) contexts: per (instance, key, host,
+	// source), base-visit vs revisit values.
+	type sessCtx struct {
+		base, revisit map[string]bool
+	}
+	sessKeys := make(map[[4]string]*sessCtx)
+
+	for _, o := range obs {
+		if o.Value == "" {
+			continue
+		}
+		v := values[o.Value]
+		if v == nil {
+			v = &valueCtx{instances: make(map[string]bool)}
+			values[o.Value] = v
+		}
+		v.instances[o.Instance] = true
+
+		if o.AdIndex >= 0 {
+			k := [2]string{o.Instance, o.Key}
+			a := adKeys[k]
+			if a == nil {
+				a = &adCtx{byAdIndex: make(map[int]string), distinct: make(map[string]bool)}
+				adKeys[k] = a
+			}
+			a.byAdIndex[o.AdIndex] = o.Value
+			a.distinct[o.Value] = true
+		}
+
+		sk := [4]string{o.Instance, o.Key, o.Host, string(o.Source)}
+		s := sessKeys[sk]
+		if s == nil {
+			s = &sessCtx{base: make(map[string]bool), revisit: make(map[string]bool)}
+			sessKeys[sk] = s
+		}
+		if o.Revisit {
+			s.revisit[o.Value] = true
+		} else {
+			s.base[o.Value] = true
+		}
+	}
+
+	// Filter (ii): keys whose values differ across ad URLs on the same
+	// page mark all their values as ad identifiers.
+	adValues := make(map[string]bool)
+	for _, a := range adKeys {
+		if len(a.distinct) > 1 && len(a.byAdIndex) > 1 {
+			for v := range a.distinct {
+				adValues[v] = true
+			}
+		}
+	}
+	// Filter (iii): keys whose value changed between base visit and the
+	// next-day revisit mark those values as session identifiers.
+	sessValues := make(map[string]bool)
+	for _, s := range sessKeys {
+		if len(s.base) == 0 || len(s.revisit) == 0 {
+			continue
+		}
+		changed := false
+		for v := range s.base {
+			if !s.revisit[v] {
+				changed = true
+			}
+		}
+		if changed {
+			for v := range s.base {
+				sessValues[v] = true
+			}
+			for v := range s.revisit {
+				sessValues[v] = true
+			}
+		}
+	}
+
+	res := &Result{
+		TotalTokens: len(values),
+		UserIDs:     make(map[string]bool),
+		ByReason:    make(map[Reason]int),
+		reasons:     make(map[string]Reason),
+	}
+	// Deterministic iteration order for stable funnel counts.
+	ordered := make([]string, 0, len(values))
+	for v := range values {
+		ordered = append(ordered, v)
+	}
+	sort.Strings(ordered)
+
+	for _, val := range ordered {
+		ctx := values[val]
+		var reason Reason
+		switch {
+		case len(ctx.instances) > 1:
+			reason = ReasonCrossInstance
+		case adValues[val]:
+			reason = ReasonAdIdentifier
+		case sessValues[val]:
+			reason = ReasonSessionID
+		case len(val) < MinIDLength || LooksLikeTimestamp(val) ||
+			LooksLikeURL(val) || IsEnglishWords(val) || LooksLikePhrase(val):
+			reason = ReasonHeuristics
+		case !c.SkipManualPass && (LooksLikeCoordinates(val) ||
+			LooksLikeAcronym(val) || isWordCombination(val)):
+			reason = ReasonManualPass
+		default:
+			reason = ReasonUserID
+			res.UserIDs[val] = true
+		}
+		res.reasons[val] = reason
+		res.ByReason[reason]++
+	}
+	return res
+}

@@ -1,0 +1,218 @@
+// Package tokens implements the paper's user-identifier detection
+// methodology (§3.2, "Detection of UID smuggling and user identifiers").
+// A token is any value observed in a query parameter, cookie, or
+// localStorage entry. The pipeline applies the paper's four programmatic
+// filters and a programmatic rendition of its final manual pass, yielding
+// the set of values treated as user identifiers.
+package tokens
+
+import (
+	"math"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// StudyWindow bounds timestamp detection: the paper discards "values
+// between June and December 2022 in seconds and milliseconds" (filter iv).
+var (
+	StudyWindowStart = time.Date(2022, time.June, 1, 0, 0, 0, 0, time.UTC)
+	StudyWindowEnd   = time.Date(2022, time.December, 31, 23, 59, 59, 0, time.UTC)
+)
+
+// LooksLikeTimestamp reports whether v parses as a Unix timestamp in
+// seconds or milliseconds falling inside the study window.
+func LooksLikeTimestamp(v string) bool {
+	n, err := strconv.ParseInt(strings.TrimSpace(v), 10, 64)
+	if err != nil {
+		return false
+	}
+	if t := time.Unix(n, 0); !t.Before(StudyWindowStart) && !t.After(StudyWindowEnd) {
+		return true
+	}
+	if t := time.UnixMilli(n); !t.Before(StudyWindowStart) && !t.After(StudyWindowEnd) {
+		return true
+	}
+	return false
+}
+
+// LooksLikeURL reports whether v is (or decodes to) a URL.
+func LooksLikeURL(v string) bool {
+	s := v
+	if dec, err := url.QueryUnescape(v); err == nil {
+		s = dec
+	}
+	if strings.HasPrefix(s, "http://") || strings.HasPrefix(s, "https://") ||
+		strings.HasPrefix(s, "//") || strings.HasPrefix(s, "www.") {
+		return true
+	}
+	u, err := url.Parse(s)
+	return err == nil && u.Scheme != "" && u.Host != ""
+}
+
+// separators used when splitting candidate values into word parts.
+const wordSeparators = " -_.,+/:"
+
+// IsEnglishWords reports whether v consists of one or more dictionary
+// words (filter iv discards "tokens that constitute one or more English
+// words"; the paper used PyEnchant, we use the embedded wordlist).
+func IsEnglishWords(v string) bool {
+	parts := splitWords(v)
+	if len(parts) == 0 {
+		return false
+	}
+	for _, p := range parts {
+		if !IsDictionaryWord(p) {
+			return false
+		}
+	}
+	return true
+}
+
+func splitWords(v string) []string {
+	f := strings.FieldsFunc(strings.ToLower(v), func(r rune) bool {
+		return strings.ContainsRune(wordSeparators, r)
+	})
+	var out []string
+	for _, p := range f {
+		if p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// LooksLikePhrase reports whether v is a space-separated run of two or
+// more purely alphabetic words — natural-language text (search queries,
+// titles) regardless of dictionary coverage. Identifiers never contain
+// spaces.
+func LooksLikePhrase(v string) bool {
+	parts := strings.Fields(v)
+	if len(parts) < 2 {
+		return false
+	}
+	for _, p := range parts {
+		for _, r := range p {
+			isAlpha := (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z')
+			isDigit := r >= '0' && r <= '9'
+			if !isAlpha && !isDigit {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// LooksLikeCoordinates reports whether v looks like a lat,lon pair, one
+// of the false-positive classes removed in the paper's manual pass.
+func LooksLikeCoordinates(v string) bool {
+	parts := strings.Split(v, ",")
+	if len(parts) != 2 {
+		return false
+	}
+	for _, p := range parts {
+		f, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil || !strings.Contains(p, ".") {
+			return false
+		}
+		if f < -180 || f > 180 {
+			return false
+		}
+	}
+	return true
+}
+
+// LooksLikeAcronym reports whether v is a short all-caps letter run (the
+// manual pass removed acronyms).
+func LooksLikeAcronym(v string) bool {
+	if len(v) < 2 || len(v) > 8 {
+		return false
+	}
+	for i := 0; i < len(v); i++ {
+		if v[i] < 'A' || v[i] > 'Z' {
+			return false
+		}
+	}
+	return true
+}
+
+// ShannonEntropy returns the per-character entropy of v in bits.
+// Identifier-like values are high-entropy; natural language is not.
+func ShannonEntropy(v string) float64 {
+	if v == "" {
+		return 0
+	}
+	var counts [256]int
+	for i := 0; i < len(v); i++ {
+		counts[v[i]]++
+	}
+	var h float64
+	n := float64(len(v))
+	for _, c := range counts {
+		if c == 0 {
+			continue
+		}
+		p := float64(c) / n
+		h -= p * math.Log2(p)
+	}
+	return h
+}
+
+// MinIDLength is the length cutoff from filter (iv): "tokens that are
+// seven characters long or less" are discarded.
+const MinIDLength = 8
+
+// PassesValueHeuristics applies filter (iv) plus the manual pass to a
+// single value, independent of cross-instance context: true means the
+// value still looks like a user identifier.
+func PassesValueHeuristics(v string) bool {
+	if len(v) < MinIDLength {
+		return false
+	}
+	if LooksLikeTimestamp(v) || LooksLikeURL(v) || IsEnglishWords(v) {
+		return false
+	}
+	if LooksLikePhrase(v) {
+		return false
+	}
+	// Manual pass (§3.2: "removed those composed of any combination of
+	// natural language words, coordinates, or acronyms").
+	if LooksLikeCoordinates(v) || LooksLikeAcronym(v) {
+		return false
+	}
+	if isWordCombination(v) {
+		return false
+	}
+	return true
+}
+
+// isWordCombination detects camelCase or separator-joined runs of
+// dictionary words ("userSettingsPanel", "dark-mode-enabled").
+func isWordCombination(v string) bool {
+	parts := splitWords(splitCamel(v))
+	if len(parts) < 2 {
+		return false
+	}
+	for _, p := range parts {
+		if len(p) < 2 || !IsDictionaryWord(p) {
+			return false
+		}
+	}
+	return true
+}
+
+// splitCamel inserts separators at lower→upper case boundaries.
+func splitCamel(v string) string {
+	var b strings.Builder
+	for i, r := range v {
+		if i > 0 && r >= 'A' && r <= 'Z' {
+			prev := v[i-1]
+			if prev >= 'a' && prev <= 'z' {
+				b.WriteByte(' ')
+			}
+		}
+		b.WriteRune(r)
+	}
+	return b.String()
+}

@@ -1,0 +1,309 @@
+package tokens
+
+import (
+	"fmt"
+	"strconv"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestLooksLikeTimestamp(t *testing.T) {
+	sep2022 := time.Date(2022, 9, 15, 12, 0, 0, 0, time.UTC)
+	cases := []struct {
+		v    string
+		want bool
+	}{
+		{strconv.FormatInt(sep2022.Unix(), 10), true},
+		{strconv.FormatInt(sep2022.UnixMilli(), 10), true},
+		{strconv.FormatInt(time.Date(2021, 1, 1, 0, 0, 0, 0, time.UTC).Unix(), 10), false},
+		{strconv.FormatInt(time.Date(2023, 6, 1, 0, 0, 0, 0, time.UTC).Unix(), 10), false},
+		{"notanumber", false},
+		{"", false},
+		{"12.5", false},
+	}
+	for _, c := range cases {
+		if got := LooksLikeTimestamp(c.v); got != c.want {
+			t.Errorf("LooksLikeTimestamp(%q) = %v, want %v", c.v, got, c.want)
+		}
+	}
+}
+
+func TestLooksLikeURL(t *testing.T) {
+	for _, v := range []string{
+		"https://example.com/x",
+		"http://a.b/c?d=1",
+		"https%3A%2F%2Fshop.example%2Fland", // URL-encoded
+		"//cdn.example/x.js",
+		"www.example.com",
+	} {
+		if !LooksLikeURL(v) {
+			t.Errorf("LooksLikeURL(%q) = false, want true", v)
+		}
+	}
+	for _, v := range []string{"CAESbeD2ZWCwqFv3e2k", "hello", "1663243200", ""} {
+		if LooksLikeURL(v) {
+			t.Errorf("LooksLikeURL(%q) = true, want false", v)
+		}
+	}
+}
+
+func TestIsEnglishWords(t *testing.T) {
+	for _, v := range []string{"search", "dark-mode", "accept_cookies", "light theme", "SEARCH"} {
+		if !IsEnglishWords(v) {
+			t.Errorf("IsEnglishWords(%q) = false, want true", v)
+		}
+	}
+	for _, v := range []string{"xk42jq", "CAESbeD2ZWCwq", "", "---"} {
+		if IsEnglishWords(v) {
+			t.Errorf("IsEnglishWords(%q) = true, want false", v)
+		}
+	}
+}
+
+func TestLooksLikeCoordinates(t *testing.T) {
+	if !LooksLikeCoordinates("48.8566,2.3522") || !LooksLikeCoordinates("-33.86, 151.20") {
+		t.Error("valid coordinates not detected")
+	}
+	for _, v := range []string{"48.8566", "a,b", "999.0,10.0", "12,34"} {
+		if LooksLikeCoordinates(v) {
+			t.Errorf("LooksLikeCoordinates(%q) = true", v)
+		}
+	}
+}
+
+func TestLooksLikeAcronym(t *testing.T) {
+	for _, v := range []string{"NASA", "GDPR", "CCPA"} {
+		if !LooksLikeAcronym(v) {
+			t.Errorf("acronym %q not detected", v)
+		}
+	}
+	for _, v := range []string{"NaSA", "TOOLONGACRONYM", "A", "1234"} {
+		if LooksLikeAcronym(v) {
+			t.Errorf("%q wrongly detected as acronym", v)
+		}
+	}
+}
+
+func TestShannonEntropy(t *testing.T) {
+	if ShannonEntropy("") != 0 {
+		t.Error("empty string entropy must be 0")
+	}
+	if ShannonEntropy("aaaaaaaa") != 0 {
+		t.Error("uniform string entropy must be 0")
+	}
+	id := "CAESbeD2ZWCwqFv3e2k9fQ"
+	if ShannonEntropy(id) < 3 {
+		t.Errorf("identifier entropy too low: %f", ShannonEntropy(id))
+	}
+	if ShannonEntropy("the the the the") >= ShannonEntropy(id) {
+		t.Error("natural language should have lower entropy than an ID")
+	}
+}
+
+func TestPassesValueHeuristics(t *testing.T) {
+	pass := []string{
+		"CAESbeD2ZWCwqFv3e2k9fQ",               // Google click id style
+		"2f5c9a1e77b04d2a8c31",                 // hex id
+		"1A2b3C4d5E6f7G8h",                     // mixed
+		"06cbba7a-51a8-4a0b-bc3a-9b2c1f1e2d3a", // uuid
+	}
+	for _, v := range pass {
+		if !PassesValueHeuristics(v) {
+			t.Errorf("id-like %q rejected", v)
+		}
+	}
+	fail := []string{
+		"short",                    // < 8 chars
+		"1663243200",               // timestamp in window
+		"https://example.com/page", // URL
+		"dark-mode-enabled",        // word combination
+		"48.8566,2.3522",           // coordinates
+		"acceptCookies",            // camel-case words
+		"settings",                 // single word
+	}
+	for _, v := range fail {
+		if PassesValueHeuristics(v) {
+			t.Errorf("non-id %q accepted", v)
+		}
+	}
+}
+
+func obs(key, value, instance string, adIndex int, revisit bool) Observation {
+	return Observation{
+		Key: key, Value: value, Source: SourceCookie, Host: "x.example",
+		Instance: instance, AdIndex: adIndex, Revisit: revisit,
+	}
+}
+
+func TestClassifyCrossInstanceConstant(t *testing.T) {
+	// Filter (i): same value across browser instances = not a user ID.
+	res := Classify([]Observation{
+		obs("v", "constantvalue123", "i1", -1, false),
+		obs("v", "constantvalue123", "i2", -1, false),
+	})
+	if res.IsUserID("constantvalue123") {
+		t.Fatal("cross-instance constant classified as UID")
+	}
+	if res.ReasonFor("constantvalue123") != ReasonCrossInstance {
+		t.Fatalf("reason = %q", res.ReasonFor("constantvalue123"))
+	}
+}
+
+func TestClassifyAdIdentifier(t *testing.T) {
+	// Filter (ii): same key, different values across ads on one page.
+	res := Classify([]Observation{
+		obs("cid", "AdIdValue11AAABBB", "i1", 0, false),
+		obs("cid", "AdIdValue22CCCDDD", "i1", 1, false),
+	})
+	for _, v := range []string{"AdIdValue11AAABBB", "AdIdValue22CCCDDD"} {
+		if res.ReasonFor(v) != ReasonAdIdentifier {
+			t.Fatalf("reason for %q = %q, want ad-identifier", v, res.ReasonFor(v))
+		}
+	}
+	// Same key, same value across ads: NOT an ad identifier.
+	res = Classify([]Observation{
+		obs("uid", "SameAcrossAds1234", "i1", 0, false),
+		obs("uid", "SameAcrossAds1234", "i1", 1, false),
+	})
+	if !res.IsUserID("SameAcrossAds1234") {
+		t.Fatalf("stable-across-ads value should be a UID, got %q", res.ReasonFor("SameAcrossAds1234"))
+	}
+}
+
+func TestClassifySessionIdentifier(t *testing.T) {
+	// Filter (iii): value changed between base visit and next-day
+	// revisit of the same profile = session ID.
+	res := Classify([]Observation{
+		obs("sid", "SessValA99887766", "i1", -1, false),
+		obs("sid", "SessValB11223344", "i1", -1, true),
+	})
+	for _, v := range []string{"SessValA99887766", "SessValB11223344"} {
+		if res.ReasonFor(v) != ReasonSessionID {
+			t.Fatalf("reason for %q = %q, want session-identifier", v, res.ReasonFor(v))
+		}
+	}
+	// Stable across the revisit: stays a UID candidate.
+	res = Classify([]Observation{
+		obs("uid", "StableUid12345678", "i1", -1, false),
+		obs("uid", "StableUid12345678", "i1", -1, true),
+	})
+	if !res.IsUserID("StableUid12345678") {
+		t.Fatalf("persistent value should be UID, got %q", res.ReasonFor("StableUid12345678"))
+	}
+}
+
+func TestClassifyHeuristicsAndManual(t *testing.T) {
+	res := Classify([]Observation{
+		obs("t", "1663243200", "i1", -1, false),
+		obs("u", "https://dest.example/page", "i1", -1, false),
+		obs("w", "acceptCookies", "i1", -1, false),
+		obs("id", "Xk42jqP9Lm3TzQ8v", "i1", -1, false),
+	})
+	if res.ReasonFor("1663243200") != ReasonHeuristics {
+		t.Errorf("timestamp reason = %q", res.ReasonFor("1663243200"))
+	}
+	if res.ReasonFor("https://dest.example/page") != ReasonHeuristics {
+		t.Errorf("URL reason = %q", res.ReasonFor("https://dest.example/page"))
+	}
+	if res.ReasonFor("acceptCookies") != ReasonManualPass {
+		t.Errorf("manual-pass reason = %q", res.ReasonFor("acceptCookies"))
+	}
+	if !res.IsUserID("Xk42jqP9Lm3TzQ8v") {
+		t.Errorf("identifier reason = %q", res.ReasonFor("Xk42jqP9Lm3TzQ8v"))
+	}
+	if res.TotalTokens != 4 {
+		t.Errorf("TotalTokens = %d", res.TotalTokens)
+	}
+	if got := res.ByReason[ReasonUserID]; got != 1 {
+		t.Errorf("UserID count = %d", got)
+	}
+}
+
+func TestClassifySkipManualPass(t *testing.T) {
+	c := &Classifier{SkipManualPass: true}
+	res := c.Classify([]Observation{obs("w", "acceptCookies", "i1", -1, false)})
+	if !res.IsUserID("acceptCookies") {
+		t.Fatal("manual pass should be skipped")
+	}
+}
+
+func TestClassifyEmptyValuesIgnored(t *testing.T) {
+	res := Classify([]Observation{obs("k", "", "i1", -1, false)})
+	if res.TotalTokens != 0 {
+		t.Fatal("empty values must be ignored")
+	}
+}
+
+func TestClassifyFunnelShape(t *testing.T) {
+	// Build a synthetic corpus shaped like the paper's: constants,
+	// ad IDs, session IDs, heuristic-droppable values, and true UIDs.
+	var all []Observation
+	for i := 0; i < 50; i++ {
+		inst := fmt.Sprintf("i%d", i)
+		all = append(all,
+			obs("ver", "version-constant-9", inst, -1, false), // filter i
+			obs("cid", fmt.Sprintf("AdClick%dXyZ%dQq", i*7, i), inst, 0, false),
+			obs("cid", fmt.Sprintf("AdClick%dXyZ%dQq", i*7+1, i), inst, 1, false),
+			obs("sess", fmt.Sprintf("SessionA%dBbCc%d", i, i*3), inst, -1, false),
+			obs("sess", fmt.Sprintf("SessionB%dDdEe%d", i, i*5), inst, -1, true),
+			obs("ts", strconv.FormatInt(time.Date(2022, 9, 1, 0, 0, 0, 0, time.UTC).Unix()+int64(i), 10), inst, -1, false),
+			obs("uid", fmt.Sprintf("Uid%dKq9ZtP%dv8Lw", i*13, i*11), inst, -1, false),
+		)
+	}
+	res := Classify(all)
+	if res.ByReason[ReasonCrossInstance] != 1 {
+		t.Errorf("cross-instance = %d, want 1", res.ByReason[ReasonCrossInstance])
+	}
+	if res.ByReason[ReasonAdIdentifier] != 100 {
+		t.Errorf("ad ids = %d, want 100", res.ByReason[ReasonAdIdentifier])
+	}
+	if res.ByReason[ReasonSessionID] != 100 {
+		t.Errorf("session ids = %d, want 100", res.ByReason[ReasonSessionID])
+	}
+	if res.ByReason[ReasonHeuristics] != 50 {
+		t.Errorf("heuristics = %d, want 50", res.ByReason[ReasonHeuristics])
+	}
+	if res.ByReason[ReasonUserID] != 50 {
+		t.Errorf("user ids = %d, want 50", res.ByReason[ReasonUserID])
+	}
+	// Funnel property: every token is classified exactly once.
+	sum := 0
+	for _, n := range res.ByReason {
+		sum += n
+	}
+	if sum != res.TotalTokens {
+		t.Fatalf("classification not a partition: %d != %d", sum, res.TotalTokens)
+	}
+}
+
+// Property: classification is deterministic regardless of observation
+// order (the pipeline sorts internally).
+func TestClassifyOrderInvariance(t *testing.T) {
+	a := []Observation{
+		obs("k1", "ValueOne1234567", "i1", -1, false),
+		obs("k2", "ValueTwo1234567", "i1", -1, false),
+		obs("k1", "ValueOne1234567", "i2", -1, false),
+	}
+	b := []Observation{a[2], a[0], a[1]}
+	ra, rb := Classify(a), Classify(b)
+	for v := range ra.reasons {
+		if ra.ReasonFor(v) != rb.ReasonFor(v) {
+			t.Fatalf("order-dependent classification for %q", v)
+		}
+	}
+}
+
+// Property: PassesValueHeuristics never accepts values shorter than
+// MinIDLength.
+func TestHeuristicsLengthProperty(t *testing.T) {
+	f := func(s string) bool {
+		if len(s) >= MinIDLength {
+			return true
+		}
+		return !PassesValueHeuristics(s)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

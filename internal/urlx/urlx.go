@@ -1,0 +1,195 @@
+// Package urlx provides URL utilities used throughout the measurement
+// pipeline: registrable-domain (eTLD+1) extraction, origin computation,
+// query-parameter manipulation, and URL decoration helpers.
+//
+// The paper reasons about "sites" at the eTLD+1 granularity (§4.2.2,
+// "Number of sites visited"). Because the module must build offline, the
+// public-suffix data is an embedded subset sufficient for the simulated web
+// plus the common real-world suffixes that appear in the paper's tables
+// (e.g. .com, .net, .de, .co.uk).
+package urlx
+
+import (
+	"fmt"
+	"net/url"
+	"sort"
+	"strings"
+)
+
+// publicSuffixes is an embedded subset of the public-suffix list. Keys are
+// suffixes without a leading dot; values are the number of labels in the
+// suffix. Multi-label suffixes (co.uk) must be listed explicitly.
+var publicSuffixes = map[string]int{
+	"com": 1, "net": 1, "org": 1, "io": 1, "dev": 1, "app": 1,
+	"de": 1, "fr": 1, "eu": 1, "ai": 1, "co": 1, "info": 1, "biz": 1,
+	"gov": 1, "edu": 1, "example": 1, "test": 1, "localhost": 1, "search": 1,
+	"co.uk": 2, "org.uk": 2, "gov.uk": 2, "ac.uk": 2,
+	"com.au": 2, "net.au": 2, "co.jp": 2, "com.br": 2,
+}
+
+// IsPublicSuffix reports whether host is exactly a public suffix (e.g.
+// "com", "co.uk"). Browsers refuse Domain cookie attributes naming a bare
+// public suffix.
+func IsPublicSuffix(host string) bool {
+	h := strings.ToLower(Hostname(host))
+	n, ok := publicSuffixes[h]
+	return ok && n == strings.Count(h, ".")+1
+}
+
+// RegistrableDomain returns the eTLD+1 for host: the public suffix plus one
+// label. If host is itself a public suffix, an IP literal, or empty, the
+// host is returned unchanged (lowercased, without port).
+func RegistrableDomain(host string) string {
+	h := strings.ToLower(Hostname(host))
+	if h == "" {
+		return ""
+	}
+	if isIPLiteral(h) {
+		return h
+	}
+	labels := strings.Split(h, ".")
+	// Find the longest matching public suffix.
+	for i := 0; i < len(labels); i++ {
+		suffix := strings.Join(labels[i:], ".")
+		if n, ok := publicSuffixes[suffix]; ok && n == len(labels)-i {
+			if i == 0 {
+				return h // host is itself a suffix
+			}
+			return strings.Join(labels[i-1:], ".")
+		}
+	}
+	// Unknown TLD: treat the last two labels as the registrable domain.
+	if len(labels) >= 2 {
+		return strings.Join(labels[len(labels)-2:], ".")
+	}
+	return h
+}
+
+// Hostname strips an optional :port from a host string.
+func Hostname(host string) string {
+	if i := strings.LastIndexByte(host, ':'); i >= 0 && !strings.Contains(host, "]") {
+		// Only strip when the tail looks like a port.
+		port := host[i+1:]
+		if port != "" && isDigits(port) {
+			return host[:i]
+		}
+	}
+	return host
+}
+
+func isDigits(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] < '0' || s[i] > '9' {
+			return false
+		}
+	}
+	return len(s) > 0
+}
+
+func isIPLiteral(h string) bool {
+	if strings.Contains(h, ":") { // IPv6
+		return true
+	}
+	parts := strings.Split(h, ".")
+	if len(parts) != 4 {
+		return false
+	}
+	for _, p := range parts {
+		if !isDigits(p) || len(p) > 3 {
+			return false
+		}
+	}
+	return true
+}
+
+// SameSite reports whether two hosts belong to the same eTLD+1.
+func SameSite(a, b string) bool {
+	return RegistrableDomain(a) != "" && RegistrableDomain(a) == RegistrableDomain(b)
+}
+
+// Origin is a (scheme, host) pair identifying a security origin. Ports are
+// not modelled: the simulated web runs everything on the default port.
+type Origin struct {
+	Scheme string
+	Host   string
+}
+
+// OriginOf extracts the origin of a parsed URL.
+func OriginOf(u *url.URL) Origin {
+	return Origin{Scheme: u.Scheme, Host: strings.ToLower(u.Host)}
+}
+
+// String renders the origin in scheme://host form.
+func (o Origin) String() string { return o.Scheme + "://" + o.Host }
+
+// Site returns the origin's eTLD+1.
+func (o Origin) Site() string { return RegistrableDomain(o.Host) }
+
+// MustParse parses a raw URL and panics on failure. It is intended for
+// compile-time-constant URLs inside the simulator.
+func MustParse(raw string) *url.URL {
+	u, err := url.Parse(raw)
+	if err != nil {
+		panic(fmt.Sprintf("urlx: bad constant URL %q: %v", raw, err))
+	}
+	return u
+}
+
+// WithParam returns a copy of u with the query parameter key set to value.
+// The original URL is not modified.
+func WithParam(u *url.URL, key, value string) *url.URL {
+	cp := *u
+	q := cp.Query()
+	q.Set(key, value)
+	cp.RawQuery = q.Encode()
+	return &cp
+}
+
+// WithParams returns a copy of u with every key/value pair of params set.
+func WithParams(u *url.URL, params map[string]string) *url.URL {
+	cp := *u
+	q := cp.Query()
+	keys := make([]string, 0, len(params))
+	for k := range params {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		q.Set(k, params[k])
+	}
+	cp.RawQuery = q.Encode()
+	return &cp
+}
+
+// Param returns the first value of the named query parameter and whether it
+// was present.
+func Param(u *url.URL, key string) (string, bool) {
+	vs, ok := u.Query()[key]
+	if !ok || len(vs) == 0 {
+		return "", false
+	}
+	return vs[0], true
+}
+
+// CopyURL deep-copies a URL (including User info, which the simulator never
+// uses but which keeps the helper general).
+func CopyURL(u *url.URL) *url.URL {
+	cp := *u
+	if u.User != nil {
+		user := *u.User
+		cp.User = &user
+	}
+	return &cp
+}
+
+// IsHTTP reports whether the URL uses an http(s) scheme.
+func IsHTTP(u *url.URL) bool { return u.Scheme == "http" || u.Scheme == "https" }
+
+// Resolve resolves ref against base, mirroring browser link resolution.
+func Resolve(base *url.URL, ref string) (*url.URL, error) {
+	r, err := url.Parse(ref)
+	if err != nil {
+		return nil, fmt.Errorf("urlx: resolve %q: %w", ref, err)
+	}
+	return base.ResolveReference(r), nil
+}

@@ -1,0 +1,177 @@
+package urlx
+
+import (
+	"net/url"
+	"testing"
+	"testing/quick"
+)
+
+func TestRegistrableDomain(t *testing.T) {
+	cases := []struct {
+		host, want string
+	}{
+		{"www.google.com", "google.com"},
+		{"google.com", "google.com"},
+		{"ad.doubleclick.net", "doubleclick.net"},
+		{"clickserve.dartsearch.net", "dartsearch.net"},
+		{"t23.intelliad.de", "intelliad.de"},
+		{"6102.xg4ken.com", "xg4ken.com"},
+		{"improving.duckduckgo.com", "duckduckgo.com"},
+		{"api.qwant.com", "qwant.com"},
+		{"a.b.c.example.co.uk", "example.co.uk"},
+		{"example.co.uk", "example.co.uk"},
+		{"com", "com"},
+		{"co.uk", "co.uk"},
+		{"", ""},
+		{"127.0.0.1", "127.0.0.1"},
+		{"bing.com:8080", "bing.com"},
+		{"weird.unknowntld", "weird.unknowntld"},
+		{"x.y.unknowntld", "y.unknowntld"},
+		{"UPPER.Case.COM", "case.com"},
+	}
+	for _, c := range cases {
+		if got := RegistrableDomain(c.host); got != c.want {
+			t.Errorf("RegistrableDomain(%q) = %q, want %q", c.host, got, c.want)
+		}
+	}
+}
+
+func TestSameSite(t *testing.T) {
+	if !SameSite("www.bing.com", "bing.com") {
+		t.Error("www.bing.com and bing.com should be same-site")
+	}
+	if SameSite("bing.com", "google.com") {
+		t.Error("bing.com and google.com must not be same-site")
+	}
+	if SameSite("", "") {
+		t.Error("empty hosts are not a site")
+	}
+}
+
+func TestHostname(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"bing.com:443", "bing.com"},
+		{"bing.com", "bing.com"},
+		{"bing.com:", "bing.com:"},
+		{"bing.com:abc", "bing.com:abc"},
+	}
+	for _, c := range cases {
+		if got := Hostname(c.in); got != c.want {
+			t.Errorf("Hostname(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestOrigin(t *testing.T) {
+	u := MustParse("https://Ad.DoubleClick.net/ddm/clk?x=1")
+	o := OriginOf(u)
+	if o.String() != "https://ad.doubleclick.net" {
+		t.Errorf("origin = %q", o.String())
+	}
+	if o.Site() != "doubleclick.net" {
+		t.Errorf("site = %q", o.Site())
+	}
+}
+
+func TestWithParamDoesNotMutate(t *testing.T) {
+	u := MustParse("https://x.com/path?a=1")
+	v := WithParam(u, "gclid", "abc")
+	if u.RawQuery != "a=1" {
+		t.Fatalf("original mutated: %q", u.RawQuery)
+	}
+	if got, _ := Param(v, "gclid"); got != "abc" {
+		t.Fatalf("param not set: %q", v.RawQuery)
+	}
+	if got, _ := Param(v, "a"); got != "1" {
+		t.Fatalf("existing param lost: %q", v.RawQuery)
+	}
+}
+
+func TestWithParams(t *testing.T) {
+	u := MustParse("https://x.com/")
+	v := WithParams(u, map[string]string{"b": "2", "a": "1"})
+	if v.RawQuery != "a=1&b=2" {
+		t.Fatalf("RawQuery = %q", v.RawQuery)
+	}
+}
+
+func TestParamAbsent(t *testing.T) {
+	u := MustParse("https://x.com/?a=1")
+	if _, ok := Param(u, "missing"); ok {
+		t.Fatal("missing param reported present")
+	}
+}
+
+func TestResolve(t *testing.T) {
+	base := MustParse("https://startpage.com/do/search")
+	got, err := Resolve(base, "/sp/cl?pos=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != "https://startpage.com/sp/cl?pos=2" {
+		t.Fatalf("resolved = %q", got)
+	}
+	if _, err := Resolve(base, "http://%zz"); err == nil {
+		t.Fatal("expected error for malformed ref")
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustParse did not panic on bad URL")
+		}
+	}()
+	MustParse("http://%zz")
+}
+
+func TestCopyURL(t *testing.T) {
+	u := MustParse("https://u:p@host.com/a?b=c")
+	cp := CopyURL(u)
+	cp.Host = "other.com"
+	cp.User = url.User("x")
+	if u.Host != "host.com" || u.User.String() != "u:p" {
+		t.Fatal("CopyURL did not isolate the copy")
+	}
+}
+
+func TestIsHTTP(t *testing.T) {
+	if !IsHTTP(MustParse("http://a.com")) || !IsHTTP(MustParse("https://a.com")) {
+		t.Fatal("http(s) not recognised")
+	}
+	if IsHTTP(MustParse("ftp://a.com")) {
+		t.Fatal("ftp recognised as http")
+	}
+}
+
+// Property: RegistrableDomain is idempotent and always a suffix of the input.
+func TestRegistrableDomainProperties(t *testing.T) {
+	hosts := []string{
+		"a.b.c.com", "x.co.uk", "deep.sub.domain.xg4ken.com", "netrk.net",
+		"one.two.three.four.five.org", "hello.fr", "t.de",
+	}
+	for _, h := range hosts {
+		d := RegistrableDomain(h)
+		if RegistrableDomain(d) != d {
+			t.Errorf("not idempotent for %q: %q -> %q", h, d, RegistrableDomain(d))
+		}
+		if d != h && len(d) >= len(h) {
+			t.Errorf("domain %q not shorter than host %q", d, h)
+		}
+	}
+}
+
+func TestWithParamQuickProperty(t *testing.T) {
+	f := func(key, value string) bool {
+		if key == "" {
+			return true
+		}
+		u := MustParse("https://site.example/landing")
+		v := WithParam(u, key, value)
+		got, ok := Param(v, key)
+		return ok && got == value
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

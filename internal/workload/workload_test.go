@@ -1,0 +1,80 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"searchads/internal/detrand"
+)
+
+func TestGenerateDistinctAndDeterministic(t *testing.T) {
+	seed := detrand.New(5)
+	qs := Generate(Mixed, seed, 500)
+	if len(qs) != 500 {
+		t.Fatalf("generated %d queries, want 500", len(qs))
+	}
+	seen := map[string]bool{}
+	for _, q := range qs {
+		if seen[q] {
+			t.Fatalf("duplicate query %q", q)
+		}
+		seen[q] = true
+		if strings.TrimSpace(q) == "" {
+			t.Fatal("empty query")
+		}
+	}
+	again := Generate(Mixed, detrand.New(5), 500)
+	for i := range qs {
+		if qs[i] != again[i] {
+			t.Fatal("generation not deterministic")
+		}
+	}
+}
+
+func TestGenerateKinds(t *testing.T) {
+	for _, kind := range []Kind{Trending, Movies} {
+		qs := Generate(kind, detrand.New(9), 100)
+		if len(qs) != 100 {
+			t.Fatalf("kind %d: %d queries", kind, len(qs))
+		}
+	}
+	// Different seeds produce different corpora.
+	a := Generate(Trending, detrand.New(1), 50)
+	b := Generate(Trending, detrand.New(2), 50)
+	same := 0
+	for i := range a {
+		if a[i] == b[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds gave identical corpus")
+	}
+}
+
+func TestVocabularyCoversQueries(t *testing.T) {
+	vocab := map[string]bool{}
+	for _, w := range Vocabulary() {
+		vocab[w] = true
+	}
+	for _, q := range Generate(Mixed, detrand.New(3), 200) {
+		for _, term := range strings.Fields(q) {
+			// Connective words and years are allowed gaps.
+			switch term {
+			case "in", "of", "the", "movie", "2020", "2021", "2022":
+				continue
+			}
+			if !vocab[term] {
+				t.Errorf("term %q not in vocabulary", term)
+			}
+		}
+	}
+}
+
+func TestProductsCopy(t *testing.T) {
+	p := Products()
+	p[0] = "mutated"
+	if Products()[0] == "mutated" {
+		t.Fatal("Products must return a copy")
+	}
+}

@@ -1,0 +1,187 @@
+// Package searchads reproduces "Understanding the Privacy Risks of
+// Popular Search Engine Advertising Systems" (IMC 2023) as a library: a
+// deterministic simulated web of five search engines and their
+// advertising systems, the paper's crawl methodology, and the analyses
+// behind every table and figure of its evaluation.
+//
+// The typical flow is three calls:
+//
+//	study := searchads.NewStudy(searchads.Config{Seed: 1, QueriesPerEngine: 100})
+//	dataset := study.Crawl()
+//	report := study.Analyze()
+//	fmt.Println(report.Render())
+//
+// Config controls the world (seed, engines, query volume, calibration
+// overrides) and the browser (flat vs partitioned cookie storage,
+// stealth, recorder capture probability). Identical Configs produce
+// byte-identical datasets.
+package searchads
+
+import (
+	"searchads/internal/analysis"
+	"searchads/internal/crawler"
+	"searchads/internal/entities"
+	"searchads/internal/filterlist"
+	"searchads/internal/netsim"
+	"searchads/internal/storage"
+	"searchads/internal/websim"
+)
+
+// Re-exported result and component types. They alias the internal
+// implementations so example code and downstream tooling handle the
+// same values the pipeline produces.
+type (
+	// Dataset is a complete crawl output (one Iteration per query).
+	Dataset = crawler.Dataset
+	// Iteration is one crawl iteration's full record.
+	Iteration = crawler.Iteration
+	// Report is the full §4 analysis of a Dataset.
+	Report = analysis.Report
+	// World is the simulated web.
+	World = websim.World
+	// WorldConfig parameterises world construction directly.
+	WorldConfig = websim.Config
+	// EngineCalibration is a per-engine calibration block.
+	EngineCalibration = websim.EngineCalibration
+	// FilterEngine is an Adblock-syntax filter engine.
+	FilterEngine = filterlist.Engine
+	// FilterRequest carries the request attributes rule matching needs.
+	FilterRequest = filterlist.RequestInfo
+	// EntityList maps domains to organisations.
+	EntityList = entities.List
+)
+
+// ResourceType classifies a request for filter matching.
+type ResourceType = netsim.ResourceType
+
+// Resource types understood by the filter engine.
+const (
+	TypeDocument = netsim.TypeDocument
+	TypeScript   = netsim.TypeScript
+	TypeImage    = netsim.TypeImage
+	TypeXHR      = netsim.TypeXHR
+	TypePing     = netsim.TypePing
+)
+
+// StorageMode selects the browser cookie model.
+type StorageMode = storage.Mode
+
+// Storage modes (paper §2.2.1).
+const (
+	// FlatStorage is a single shared cookie namespace (Chrome default
+	// at study time).
+	FlatStorage = storage.Flat
+	// PartitionedStorage keys third-party state by top-level site
+	// (Safari/Firefox/Brave).
+	PartitionedStorage = storage.Partitioned
+)
+
+// Engine names accepted in Config.Engines.
+const (
+	Bing       = "bing"
+	Google     = "google"
+	DuckDuckGo = "duckduckgo"
+	StartPage  = "startpage"
+	Qwant      = "qwant"
+)
+
+// AllEngines lists the five engines in the paper's table order.
+func AllEngines() []string {
+	return []string{Bing, Google, DuckDuckGo, StartPage, Qwant}
+}
+
+// Config parameterises a study.
+type Config struct {
+	// Seed roots all randomness; equal seeds give identical studies.
+	Seed int64
+	// Engines to crawl (default: all five).
+	Engines []string
+	// QueriesPerEngine is the corpus size (paper: 500; default 500).
+	QueriesPerEngine int
+	// Iterations caps crawl iterations per engine (0 = one per query).
+	Iterations int
+	// Storage selects the browser cookie model (default flat, as the
+	// paper crawled).
+	Storage StorageMode
+	// CaptureProb is the crawler-recorder capture probability
+	// (default 0.97, the paper's measured median).
+	CaptureProb float64
+	// NoStealth disables the stealth fingerprint; engines then detect
+	// the bot and serve no ads.
+	NoStealth bool
+	// SkipRevisit disables the next-day profile revisit.
+	SkipRevisit bool
+	// Calibrations overrides per-engine world calibration.
+	Calibrations map[string]EngineCalibration
+	// ReferrerSmuggling adds a referrer-based UID-smuggling service to
+	// the world (the paper's §5 limitation, implemented as an
+	// extension; Report.After[*].ReferrerUID measures it).
+	ReferrerSmuggling bool
+	// Parallel crawls engines concurrently. Aggregate statistics are
+	// unchanged, but datasets are no longer byte-identical across runs
+	// (identifier minting interleaves).
+	Parallel bool
+}
+
+// Study owns one world and the artifacts derived from it.
+type Study struct {
+	cfg     Config
+	world   *World
+	dataset *Dataset
+	report  *Report
+}
+
+// NewStudy builds the simulated web for the given config.
+func NewStudy(cfg Config) *Study {
+	world := websim.NewWorld(websim.Config{
+		Seed:                    cfg.Seed,
+		Engines:                 cfg.Engines,
+		QueriesPerEngine:        cfg.QueriesPerEngine,
+		Calibrations:            cfg.Calibrations,
+		EnableReferrerSmuggling: cfg.ReferrerSmuggling,
+	})
+	return &Study{cfg: cfg, world: world}
+}
+
+// World exposes the underlying simulated web (e.g. to serve it over
+// net/http via netsim.HTTPBridge).
+func (s *Study) World() *World { return s.world }
+
+// Crawl runs the measurement pipeline (§3.1) and caches the dataset.
+func (s *Study) Crawl() *Dataset {
+	if s.dataset == nil {
+		s.dataset = crawler.New(crawler.Config{
+			World:       s.world,
+			Engines:     s.cfg.Engines,
+			Iterations:  s.cfg.Iterations,
+			StorageMode: s.cfg.Storage,
+			CaptureProb: s.cfg.CaptureProb,
+			NoStealth:   s.cfg.NoStealth,
+			SkipRevisit: s.cfg.SkipRevisit,
+			Parallel:    s.cfg.Parallel,
+		}).Run()
+	}
+	return s.dataset
+}
+
+// Analyze runs the §4 analyses (crawling first if needed) and caches
+// the report.
+func (s *Study) Analyze() *Report {
+	if s.report == nil {
+		s.report = analysis.Analyze(s.Crawl())
+	}
+	return s.report
+}
+
+// AnalyzeDataset analyses a previously saved dataset.
+func AnalyzeDataset(ds *Dataset) *Report { return analysis.Analyze(ds) }
+
+// LoadDataset reads a dataset saved with Dataset.Save.
+func LoadDataset(path string) (*Dataset, error) { return crawler.Load(path) }
+
+// DefaultFilterEngine compiles the embedded EasyList/EasyPrivacy-style
+// lists (§3.2).
+func DefaultFilterEngine() *FilterEngine { return filterlist.DefaultEngine() }
+
+// DefaultEntities returns the embedded Disconnect-style entity list.
+func DefaultEntities() *EntityList { return entities.Default() }

@@ -1,0 +1,97 @@
+package searchads_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"searchads"
+)
+
+func TestStudyEndToEnd(t *testing.T) {
+	study := searchads.NewStudy(searchads.Config{
+		Seed:             314,
+		Engines:          []string{searchads.Google, searchads.Qwant},
+		QueriesPerEngine: 15,
+	})
+	ds := study.Crawl()
+	if len(ds.Iterations) != 30 {
+		t.Fatalf("iterations = %d", len(ds.Iterations))
+	}
+	// Crawl is cached: a second call returns the same dataset.
+	if study.Crawl() != ds {
+		t.Fatal("Crawl not cached")
+	}
+	report := study.Analyze()
+	if study.Analyze() != report {
+		t.Fatal("Analyze not cached")
+	}
+	if report.During["google"].NavTrackingFraction != 1.0 {
+		t.Fatalf("google nav tracking = %.2f", report.During["google"].NavTrackingFraction)
+	}
+	out := report.Render()
+	if !strings.Contains(out, "Table 6") {
+		t.Fatal("render incomplete")
+	}
+}
+
+func TestDatasetRoundTripThroughFacade(t *testing.T) {
+	study := searchads.NewStudy(searchads.Config{
+		Seed:             315,
+		Engines:          []string{searchads.Bing},
+		QueriesPerEngine: 5,
+	})
+	ds := study.Crawl()
+	path := filepath.Join(t.TempDir(), "ds.json")
+	if err := ds.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := searchads.LoadDataset(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1 := searchads.AnalyzeDataset(ds)
+	r2 := searchads.AnalyzeDataset(back)
+	if r1.After["bing"].MSCLKID != r2.After["bing"].MSCLKID {
+		t.Fatal("analysis differs after round trip")
+	}
+}
+
+func TestStudiesAreReproducible(t *testing.T) {
+	cfg := searchads.Config{
+		Seed:             777,
+		Engines:          []string{searchads.DuckDuckGo},
+		QueriesPerEngine: 8,
+	}
+	a := searchads.NewStudy(cfg).Crawl()
+	b := searchads.NewStudy(cfg).Crawl()
+	for i := range a.Iterations {
+		if a.Iterations[i].FinalURL != b.Iterations[i].FinalURL {
+			t.Fatalf("iteration %d differs across identical studies", i)
+		}
+	}
+}
+
+func TestFacadeComponents(t *testing.T) {
+	if got := searchads.AllEngines(); len(got) != 5 {
+		t.Fatalf("engines = %v", got)
+	}
+	fe := searchads.DefaultFilterEngine()
+	if fe.Len() == 0 {
+		t.Fatal("empty filter engine")
+	}
+	if !fe.IsTracker(searchads.FilterRequest{
+		URL: "https://bat.bing.com/bat.js", Type: searchads.TypeScript,
+		FirstParty: "shop.example", ThirdParty: true,
+	}) {
+		t.Fatal("filter engine misses bat.bing.com")
+	}
+	ents := searchads.DefaultEntities()
+	if ents.EntityOf("ad.doubleclick.net") != "Google" {
+		t.Fatal("entity list broken")
+	}
+	world := searchads.NewStudy(searchads.Config{Seed: 1, QueriesPerEngine: 2}).World()
+	if world.Sites.Sites() == 0 {
+		t.Fatal("world has no sites")
+	}
+}

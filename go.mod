@@ -1,0 +1,3 @@
+module searchads
+
+go 1.24

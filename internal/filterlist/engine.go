@@ -130,8 +130,13 @@ func (e *Engine) MatchList(req RequestInfo) string {
 	return rule.List
 }
 
+// resolveBase is the base URL siteOfURL resolves raw request URLs
+// against, hoisted to package level: Match runs for every crawled
+// request, and re-parsing a constant URL per call was pure overhead.
+var resolveBase = urlx.MustParse("https://invalid.example/")
+
 func siteOfURL(raw string) string {
-	u, err := urlx.Resolve(urlx.MustParse("https://invalid.example/"), raw)
+	u, err := urlx.Resolve(resolveBase, raw)
 	if err != nil {
 		return ""
 	}

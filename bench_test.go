@@ -584,6 +584,99 @@ func BenchmarkParallelCrawl(b *testing.B) {
 	}
 }
 
+// filterCorpus collects every recorded request of the shared bench crawl
+// into filter-engine inputs: SERP, click, and destination traffic alike.
+func filterCorpus(ds *searchads.Dataset) []filterlist.RequestInfo {
+	var reqs []filterlist.RequestInfo
+	for _, it := range ds.Iterations {
+		for _, stage := range [][]crawler.RequestRecord{it.SERPRequests, it.ClickRequests, it.DestRequests} {
+			reqs = append(reqs, crawler.RequestInfos(stage)...)
+		}
+	}
+	return reqs
+}
+
+// BenchmarkEngineMatch measures the request hot path: the embedded
+// EasyList+EasyPrivacy lists matched against every recorded request of
+// the bench crawl. ns/op and allocs/op are per request.
+func BenchmarkEngineMatch(b *testing.B) {
+	ds, _ := benchSetup(b)
+	engine := filterlist.DefaultEngine()
+	reqs := filterCorpus(ds)
+	if len(reqs) == 0 {
+		b.Fatal("empty request corpus")
+	}
+	engine.IsTracker(reqs[0]) // build the token index outside the timer
+	b.ResetTimer()
+	matched := 0
+	for i := 0; i < b.N; i++ {
+		if engine.IsTracker(reqs[i%len(reqs)]) {
+			matched++
+		}
+	}
+	b.StopTimer()
+	b.Logf("corpus=%d requests, matched=%d over %d iterations", len(reqs), matched, b.N)
+}
+
+// BenchmarkEngineMatch_RegexOracle measures the seed implementation's
+// strategy — a linear scan of per-rule compiled regexes — over the same
+// corpus, kept as the standing reference the token index is judged
+// against (acceptance: >= 10x fewer ns/op).
+func BenchmarkEngineMatch_RegexOracle(b *testing.B) {
+	ds, _ := benchSetup(b)
+	engine := filterlist.DefaultEngine()
+	rules := engine.Rules()
+	reqs := filterCorpus(ds)
+	if len(reqs) == 0 {
+		b.Fatal("empty request corpus")
+	}
+	oracleScan := func(req filterlist.RequestInfo) bool {
+		matched := false
+		for _, r := range rules {
+			if !r.Exception && r.MatchesOracle(req) {
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			return false
+		}
+		for _, r := range rules {
+			if r.Exception && r.MatchesOracle(req) {
+				return false
+			}
+		}
+		return true
+	}
+	for _, req := range reqs[:min(len(reqs), 2000)] {
+		oracleScan(req) // prime the lazily-compiled oracle regexes
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		oracleScan(reqs[i%len(reqs)])
+	}
+}
+
+// BenchmarkEngineMatchBatch measures the amortized batch API over the
+// whole corpus; the custom metric is the per-request cost.
+func BenchmarkEngineMatchBatch(b *testing.B) {
+	ds, _ := benchSetup(b)
+	engine := filterlist.DefaultEngine()
+	reqs := filterCorpus(ds)
+	if len(reqs) == 0 {
+		b.Fatal("empty request corpus")
+	}
+	engine.IsTracker(reqs[0]) // build the token index outside the timer
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(engine.MatchBatch(reqs)) != len(reqs) {
+			b.Fatal("verdict count mismatch")
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(len(reqs)), "ns/req")
+}
+
 // BenchmarkFilterEngine_PaperScale measures matching against a list the
 // size of the paper's combined EasyList+EasyPrivacy (86,488 rules).
 func BenchmarkFilterEngine_PaperScale(b *testing.B) {

@@ -5,6 +5,9 @@
 //
 //	filtercheck [-type script] [-first-party shop.example] URL...
 //	echo 'https://bat.bing.com/bat.js' | filtercheck -stdin
+//
+// Stdin mode matches all URLs as one Engine.MatchBatch call; -stats
+// prints the shape of the engine's token index.
 package main
 
 import (
@@ -24,29 +27,35 @@ func main() {
 		typ        = flag.String("type", "document", "resource type (document, script, image, xmlhttprequest, ping, ...)")
 		firstParty = flag.String("first-party", "", "first-party site (default: the URL's own site)")
 		stdin      = flag.Bool("stdin", false, "read URLs from stdin, one per line")
+		stats      = flag.Bool("stats", false, "print token-index statistics")
 	)
 	flag.Parse()
 
 	engine := filterlist.DefaultEngine()
 	fmt.Fprintf(os.Stderr, "loaded %d rules (%d lines skipped)\n", engine.Len(), engine.Skipped())
+	if *stats {
+		s := engine.Stats()
+		fmt.Fprintf(os.Stderr, "token index: %d block buckets (%d tokenless), %d exception buckets (%d tokenless), largest bucket %d rules\n",
+			s.BlockBuckets, s.BlockTokenless, s.ExceptBuckets, s.ExceptTokenless, s.MaxBucket)
+	}
 
-	check := func(raw string) {
+	info := func(raw string) (filterlist.RequestInfo, error) {
 		u, err := url.Parse(raw)
 		if err != nil {
-			fmt.Printf("%-60s ERROR %v\n", raw, err)
-			return
+			return filterlist.RequestInfo{}, err
 		}
 		fp := *firstParty
 		if fp == "" {
 			fp = urlx.RegistrableDomain(u.Host)
 		}
-		info := filterlist.RequestInfo{
+		return filterlist.RequestInfo{
 			URL:        raw,
 			Type:       netsim.ResourceType(*typ),
 			FirstParty: fp,
 			ThirdParty: urlx.RegistrableDomain(u.Host) != fp,
-		}
-		rule, blocked := engine.Match(info)
+		}, nil
+	}
+	report := func(raw string, rule *filterlist.Rule, blocked bool) {
 		switch {
 		case blocked:
 			fmt.Printf("%-60s BLOCKED by %s rule %q\n", raw, rule.List, rule.Raw)
@@ -58,11 +67,29 @@ func main() {
 	}
 
 	if *stdin {
+		var raws []string
+		var infos []filterlist.RequestInfo
 		sc := bufio.NewScanner(os.Stdin)
+		sc.Buffer(make([]byte, 1024*1024), 1024*1024)
 		for sc.Scan() {
-			if line := sc.Text(); line != "" {
-				check(line)
+			line := sc.Text()
+			if line == "" {
+				continue
 			}
+			ri, err := info(line)
+			if err != nil {
+				fmt.Printf("%-60s ERROR %v\n", line, err)
+				continue
+			}
+			raws = append(raws, line)
+			infos = append(infos, ri)
+		}
+		for i, v := range engine.MatchBatch(infos) {
+			report(raws[i], v.Rule, v.Blocked)
+		}
+		if err := sc.Err(); err != nil {
+			fmt.Fprintf(os.Stderr, "filtercheck: reading stdin: %v\n", err)
+			os.Exit(1)
 		}
 		return
 	}
@@ -71,6 +98,12 @@ func main() {
 		os.Exit(2)
 	}
 	for _, raw := range flag.Args() {
-		check(raw)
+		ri, err := info(raw)
+		if err != nil {
+			fmt.Printf("%-60s ERROR %v\n", raw, err)
+			continue
+		}
+		rule, blocked := engine.Match(ri)
+		report(raw, rule, blocked)
 	}
 }

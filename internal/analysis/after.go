@@ -36,10 +36,12 @@ func analyzeAfter(iters []*crawler.Iteration, cls *tokens.Result, filter *filter
 		}
 		clicks++
 
-		// §4.3.1 — tracker requests during the 15-second dwell.
+		// §4.3.1 — tracker requests during the 15-second dwell, matched
+		// as one batch per page.
 		pageTrackers := map[string]bool{}
-		for _, req := range it.DestRequests {
-			if !filter.IsTracker(requestInfo(req)) {
+		verdicts := filter.MatchBatch(crawler.RequestInfos(it.DestRequests))
+		for ri, req := range it.DestRequests {
+			if !verdicts[ri].Blocked {
 				continue
 			}
 			u, err := url.Parse(req.URL)

@@ -7,7 +7,6 @@ import (
 	"searchads/internal/crawler"
 	"searchads/internal/entities"
 	"searchads/internal/filterlist"
-	"searchads/internal/netsim"
 	"searchads/internal/tokens"
 	"searchads/internal/urlx"
 )
@@ -220,9 +219,9 @@ func analyzeBefore(engine string, iters []*crawler.Iteration, cls *tokens.Result
 				keys[c.Name] = true
 			}
 		}
-		for _, req := range it.SERPRequests {
-			res.TotalRequests++
-			if filter.IsTracker(requestInfo(req)) {
+		res.TotalRequests += len(it.SERPRequests)
+		for _, v := range filter.MatchBatch(crawler.RequestInfos(it.SERPRequests)) {
+			if v.Blocked {
 				res.TrackerRequests++
 			}
 		}
@@ -232,15 +231,6 @@ func analyzeBefore(engine string, iters []*crawler.Iteration, cls *tokens.Result
 	}
 	sortStrings(res.IdentifierKeys)
 	return res
-}
-
-func requestInfo(req crawler.RequestRecord) filterlist.RequestInfo {
-	return filterlist.RequestInfo{
-		URL:        req.URL,
-		Type:       netsim.ResourceType(req.Type),
-		FirstParty: req.FirstParty,
-		ThirdParty: req.ThirdParty,
-	}
 }
 
 func sortStrings(s []string) {

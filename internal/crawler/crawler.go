@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"searchads/internal/browser"
+	"searchads/internal/filterlist"
 	"searchads/internal/netsim"
 	"searchads/internal/serp"
 	"searchads/internal/storage"
@@ -44,6 +45,12 @@ type Config struct {
 	// datasets are not byte-identical across runs; every aggregate
 	// statistic is unchanged.
 	Parallel bool
+	// Filter, when set, matches every recorded request against the
+	// filter engine during the crawl (via Engine.MatchBatch) and
+	// annotates each iteration with per-stage tracker counts. The
+	// engine's index is read-only after build, so one engine is safely
+	// shared across Parallel engine goroutines.
+	Filter *filterlist.Engine
 }
 
 // Crawler runs the measurement pipeline.
@@ -66,9 +73,10 @@ func New(cfg Config) *Crawler {
 func (c *Crawler) Run() *Dataset {
 	w := c.cfg.World
 	ds := &Dataset{
-		Seed:        w.Cfg.Seed,
-		StorageMode: c.cfg.StorageMode.String(),
-		CreatedAt:   w.Net.Clock().Now(),
+		Seed:            w.Cfg.Seed,
+		StorageMode:     c.cfg.StorageMode.String(),
+		CreatedAt:       w.Net.Clock().Now(),
+		FilterAnnotated: c.cfg.Filter != nil,
 	}
 	perEngine := make([][]*Iteration, len(c.cfg.Engines))
 	runEngine := func(idx int, name string) {
@@ -84,6 +92,7 @@ func (c *Crawler) Run() *Dataset {
 		visited := make(map[string]bool) // landing domains already seen
 		for i := 0; i < n; i++ {
 			it := c.runIteration(engine, queries[i], i, visited)
+			c.annotateTrackers(it)
 			perEngine[idx] = append(perEngine[idx], it)
 		}
 	}
@@ -225,6 +234,29 @@ func (c *Crawler) runIteration(engine *serp.Engine, query string, index int, vis
 		w.Net.Clock().Rewind(24 * time.Hour)
 	}
 	return it
+}
+
+// annotateTrackers counts filter-list matches per crawl stage when the
+// crawl was configured with a filter engine. Each stage is matched as
+// one MatchBatch call, amortizing per-request setup.
+func (c *Crawler) annotateTrackers(it *Iteration) {
+	f := c.cfg.Filter
+	if f == nil {
+		return
+	}
+	it.SERPTrackerCount = countBlocked(f.MatchBatch(RequestInfos(it.SERPRequests)))
+	it.ClickTrackerCount = countBlocked(f.MatchBatch(RequestInfos(it.ClickRequests)))
+	it.DestTrackerCount = countBlocked(f.MatchBatch(RequestInfos(it.DestRequests)))
+}
+
+func countBlocked(vs []filterlist.Verdict) int {
+	n := 0
+	for _, v := range vs {
+		if v.Blocked {
+			n++
+		}
+	}
+	return n
 }
 
 // splitClickRequests separates click-stage traffic (chain hops and

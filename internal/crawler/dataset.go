@@ -13,6 +13,9 @@ import (
 	"fmt"
 	"os"
 	"time"
+
+	"searchads/internal/filterlist"
+	"searchads/internal/netsim"
 )
 
 // RequestRecord is one recorded web request.
@@ -25,6 +28,27 @@ type RequestRecord struct {
 	Referrer   string            `json:"referrer,omitempty"`
 	ThirdParty bool              `json:"third_party"`
 	Cookies    map[string]string `json:"cookies,omitempty"`
+}
+
+// FilterInfo converts the record into the filter engine's request form.
+func (r RequestRecord) FilterInfo() filterlist.RequestInfo {
+	return filterlist.RequestInfo{
+		URL:        r.URL,
+		Type:       netsim.ResourceType(r.Type),
+		FirstParty: r.FirstParty,
+		ThirdParty: r.ThirdParty,
+	}
+}
+
+// RequestInfos converts a recorded request stream for
+// filterlist.Engine.MatchBatch; the crawler's tracker annotations and
+// the analysis pipeline share it.
+func RequestInfos(recs []RequestRecord) []filterlist.RequestInfo {
+	out := make([]filterlist.RequestInfo, len(recs))
+	for i, r := range recs {
+		out[i] = r.FilterInfo()
+	}
+	return out
 }
 
 // HopRecord is one step of the post-click navigation chain.
@@ -110,16 +134,27 @@ type Iteration struct {
 	CrawlerRequestCount   int `json:"crawler_request_count"`
 	ExtensionRequestCount int `json:"extension_request_count"`
 
+	// SERPTrackerCount / ClickTrackerCount / DestTrackerCount are
+	// per-stage filter-list match counts, populated when the crawl was
+	// configured with a filter engine (Config.Filter).
+	SERPTrackerCount  int `json:"serp_tracker_count,omitempty"`
+	ClickTrackerCount int `json:"click_tracker_count,omitempty"`
+	DestTrackerCount  int `json:"dest_tracker_count,omitempty"`
+
 	// Error records a failed iteration ("" on success).
 	Error string `json:"error,omitempty"`
 }
 
 // Dataset is a complete crawl output.
 type Dataset struct {
-	Seed        int64        `json:"seed"`
-	StorageMode string       `json:"storage_mode"`
-	CreatedAt   time.Time    `json:"created_at"`
-	Iterations  []*Iteration `json:"iterations"`
+	Seed        int64     `json:"seed"`
+	StorageMode string    `json:"storage_mode"`
+	CreatedAt   time.Time `json:"created_at"`
+	// FilterAnnotated records that the crawl ran with Config.Filter, so
+	// a serialized iteration whose tracker counts are zero (omitted by
+	// omitempty) is distinguishable from one that was never matched.
+	FilterAnnotated bool         `json:"filter_annotated,omitempty"`
+	Iterations      []*Iteration `json:"iterations"`
 }
 
 // ByEngine groups iterations by engine name, preserving order.

@@ -1,0 +1,67 @@
+package crawler_test
+
+import (
+	"testing"
+
+	. "searchads/internal/crawler"
+	"searchads/internal/filterlist"
+	"searchads/internal/netsim"
+	"searchads/internal/websim"
+)
+
+// TestCrawlWithFilterAnnotations runs a Parallel crawl with one shared
+// filter engine (the read-only-after-build contract; run with -race) and
+// checks the per-stage tracker annotations against an offline recount.
+func TestCrawlWithFilterAnnotations(t *testing.T) {
+	engine := filterlist.DefaultEngine()
+	ds := New(Config{
+		World:    websim.NewWorld(websim.Config{Seed: 77, QueriesPerEngine: 15}),
+		Parallel: true,
+		Filter:   engine,
+	}).Run()
+
+	if !ds.FilterAnnotated {
+		t.Fatal("dataset does not record that it was filter-annotated")
+	}
+	serpTotal, destTotal := 0, 0
+	for _, it := range ds.Iterations {
+		serpTotal += it.SERPTrackerCount
+		destTotal += it.DestTrackerCount
+		// Recount one stage offline: the annotation must equal a
+		// post-hoc MatchBatch over the recorded stream.
+		want := 0
+		for _, req := range it.DestRequests {
+			if engine.IsTracker(filterlist.RequestInfo{
+				URL: req.URL, Type: netsim.ResourceType(req.Type),
+				FirstParty: req.FirstParty, ThirdParty: req.ThirdParty,
+			}) {
+				want++
+			}
+		}
+		if it.DestTrackerCount != want {
+			t.Fatalf("%s: DestTrackerCount = %d, recount = %d", it.Instance, it.DestTrackerCount, want)
+		}
+	}
+	if serpTotal != 0 {
+		t.Errorf("SERP tracker requests = %d, the paper finds zero (§4.1.2)", serpTotal)
+	}
+	if destTotal == 0 {
+		t.Error("no destination trackers annotated; §4.3.1 expects many")
+	}
+}
+
+// TestCrawlWithoutFilterLeavesCountsZero pins the default: no engine, no
+// annotation work, zero counts (and the omitempty JSON stays stable).
+func TestCrawlWithoutFilterLeavesCountsZero(t *testing.T) {
+	ds := New(Config{
+		World: websim.NewWorld(websim.Config{Seed: 78, QueriesPerEngine: 3}),
+	}).Run()
+	if ds.FilterAnnotated {
+		t.Fatal("dataset claims filter annotation without a filter engine")
+	}
+	for _, it := range ds.Iterations {
+		if it.SERPTrackerCount != 0 || it.ClickTrackerCount != 0 || it.DestTrackerCount != 0 {
+			t.Fatalf("%s: tracker counts set without a filter engine", it.Instance)
+		}
+	}
+}

@@ -3,28 +3,37 @@ package filterlist
 import (
 	"bufio"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"searchads/internal/urlx"
 )
 
-// Engine matches requests against a compiled set of filter rules. Rules
-// with a ||domain anchor are indexed by registrable domain so the common
-// case — a request to a host with no rules — is a single map lookup.
+// Engine matches requests against a compiled set of filter rules through
+// a tokenized index (see the package doc and token.go): block rules and
+// exception rules each live in an index bucketed by the FNV-1a hash of
+// their rarest safe pattern token, so a request only evaluates the
+// handful of rules whose token appears in its URL.
+//
+// The index is built lazily on the first Match after rules change and is
+// immutable afterwards; once built, Match and MatchBatch are lock-free
+// and safe to call from any number of goroutines concurrently (e.g. a
+// Config.Parallel crawl sharing one engine). Adding rules concurrently
+// with matching is not supported — build the engine, then share it.
 type Engine struct {
-	blockBySite  map[string][]*Rule
-	blockGeneric []*Rule
-	exceptBySite map[string][]*Rule
-	exceptGen    []*Rule
-	ruleCount    int
-	skipped      int
+	mu        sync.Mutex // guards rule slices and index rebuilds
+	built     atomic.Bool
+	block     []*Rule
+	except    []*Rule
+	blockIdx  *index
+	exceptIdx *index
+	ruleCount int
+	skipped   int
 }
 
 // NewEngine returns an empty engine.
 func NewEngine() *Engine {
-	return &Engine{
-		blockBySite:  make(map[string][]*Rule),
-		exceptBySite: make(map[string][]*Rule),
-	}
+	return &Engine{}
 }
 
 // AddList parses list text (one rule per line) under the given list name
@@ -35,6 +44,8 @@ func (e *Engine) AddList(name, text string) int {
 	added := 0
 	sc := bufio.NewScanner(strings.NewReader(text))
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	for sc.Scan() {
 		r, err := ParseRule(sc.Text())
 		if err != nil {
@@ -50,24 +61,41 @@ func (e *Engine) AddList(name, text string) int {
 
 // AddRule inserts a single pre-parsed rule.
 func (e *Engine) AddRule(r *Rule) {
-	if r != nil {
-		e.add(r)
+	if r == nil {
+		return
 	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.add(r)
 }
 
+// add appends the rule and invalidates the index. Callers hold e.mu.
 func (e *Engine) add(r *Rule) {
 	e.ruleCount++
-	site := r.anchorSite()
-	switch {
-	case r.Exception && site != "":
-		e.exceptBySite[site] = append(e.exceptBySite[site], r)
-	case r.Exception:
-		e.exceptGen = append(e.exceptGen, r)
-	case site != "":
-		e.blockBySite[site] = append(e.blockBySite[site], r)
-	default:
-		e.blockGeneric = append(e.blockGeneric, r)
+	if r.Exception {
+		e.except = append(e.except, r)
+	} else {
+		e.block = append(e.block, r)
 	}
+	e.built.Store(false)
+}
+
+// ensureBuilt builds the token indexes if rules changed since the last
+// build. The atomic flag makes the common case (already built) a single
+// load; the store happens after both indexes are published, so readers
+// that observe built==true also observe the finished indexes.
+func (e *Engine) ensureBuilt() {
+	if e.built.Load() {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.built.Load() {
+		return
+	}
+	e.blockIdx = buildIndex(e.block)
+	e.exceptIdx = buildIndex(e.except)
+	e.built.Store(true)
 }
 
 // Len reports the number of compiled rules.
@@ -76,38 +104,65 @@ func (e *Engine) Len() int { return e.ruleCount }
 // Skipped reports the number of list lines that were not network rules.
 func (e *Engine) Skipped() int { return e.skipped }
 
+// Rules returns every compiled rule, blocking rules first. The slice is
+// a copy; the rules themselves are shared and must not be mutated.
+func (e *Engine) Rules() []*Rule {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]*Rule, 0, len(e.block)+len(e.except))
+	out = append(out, e.block...)
+	return append(out, e.except...)
+}
+
+// IndexStats describes the built token index, for diagnostics.
+type IndexStats struct {
+	// BlockBuckets / ExceptBuckets count distinct token buckets.
+	BlockBuckets, ExceptBuckets int
+	// BlockTokenless / ExceptTokenless count rules with no safe token,
+	// which every request must evaluate.
+	BlockTokenless, ExceptTokenless int
+	// MaxBucket is the largest bucket's rule count.
+	MaxBucket int
+}
+
+// Stats builds the index if needed and reports its shape.
+func (e *Engine) Stats() IndexStats {
+	e.ensureBuilt()
+	s := IndexStats{
+		BlockBuckets:    len(e.blockIdx.buckets),
+		ExceptBuckets:   len(e.exceptIdx.buckets),
+		BlockTokenless:  len(e.blockIdx.tokenless),
+		ExceptTokenless: len(e.exceptIdx.tokenless),
+	}
+	for _, b := range e.blockIdx.buckets {
+		if len(b) > s.MaxBucket {
+			s.MaxBucket = len(b)
+		}
+	}
+	for _, b := range e.exceptIdx.buckets {
+		if len(b) > s.MaxBucket {
+			s.MaxBucket = len(b)
+		}
+	}
+	return s
+}
+
 // Match evaluates the request. It returns the blocking rule that matched
 // (nil if none) and whether the request is ultimately blocked after
 // exception rules are considered.
 func (e *Engine) Match(req RequestInfo) (rule *Rule, blocked bool) {
-	site := siteOfURL(req.URL)
-	var matched *Rule
-	for _, r := range e.blockBySite[site] {
-		if r.Matches(req) {
-			matched = r
-			break
-		}
-	}
-	if matched == nil {
-		for _, r := range e.blockGeneric {
-			if r.Matches(req) {
-				matched = r
-				break
-			}
-		}
-	}
+	e.ensureBuilt()
+	return e.matchBuilt(&req)
+}
+
+func (e *Engine) matchBuilt(req *RequestInfo) (*Rule, bool) {
+	typeBit := req.Type.Bit()
+	matched := e.blockIdx.find(req, typeBit)
 	if matched == nil {
 		return nil, false
 	}
-	for _, r := range e.exceptBySite[site] {
-		if r.Matches(req) {
-			return matched, false
-		}
-	}
-	for _, r := range e.exceptGen {
-		if r.Matches(req) {
-			return matched, false
-		}
+	if e.exceptIdx.find(req, typeBit) != nil {
+		return matched, false
 	}
 	return matched, true
 }
@@ -124,17 +179,42 @@ func (e *Engine) IsTracker(req RequestInfo) bool {
 // or "" if not blocked.
 func (e *Engine) MatchList(req RequestInfo) string {
 	rule, blocked := e.Match(req)
-	if !blocked {
+	if !blocked || rule == nil {
 		return ""
 	}
 	return rule.List
 }
 
+// Verdict is one MatchBatch result.
+type Verdict struct {
+	// Rule is the blocking rule that matched, nil if none. It is set
+	// even when an exception unblocked the request.
+	Rule *Rule
+	// Blocked reports whether the request is blocked after exceptions.
+	Blocked bool
+}
+
+// MatchBatch evaluates every request and returns one Verdict per entry,
+// amortizing the per-call setup (index build check, result allocation)
+// across the batch. It is the API the crawler and the analysis pipeline
+// use on recorded request streams, and is safe to call concurrently.
+func (e *Engine) MatchBatch(reqs []RequestInfo) []Verdict {
+	e.ensureBuilt()
+	out := make([]Verdict, len(reqs))
+	for i := range reqs {
+		out[i].Rule, out[i].Blocked = e.matchBuilt(&reqs[i])
+	}
+	return out
+}
+
 // resolveBase is the base URL siteOfURL resolves raw request URLs
-// against, hoisted to package level: Match runs for every crawled
-// request, and re-parsing a constant URL per call was pure overhead.
+// against. It is hoisted to package level: the seed engine re-parsed
+// this constant on every Match call.
 var resolveBase = urlx.MustParse("https://invalid.example/")
 
+// siteOfURL returns the registrable domain of a raw URL, "" if it does
+// not parse. No longer on the match hot path (the token index replaced
+// the per-site rule buckets); kept for callers that bucket URLs by site.
 func siteOfURL(raw string) string {
 	u, err := urlx.Resolve(resolveBase, raw)
 	if err != nil {

@@ -1,0 +1,296 @@
+package filterlist
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"searchads/internal/netsim"
+)
+
+// TestMatchListNilGuards covers the blocked-but-nil-rule edge: engines
+// with no rules and engines holding only exception rules must report
+// clean verdicts without dereferencing a nil rule.
+func TestMatchListNilGuards(t *testing.T) {
+	req := info("https://tracker.example/px", netsim.TypeImage, "a.com", true)
+
+	empty := NewEngine()
+	if rule, blocked := empty.Match(req); rule != nil || blocked {
+		t.Fatalf("empty engine: rule=%v blocked=%v", rule, blocked)
+	}
+	if got := empty.MatchList(req); got != "" {
+		t.Fatalf("empty engine MatchList = %q", got)
+	}
+
+	exceptOnly := NewEngine()
+	if n := exceptOnly.AddList("x", "@@||tracker.example^\n@@/beacon/*\n"); n != 2 {
+		t.Fatalf("added %d exception rules", n)
+	}
+	rule, blocked := exceptOnly.Match(req)
+	if rule != nil || blocked {
+		t.Fatalf("exception-only engine: rule=%v blocked=%v", rule, blocked)
+	}
+	if got := exceptOnly.MatchList(req); got != "" {
+		t.Fatalf("exception-only MatchList = %q", got)
+	}
+	if exceptOnly.IsTracker(req) {
+		t.Fatal("exception-only engine blocked a request")
+	}
+}
+
+func TestMatchBatchAgreesWithMatch(t *testing.T) {
+	e := DefaultEngine()
+	reqs := differentialCorpus(e)
+	verdicts := e.MatchBatch(reqs)
+	if len(verdicts) != len(reqs) {
+		t.Fatalf("verdicts = %d, want %d", len(verdicts), len(reqs))
+	}
+	for i, req := range reqs {
+		rule, blocked := e.Match(req)
+		if verdicts[i].Rule != rule || verdicts[i].Blocked != blocked {
+			t.Errorf("verdict %d (%s): batch=(%v,%v) single=(%v,%v)",
+				i, req.URL, verdicts[i].Rule, verdicts[i].Blocked, rule, blocked)
+		}
+	}
+	if len(e.MatchBatch(nil)) != 0 {
+		t.Fatal("MatchBatch(nil) must return an empty slice")
+	}
+}
+
+// TestAddAfterMatchRebuildsIndex proves the lazy index is invalidated
+// and rebuilt when rules are added after matching started.
+func TestAddAfterMatchRebuildsIndex(t *testing.T) {
+	e := NewEngine()
+	e.AddList("one", "||first.example^\n")
+	req2 := info("https://second.example/x", netsim.TypeScript, "a.com", true)
+	if e.IsTracker(req2) {
+		t.Fatal("second.example blocked before its rule was added")
+	}
+	e.AddList("two", "||second.example^\n")
+	if !e.IsTracker(req2) {
+		t.Fatal("rule added after first Match was not indexed")
+	}
+	if got := e.MatchList(req2); got != "two" {
+		t.Fatalf("list = %q, want two", got)
+	}
+}
+
+// TestEngineConcurrentMatch exercises the read-only-after-build
+// guarantee: many goroutines share one engine (as a Config.Parallel
+// crawl does). Run with -race to verify lock-freedom is sound.
+func TestEngineConcurrentMatch(t *testing.T) {
+	e := DefaultEngine()
+	reqs := differentialCorpus(e)
+	want := make([]bool, len(reqs))
+	for i, r := range reqs {
+		want[i] = e.IsTracker(r)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i, r := range reqs {
+				if e.IsTracker(r) != want[i] {
+					t.Errorf("goroutine %d: verdict changed for %s", g, r.URL)
+					return
+				}
+			}
+			for _, v := range e.MatchBatch(reqs) {
+				_ = v
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestSeparatorEdgeCases pins the '^' class semantics the hand matcher
+// must share with the oracle: one separator byte, or zero-width at the
+// end of the URL, never an alphanumeric or one of '_', '.', '%', '-'.
+func TestSeparatorEdgeCases(t *testing.T) {
+	for _, c := range []struct {
+		rule, url string
+		want      bool
+	}{
+		{"||bat.example^", "https://bat.example", true},        // ^ matches end of URL
+		{"||bat.example^", "https://bat.example/", true},       // ^ matches /
+		{"||bat.example^", "https://bat.example:443/", true},   // ^ matches :
+		{"||bat.example^", "https://bat.example?q=1", true},    // ^ matches ?
+		{"||bat.example^", "https://bat.examples/", false},     // alnum continuation
+		{"||bat.example^", "https://bat.example.co/", false},   // '.' is not a separator
+		{"||bat.example^", "https://bat.example-x.co/", false}, // '-' is not a separator
+		{"||bat.example^", "https://bat.example_x.co/", false}, // '_' is not a separator
+		{"||bat.example^", "https://bat.example%41.co/", false},
+		{"/t^^", "https://x.example/t", true},   // both ^ zero-width at end
+		{"/t^^", "https://x.example/t?/", true}, // both ^ consume separators
+		{"/t^x", "https://x.example/t", false},  // literal after end-of-URL ^ cannot match
+	} {
+		r, err := ParseRule(c.rule)
+		if err != nil {
+			t.Fatalf("parse %q: %v", c.rule, err)
+		}
+		req := info(c.url, netsim.TypeScript, "a.com", true)
+		if got := r.Matches(req); got != c.want {
+			t.Errorf("%q vs %q = %v, want %v", c.rule, c.url, got, c.want)
+		}
+		if got := r.MatchesOracle(req); got != c.want {
+			t.Errorf("oracle %q vs %q = %v, want %v", c.rule, c.url, got, c.want)
+		}
+	}
+}
+
+// TestEndAnchorEdgeCases pins end-anchor semantics, including its
+// interaction with wildcards and zero-width separators.
+func TestEndAnchorEdgeCases(t *testing.T) {
+	for _, c := range []struct {
+		rule, url string
+		want      bool
+	}{
+		{"|https://a.example/x.js|", "https://a.example/x.js", true},
+		{"|https://a.example/x.js|", "https://a.example/x.jsx", false},
+		{"|https://a.example/x.js|", "https://a.example/x.js?v=1", false},
+		{"/ads/*.js|", "https://cdn.example/ads/u.js", true},
+		{"/ads/*.js|", "https://cdn.example/ads/u.js?v=2", false},
+		{"/ads/*.js|", "https://cdn.example/ads/sub/u.js", true}, // * spans path segments
+		{"/unit.js^|", "https://cdn.example/unit.js", true},      // trailing ^ zero-width, then $
+		{"/unit.js^|", "https://cdn.example/unit.js?", true},     // ^ consumes '?', then at end
+		{"/unit.js^|", "https://cdn.example/unit.js?v=1", false}, // end anchor unsatisfied
+		{"ads|", "https://x.example/banner/ads", true},
+		{"ads|", "https://x.example/ads/banner", false},
+	} {
+		r, err := ParseRule(c.rule)
+		if err != nil {
+			t.Fatalf("parse %q: %v", c.rule, err)
+		}
+		req := info(c.url, netsim.TypeScript, "a.com", true)
+		if got := r.Matches(req); got != c.want {
+			t.Errorf("%q vs %q = %v, want %v", c.rule, c.url, got, c.want)
+		}
+		if got := r.MatchesOracle(req); got != c.want {
+			t.Errorf("oracle %q vs %q = %v, want %v", c.rule, c.url, got, c.want)
+		}
+	}
+}
+
+// TestDomainOptionNegationEdgeCases pins $domain=~ semantics: an
+// exclusion-only list matches everywhere except the excluded subtree.
+func TestDomainOptionNegationEdgeCases(t *testing.T) {
+	r, err := ParseRule("/widget.js$domain=~blocked.example")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []struct {
+		firstParty string
+		want       bool
+	}{
+		{"news.example", true},
+		{"blocked.example", false},
+		{"sub.blocked.example", false},     // subdomain of excluded
+		{"notblocked.example", true},       // suffix but not a subdomain
+		{"BLOCKED.example", false},         // case-insensitive
+		{"blocked.example.attacker", true}, // excluded site as a prefix only
+		{"", true},                         // no first party: nothing excluded
+	} {
+		req := info("https://cdn.example/widget.js", netsim.TypeScript, c.firstParty, true)
+		if got := r.Matches(req); got != c.want {
+			t.Errorf("firstParty=%q: %v, want %v", c.firstParty, got, c.want)
+		}
+	}
+	both, err := ParseRule("/w.js$domain=good.example|~bad.good.example")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !both.Matches(info("https://c.example/w.js", netsim.TypeScript, "good.example", true)) {
+		t.Error("included domain must match")
+	}
+	if both.Matches(info("https://c.example/w.js", netsim.TypeScript, "bad.good.example", true)) {
+		t.Error("excluded subdomain must win over included parent")
+	}
+}
+
+// TestAllTypesExcludedMatchesNothing pins the edge the uint16 mask must
+// preserve from the seed's map representation: a rule whose options
+// exclude every supported resource type matches no request at all — the
+// empty mask must not collapse into the "untyped, match everything"
+// sentinel.
+func TestAllTypesExcludedMatchesNothing(t *testing.T) {
+	r, err := ParseRule("/ads$~script,~image,~stylesheet,~xmlhttprequest,~subdocument,~ping,~document,~other")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, typ := range []netsim.ResourceType{
+		netsim.TypeScript, netsim.TypeImage, netsim.TypeDocument,
+		netsim.TypeOther, netsim.ResourceType("unknown"), "",
+	} {
+		if r.Matches(info("https://x.example/ads", typ, "a.com", true)) {
+			t.Errorf("all-types-excluded rule matched type %q", typ)
+		}
+	}
+	e := NewEngine()
+	e.AddRule(r)
+	if e.IsTracker(info("https://x.example/ads", netsim.TypeScript, "a.com", true)) {
+		t.Error("engine blocked via an all-types-excluded rule")
+	}
+}
+
+// TestTokenSelection verifies the index picks rare, discriminating
+// tokens: every synthetic ||tracker-NNNNN.example rule must be bucketed
+// under its unique numeric token, not the shared "tracker"/"example".
+func TestTokenSelection(t *testing.T) {
+	e := NewEngine()
+	e.AddList("synthetic", GenerateSyntheticList(5000))
+	s := e.Stats()
+	if s.MaxBucket > 8 {
+		t.Fatalf("largest bucket holds %d rules; token selection failed to discriminate", s.MaxBucket)
+	}
+	if s.BlockTokenless > 0 {
+		t.Fatalf("%d synthetic rules fell into the tokenless bucket", s.BlockTokenless)
+	}
+	// And the buckets resolve correctly.
+	for _, n := range []int{17, 804, 4999} {
+		u := fmt.Sprintf("https://sub.tracker-%05d.example/x", n)
+		if !e.IsTracker(info(u, netsim.TypeDocument, "a.com", true)) {
+			t.Errorf("synthetic rule %d not matched via token index", n)
+		}
+	}
+}
+
+// TestSafeTokenRejection proves runs adjacent to wildcards or unanchored
+// edges are never indexed on (they may be extended by URL bytes), by
+// matching URLs where the pattern token is a strict substring of the
+// URL's token.
+func TestSafeTokenRejection(t *testing.T) {
+	for _, c := range []struct {
+		rule, url string
+	}{
+		{"banner", "https://x.example/superbanners/1"},     // unanchored edges extend both ways
+		{"/ads*code", "https://x.example/ads99decodedx"},   // token left of/right of '*' extended
+		{"track*", "https://x.example/quicktracker/port"},  // leading edge extended
+		{"||poster.example/img*", "https://poster.example/imgval"}, // trailing edge extended
+	} {
+		r, err := ParseRule(c.rule)
+		if err != nil {
+			t.Fatalf("parse %q: %v", c.rule, err)
+		}
+		e := NewEngine()
+		e.AddRule(r)
+		req := info(c.url, netsim.TypeScript, "a.com", true)
+		if !r.MatchesOracle(req) {
+			t.Fatalf("oracle rejects %q vs %q; test case is broken", c.rule, c.url)
+		}
+		if !e.IsTracker(req) {
+			t.Errorf("engine missed %q vs %q: an unsafe token was indexed", c.rule, c.url)
+		}
+	}
+}
+
+// TestStatsShape sanity-checks the diagnostic view of the default index.
+func TestStatsShape(t *testing.T) {
+	s := DefaultEngine().Stats()
+	if s.BlockBuckets < 30 {
+		t.Fatalf("block buckets = %d, expected the embedded lists to index widely", s.BlockBuckets)
+	}
+	if s.BlockTokenless > 3 {
+		t.Fatalf("tokenless block rules = %d; embedded rules should carry tokens", s.BlockTokenless)
+	}
+}

@@ -5,6 +5,31 @@
 // EasyPrivacy ... combined and parsed these lists using adblock-rs"
 // (§3.2); this package is that component.
 //
+// # Architecture: tokenized rule index
+//
+// The engine follows the adblock-rs design rather than the naive
+// regex-per-rule scan it replaced. At compile time each rule's pattern
+// is parsed into a flat, cache-friendly Rule (a uint16 resource-type
+// bitmask, a tri-state party byte, and lowercased literal segments split
+// on '*' wildcards), and the engine buckets every rule under the 64-bit
+// FNV-1a hash of its rarest "safe" literal token — a maximal
+// alphanumeric run of >= 4 bytes bounded inside the pattern by
+// separators or anchors, so it is guaranteed to surface as a complete
+// token of any URL the rule matches (see token.go). At match time the
+// engine slides over the request URL's tokens, computing the same
+// rolling hash, and evaluates only the rules whose bucket is hit plus a
+// small "tokenless" bucket; candidate rules are then confirmed by a
+// hand-rolled ABP matcher (matcher.go) that runs on the raw URL bytes
+// with ASCII case-folding and no allocation. The regexp translation the
+// seed engine evaluated per request survives only as a lazily-compiled
+// debug oracle (Rule.MatchesOracle), and the differential tests prove
+// the hand matcher agrees with it verdict-for-verdict.
+//
+// The engine is read-only after its index is built (built lazily on
+// first Match, rebuilt if rules are added afterwards), so any number of
+// goroutines — e.g. a Config.Parallel crawl — may call Match and
+// MatchBatch concurrently.
+//
 // Supported syntax: blocking and @@ exception rules, || domain anchors,
 // | start/end anchors, * wildcards, the ^ separator, and the option set
 // used by network rules ($script, $image, $stylesheet, $xmlhttprequest,
@@ -19,12 +44,21 @@ import (
 	"fmt"
 	"regexp"
 	"strings"
+	"sync"
 
 	"searchads/internal/netsim"
-	"searchads/internal/urlx"
 )
 
-// Rule is one parsed network filter rule.
+// Party constraint values for Rule.party ($third-party option).
+const (
+	partyAny byte = iota
+	partyThird
+	partyFirst
+)
+
+// Rule is one parsed network filter rule: a flat struct whose match
+// predicates are a bitmask test, a byte compare, and a hand-rolled
+// pattern match — no maps, no pointers to chase, no regexp.
 type Rule struct {
 	// Raw is the original rule text.
 	Raw string
@@ -34,20 +68,31 @@ type Rule struct {
 	// Exception marks @@ rules.
 	Exception bool
 
-	// anchorDomain is the domain of a ||domain rule, used for indexing.
+	// anchorDomain is the domain of a ||domain rule.
 	anchorDomain string
-	re           *regexp.Regexp
+	// patSrc is the ABP pattern text (anchors included, options
+	// stripped); the oracle regexp is compiled from it on demand.
+	patSrc string
+	// pat is the compiled hot-path pattern.
+	pat pattern
 
-	// typeMask restricts the resource types the rule applies to. nil
-	// means all types.
-	typeMask map[netsim.ResourceType]bool
-	// thirdParty: nil = any; true = only third-party; false = only
-	// first-party.
-	thirdParty *bool
+	// typeMask restricts the resource types the rule applies to, one bit
+	// per netsim resource type. Only meaningful when typed is true; a
+	// typed rule with mask 0 (every type excluded) matches nothing.
+	typeMask uint16
+	// typed records that the rule carried resource-type options.
+	typed bool
+	// party is the $third-party constraint: partyAny, partyThird, or
+	// partyFirst.
+	party byte
 	// includeDomains/excludeDomains implement $domain= options, matched
-	// against the request's first-party site.
+	// against the request's first-party site (stored lowercased).
 	includeDomains []string
 	excludeDomains []string
+
+	oracleOnce sync.Once
+	oracle     *regexp.Regexp
+	oracleErr  error
 }
 
 // ErrSkip is returned by ParseRule for lines that are valid list content
@@ -84,8 +129,10 @@ func ParseRule(line string) (*Rule, error) {
 	if pattern == "" {
 		return nil, fmt.Errorf("filterlist: empty pattern in %q", raw)
 	}
-	if err := r.compile(pattern); err != nil {
-		return nil, err
+	r.patSrc = pattern
+	r.pat = compilePattern(pattern)
+	if r.pat.anchor == anchorDomain {
+		r.anchorDomain = anchorDomainOf(pattern[2:])
 	}
 	return r, nil
 }
@@ -102,18 +149,16 @@ var optionTypes = map[string]netsim.ResourceType{
 }
 
 func (r *Rule) parseOptions(opts string) error {
-	var include, exclude []netsim.ResourceType
+	var include, exclude uint16
 	for _, opt := range strings.Split(opts, ",") {
 		opt = strings.TrimSpace(opt)
 		switch {
 		case opt == "":
 			continue
 		case opt == "third-party" || opt == "3p":
-			v := true
-			r.thirdParty = &v
+			r.party = partyThird
 		case opt == "~third-party" || opt == "first-party" || opt == "1p":
-			v := false
-			r.thirdParty = &v
+			r.party = partyFirst
 		case strings.HasPrefix(opt, "domain="):
 			for _, d := range strings.Split(opt[len("domain="):], "|") {
 				if strings.HasPrefix(d, "~") {
@@ -132,68 +177,21 @@ func (r *Rule) parseOptions(opts string) error {
 				return fmt.Errorf("filterlist: unsupported option %q in %q", opt, r.Raw)
 			}
 			if neg {
-				exclude = append(exclude, t)
+				exclude |= t.Bit()
 			} else {
-				include = append(include, t)
+				include |= t.Bit()
 			}
 		}
 	}
-	if len(include) > 0 {
-		r.typeMask = make(map[netsim.ResourceType]bool, len(include))
-		for _, t := range include {
-			r.typeMask[t] = true
-		}
-	} else if len(exclude) > 0 {
-		r.typeMask = make(map[netsim.ResourceType]bool, len(optionTypes))
-		for _, t := range optionTypes {
-			r.typeMask[t] = true
-		}
-		for _, t := range exclude {
-			delete(r.typeMask, t)
-		}
+	if include != 0 {
+		r.typed = true
+		r.typeMask = include
+	} else if exclude != 0 {
+		// Excluding every type leaves mask 0: the rule then matches no
+		// type at all (typed stays true), like the seed's emptied map.
+		r.typed = true
+		r.typeMask = netsim.AllTypeBits &^ exclude
 	}
-	return nil
-}
-
-// compile translates the ABP pattern into a regexp and extracts the
-// anchor domain for indexing.
-func (r *Rule) compile(pattern string) error {
-	var b strings.Builder
-	b.WriteString("(?i)")
-	rest := pattern
-	switch {
-	case strings.HasPrefix(pattern, "||"):
-		rest = pattern[2:]
-		// After the scheme, optionally any subdomain chain.
-		b.WriteString(`^[a-z][a-z0-9+.-]*://(?:[^/?#]*\.)?`)
-		r.anchorDomain = anchorDomainOf(rest)
-	case strings.HasPrefix(pattern, "|"):
-		rest = pattern[1:]
-		b.WriteString("^")
-	}
-	endAnchor := false
-	if strings.HasSuffix(rest, "|") && !strings.HasSuffix(rest, "||") {
-		endAnchor = true
-		rest = rest[:len(rest)-1]
-	}
-	for _, c := range rest {
-		switch c {
-		case '*':
-			b.WriteString(".*")
-		case '^':
-			b.WriteString(`(?:[^a-zA-Z0-9_.%-]|$)`)
-		default:
-			b.WriteString(regexp.QuoteMeta(string(c)))
-		}
-	}
-	if endAnchor {
-		b.WriteString("$")
-	}
-	re, err := regexp.Compile(b.String())
-	if err != nil {
-		return fmt.Errorf("filterlist: compile %q: %w", r.Raw, err)
-	}
-	r.re = re
 	return nil
 }
 
@@ -234,11 +232,32 @@ func InfoFor(req *netsim.Request) RequestInfo {
 
 // Matches reports whether the rule applies to the request.
 func (r *Rule) Matches(req RequestInfo) bool {
-	if r.typeMask != nil && !r.typeMask[req.Type] {
+	return r.matchesBits(&req, req.Type.Bit())
+}
+
+// matchesBits is Matches with the request's resource-type bit hoisted
+// out, so the engine computes it once per request, not once per rule.
+func (r *Rule) matchesBits(req *RequestInfo, typeBit uint16) bool {
+	return r.optionsMatch(req, typeBit) && r.pat.match(req.URL)
+}
+
+// optionsMatch evaluates every non-pattern predicate ($type options,
+// $third-party, $domain=). It is shared by the hot path and the oracle,
+// so the two can only disagree on the pattern matcher itself — the part
+// the differential tests compare.
+func (r *Rule) optionsMatch(req *RequestInfo, typeBit uint16) bool {
+	if r.typed && r.typeMask&typeBit == 0 {
 		return false
 	}
-	if r.thirdParty != nil && *r.thirdParty != req.ThirdParty {
-		return false
+	switch r.party {
+	case partyThird:
+		if !req.ThirdParty {
+			return false
+		}
+	case partyFirst:
+		if req.ThirdParty {
+			return false
+		}
 	}
 	if len(r.includeDomains) > 0 && !domainListMatch(r.includeDomains, req.FirstParty) {
 		return false
@@ -246,28 +265,53 @@ func (r *Rule) Matches(req RequestInfo) bool {
 	if len(r.excludeDomains) > 0 && domainListMatch(r.excludeDomains, req.FirstParty) {
 		return false
 	}
-	return r.re.MatchString(req.URL)
+	return true
 }
 
+// MatchesOracle evaluates the rule through the seed implementation's
+// regexp translation instead of the hand-rolled matcher. It exists as
+// the debug/differential-testing oracle: the regexp is compiled lazily
+// on first use, so production match paths never pay for it.
+func (r *Rule) MatchesOracle(req RequestInfo) bool {
+	if !r.optionsMatch(&req, req.Type.Bit()) {
+		return false
+	}
+	r.oracleOnce.Do(func() {
+		r.oracle, r.oracleErr = oracleRegex(r.patSrc)
+	})
+	if r.oracleErr != nil {
+		return false
+	}
+	return r.oracle.MatchString(req.URL)
+}
+
+// domainListMatch reports whether site equals, or is a subdomain of, any
+// entry. Entries are stored lowercased; site is folded byte-wise, so the
+// comparison allocates nothing.
 func domainListMatch(list []string, site string) bool {
-	site = strings.ToLower(site)
 	for _, d := range list {
-		if site == d || strings.HasSuffix(site, "."+d) {
+		if equalFoldASCII(site, d) {
+			return true
+		}
+		if len(site) > len(d) && site[len(site)-len(d)-1] == '.' &&
+			equalFoldASCII(site[len(site)-len(d):], d) {
 			return true
 		}
 	}
 	return false
 }
 
+func equalFoldASCII(a, b string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := 0; i < len(a); i++ {
+		if lowerByte(a[i]) != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // AnchorDomain returns the ||-anchor domain, or "" for unanchored rules.
 func (r *Rule) AnchorDomain() string { return r.anchorDomain }
-
-// anchorSite returns the registrable domain of the anchor, used as index
-// key so that ||ads.example.com rules are found when looking up
-// example.com buckets.
-func (r *Rule) anchorSite() string {
-	if r.anchorDomain == "" {
-		return ""
-	}
-	return urlx.RegistrableDomain(r.anchorDomain)
-}

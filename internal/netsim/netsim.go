@@ -40,6 +40,45 @@ const (
 	TypeOther       ResourceType = "other"
 )
 
+// Resource-type bits, the compact form filter-engine type masks use.
+const (
+	BitDocument uint16 = 1 << iota
+	BitScript
+	BitImage
+	BitStylesheet
+	BitXHR
+	BitSubdocument
+	BitPing
+	BitOther
+
+	// AllTypeBits covers every known resource type.
+	AllTypeBits uint16 = 1<<iota - 1
+)
+
+// Bit returns the type's bitmask form. Unknown types map to 0, so a
+// typed filter rule (nonzero mask) never matches them.
+func (t ResourceType) Bit() uint16 {
+	switch t {
+	case TypeDocument:
+		return BitDocument
+	case TypeScript:
+		return BitScript
+	case TypeImage:
+		return BitImage
+	case TypeStylesheet:
+		return BitStylesheet
+	case TypeXHR:
+		return BitXHR
+	case TypeSubdocument:
+		return BitSubdocument
+	case TypePing:
+		return BitPing
+	case TypeOther:
+		return BitOther
+	}
+	return 0
+}
+
 // Request is a browser-originated HTTP request.
 type Request struct {
 	Method string

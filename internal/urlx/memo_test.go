@@ -1,0 +1,77 @@
+package urlx
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestRegistrableDomainMemoAgreement proves the memoised path returns
+// exactly what the uncached suffix walk computes, across repeats.
+func TestRegistrableDomainMemoAgreement(t *testing.T) {
+	hosts := []string{
+		"a.b.c.com", "x.co.uk", "deep.sub.domain.xg4ken.com", "netrk.net",
+		"TRACKER.Example:8080", "10.0.0.1", "co.uk", "", "single",
+		"weird..double.dots.com",
+	}
+	for round := 0; round < 3; round++ {
+		for _, h := range hosts {
+			if h == "" {
+				continue
+			}
+			if got, want := RegistrableDomain(h), registrableDomain(h); got != want {
+				t.Errorf("round %d: RegistrableDomain(%q) = %q, memo-less = %q", round, h, got, want)
+			}
+		}
+	}
+	if RegistrableDomain("") != "" {
+		t.Error("empty host must stay empty")
+	}
+}
+
+// TestRDCacheBoundAndEviction checks the LRU keeps its bound and evicts
+// least-recently-used entries first.
+func TestRDCacheBoundAndEviction(t *testing.T) {
+	c := newRDCache(4)
+	for i := 0; i < 10; i++ {
+		c.put(fmt.Sprintf("h%d.example", i), fmt.Sprintf("h%d.example", i))
+	}
+	if c.len() != 4 {
+		t.Fatalf("cache len = %d, want 4", c.len())
+	}
+	if _, ok := c.get("h0.example"); ok {
+		t.Fatal("oldest entry survived eviction")
+	}
+	if site, ok := c.get("h9.example"); !ok || site != "h9.example" {
+		t.Fatalf("newest entry missing: %q %v", site, ok)
+	}
+	// Touching an entry protects it from the next eviction.
+	c.get("h6.example")
+	c.put("new.example", "new.example")
+	if _, ok := c.get("h6.example"); !ok {
+		t.Fatal("recently-used entry was evicted")
+	}
+	if _, ok := c.get("h7.example"); ok {
+		t.Fatal("least-recently-used entry was not evicted")
+	}
+}
+
+// TestRegistrableDomainMemoConcurrent hammers the shared memo from many
+// goroutines; run with -race.
+func TestRegistrableDomainMemoConcurrent(t *testing.T) {
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				h := fmt.Sprintf("s%d.host%d.example", g, i%37)
+				if got := RegistrableDomain(h); got != fmt.Sprintf("host%d.example", i%37) {
+					t.Errorf("RegistrableDomain(%q) = %q", h, got)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -10,10 +10,12 @@
 package urlx
 
 import (
+	"container/list"
 	"fmt"
 	"net/url"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // publicSuffixes is an embedded subset of the public-suffix list. Keys are
@@ -36,10 +38,80 @@ func IsPublicSuffix(host string) bool {
 	return ok && n == strings.Count(h, ".")+1
 }
 
+// rdCache is a bounded, mutex-guarded LRU memo for RegistrableDomain.
+// A crawl resolves the same few hundred hosts millions of times (every
+// request record, every cookie, every filter match), so the suffix walk
+// below — ToLower, Split, Join — is worth caching. The bound keeps a
+// hostile or unbounded host stream from growing the map without limit.
+type rdCache struct {
+	mu  sync.Mutex
+	cap int
+	m   map[string]*list.Element
+	ll  *list.List // front = most recently used
+}
+
+type rdEntry struct {
+	host string
+	site string
+}
+
+func newRDCache(capacity int) *rdCache {
+	return &rdCache{cap: capacity, m: make(map[string]*list.Element, capacity), ll: list.New()}
+}
+
+func (c *rdCache) get(host string) (string, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[host]
+	if !ok {
+		return "", false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*rdEntry).site, true
+}
+
+func (c *rdCache) put(host, site string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[host]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*rdEntry).site = site
+		return
+	}
+	c.m[host] = c.ll.PushFront(&rdEntry{host: host, site: site})
+	if c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.m, oldest.Value.(*rdEntry).host)
+	}
+}
+
+// len reports the number of cached entries (test hook).
+func (c *rdCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+var rdMemo = newRDCache(4096)
+
 // RegistrableDomain returns the eTLD+1 for host: the public suffix plus one
 // label. If host is itself a public suffix, an IP literal, or empty, the
-// host is returned unchanged (lowercased, without port).
+// host is returned unchanged (lowercased, without port). Results are
+// memoised in a bounded LRU: the lookup is on the request hot path.
 func RegistrableDomain(host string) string {
+	if host == "" {
+		return ""
+	}
+	if site, ok := rdMemo.get(host); ok {
+		return site
+	}
+	site := registrableDomain(host)
+	rdMemo.put(host, site)
+	return site
+}
+
+func registrableDomain(host string) string {
 	h := strings.ToLower(Hostname(host))
 	if h == "" {
 		return ""

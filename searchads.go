@@ -121,6 +121,11 @@ type Config struct {
 	// unchanged, but datasets are no longer byte-identical across runs
 	// (identifier minting interleaves).
 	Parallel bool
+	// Filter, when set, annotates every crawled iteration with
+	// per-stage tracker counts (filter-list matches via
+	// Engine.MatchBatch). The engine is read-only after its index is
+	// built and safe to share with Parallel crawls.
+	Filter *FilterEngine
 }
 
 // Study owns one world and the artifacts derived from it.
@@ -159,6 +164,7 @@ func (s *Study) Crawl() *Dataset {
 			NoStealth:   s.cfg.NoStealth,
 			SkipRevisit: s.cfg.SkipRevisit,
 			Parallel:    s.cfg.Parallel,
+			Filter:      s.cfg.Filter,
 		}).Run()
 	}
 	return s.dataset

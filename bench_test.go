@@ -33,8 +33,13 @@ func benchSetup(b *testing.B) (*searchads.Dataset, *searchads.Report) {
 	b.Helper()
 	benchOnce.Do(func() {
 		study := searchads.NewStudy(searchads.Config{Seed: 4242, QueriesPerEngine: 80})
-		benchDataset = study.Crawl()
-		benchReport = study.Analyze()
+		var err error
+		if benchDataset, err = study.Crawl(); err != nil {
+			b.Fatal(err)
+		}
+		if benchReport, err = study.Analyze(); err != nil {
+			b.Fatal(err)
+		}
 	})
 	return benchDataset, benchReport
 }
@@ -421,7 +426,9 @@ func BenchmarkSec32_TokenFunnel(b *testing.B) {
 func BenchmarkCrawl_EndToEnd(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		study := searchads.NewStudy(searchads.Config{Seed: int64(i + 1), QueriesPerEngine: 10})
-		_ = study.Analyze()
+		if _, err := study.Analyze(); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 
@@ -432,13 +439,19 @@ func BenchmarkAblation_PartitionedVsFlat(b *testing.B) {
 	b.ResetTimer()
 	var flatNav, partNav float64
 	for i := 0; i < b.N; i++ {
-		flat := searchads.NewStudy(searchads.Config{
+		flat, err := searchads.NewStudy(searchads.Config{
 			Seed: 5, Engines: []string{searchads.StartPage}, QueriesPerEngine: 15,
 		}).Analyze()
-		part := searchads.NewStudy(searchads.Config{
+		if err != nil {
+			b.Fatal(err)
+		}
+		part, err := searchads.NewStudy(searchads.Config{
 			Seed: 5, Engines: []string{searchads.StartPage}, QueriesPerEngine: 15,
 			Storage: searchads.PartitionedStorage,
 		}).Analyze()
+		if err != nil {
+			b.Fatal(err)
+		}
 		flatNav = flat.During["startpage"].NavTrackingFraction
 		partNav = part.During["startpage"].NavTrackingFraction
 		if flatNav != partNav {
@@ -510,13 +523,19 @@ func BenchmarkAblation_StealthVsHeadless(b *testing.B) {
 	var stealthAds, headlessAds int
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		stealth := searchads.NewStudy(searchads.Config{
+		stealth, err := searchads.NewStudy(searchads.Config{
 			Seed: 6, Engines: []string{searchads.Bing}, QueriesPerEngine: 8,
 		}).Crawl()
-		headless := searchads.NewStudy(searchads.Config{
+		if err != nil {
+			b.Fatal(err)
+		}
+		headless, err := searchads.NewStudy(searchads.Config{
 			Seed: 6, Engines: []string{searchads.Bing}, QueriesPerEngine: 8,
 			NoStealth: true,
 		}).Crawl()
+		if err != nil {
+			b.Fatal(err)
+		}
 		stealthAds, headlessAds = 0, 0
 		for _, it := range stealth.Iterations {
 			stealthAds += len(it.DisplayedAds)
@@ -540,10 +559,13 @@ func BenchmarkAblation_ReferrerSmuggling(b *testing.B) {
 	var rate float64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		report := searchads.NewStudy(searchads.Config{
+		report, err := searchads.NewStudy(searchads.Config{
 			Seed: 9, Engines: []string{searchads.DuckDuckGo}, QueriesPerEngine: 55,
 			ReferrerSmuggling: true,
 		}).Analyze()
+		if err != nil {
+			b.Fatal(err)
+		}
 		rate = report.After["duckduckgo"].ReferrerUID
 		if rate == 0 {
 			b.Fatal("referrer smuggling never observed")
@@ -551,6 +573,42 @@ func BenchmarkAblation_ReferrerSmuggling(b *testing.B) {
 	}
 	b.StopTimer()
 	b.Logf("Ablation: referrer-UID rate with smuggling service enabled = %.0f%%", rate*100)
+}
+
+// BenchmarkStudyCrawl is the end-to-end crawl benchmark the PR-2 crawl
+// overhaul is measured by: build a 5-engine world of 40 queries each and
+// run the full 200-iteration sequential crawl (SERP, ad click, redirect
+// chase, dwell, next-day revisit). CI emits its ns/op and allocs/op into
+// BENCH_crawl.json alongside the filter-engine trajectory.
+func BenchmarkStudyCrawl(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		w := websim.NewWorld(websim.Config{Seed: 1009, QueriesPerEngine: 40})
+		ds, err := crawler.New(crawler.Config{World: w}).Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(ds.Iterations) != 200 {
+			b.Fatalf("iterations = %d", len(ds.Iterations))
+		}
+	}
+}
+
+// BenchmarkStudyCrawlParallel is the same workload on the iteration
+// worker pool; its dataset is asserted byte-identical to sequential in
+// the crawler tests, so this measures pure scheduling win.
+func BenchmarkStudyCrawlParallel(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		w := websim.NewWorld(websim.Config{Seed: 1009, QueriesPerEngine: 40})
+		ds, err := crawler.New(crawler.Config{World: w, Parallel: true}).Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(ds.Iterations) != 200 {
+			b.Fatalf("iterations = %d", len(ds.Iterations))
+		}
+	}
 }
 
 // BenchmarkWorldBuild measures world construction alone (all engines,
@@ -575,7 +633,10 @@ func BenchmarkParallelCrawl(b *testing.B) {
 		b.Run(name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				w := websim.NewWorld(websim.Config{Seed: 9, QueriesPerEngine: 10})
-				ds := crawler.New(crawler.Config{World: w, Parallel: parallel}).Run()
+				ds, err := crawler.New(crawler.Config{World: w, Parallel: parallel}).Run()
+				if err != nil {
+					b.Fatal(err)
+				}
 				if len(ds.Iterations) != 50 {
 					b.Fatalf("iterations = %d", len(ds.Iterations))
 				}
@@ -702,7 +763,10 @@ func BenchmarkBrowser_ClickNavigation(b *testing.B) {
 	c := crawler.New(crawler.Config{World: world, Engines: []string{searchads.StartPage}, Iterations: 1, SkipRevisit: true})
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		ds := c.Run()
+		ds, err := c.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
 		if ds.Iterations[0].Error != "" {
 			b.Fatal(ds.Iterations[0].Error)
 		}

@@ -26,7 +26,7 @@ func main() {
 		partitioned = flag.Bool("partitioned", false, "crawl with partitioned cookie storage")
 		noStealth   = flag.Bool("no-stealth", false, "disable the stealth fingerprint (bots get no ads)")
 		skipRevisit = flag.Bool("skip-revisit", false, "skip the next-day profile revisit")
-		parallel    = flag.Bool("parallel", false, "crawl engines concurrently (not byte-reproducible)")
+		parallel    = flag.Bool("parallel", false, "crawl iterations on a worker pool (byte-identical to sequential)")
 		refSmuggle  = flag.Bool("referrer-smuggling", false, "enable the referrer-based UID-smuggling service")
 		quiet       = flag.Bool("quiet", false, "suppress progress output")
 	)
@@ -52,7 +52,11 @@ func main() {
 	if !*quiet {
 		fmt.Fprintln(os.Stderr, "building world and crawling...")
 	}
-	ds := study.Crawl()
+	ds, err := study.Crawl()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "crawl:", err)
+		os.Exit(1)
+	}
 	if err := ds.Save(*out); err != nil {
 		fmt.Fprintln(os.Stderr, "crawl:", err)
 		os.Exit(1)

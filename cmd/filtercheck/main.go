@@ -35,8 +35,8 @@ func main() {
 	fmt.Fprintf(os.Stderr, "loaded %d rules (%d lines skipped)\n", engine.Len(), engine.Skipped())
 	if *stats {
 		s := engine.Stats()
-		fmt.Fprintf(os.Stderr, "token index: %d block buckets (%d tokenless), %d exception buckets (%d tokenless), largest bucket %d rules\n",
-			s.BlockBuckets, s.BlockTokenless, s.ExceptBuckets, s.ExceptTokenless, s.MaxBucket)
+		fmt.Fprintf(os.Stderr, "token index: %d block buckets (%d tokenless, %d host-anchored), %d exception buckets (%d tokenless, %d host-anchored), largest bucket %d rules\n",
+			s.BlockBuckets, s.BlockTokenless, s.BlockHostRules, s.ExceptBuckets, s.ExceptTokenless, s.ExceptHostRules, s.MaxBucket)
 	}
 
 	info := func(raw string) (filterlist.RequestInfo, error) {

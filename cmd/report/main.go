@@ -42,7 +42,12 @@ func main() {
 		if *engines != "" {
 			cfg.Engines = strings.Split(*engines, ",")
 		}
-		report = searchads.NewStudy(cfg).Analyze()
+		var err error
+		report, err = searchads.NewStudy(cfg).Analyze()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "report:", err)
+			os.Exit(1)
+		}
 	}
 
 	if *experiments {

@@ -57,10 +57,13 @@ func main() {
 	world.Queries["privacymax"] = world.Queries[serp.DuckDuckGo]
 
 	// Crawl DuckDuckGo and the hypothetical engine side by side.
-	ds := crawler.New(crawler.Config{
+	ds, err := crawler.New(crawler.Config{
 		World:   world,
 		Engines: []string{serp.DuckDuckGo, "privacymax"},
 	}).Run()
+	if err != nil {
+		panic(err)
+	}
 	report := analysis.Analyze(ds)
 
 	fmt.Println("DuckDuckGo vs. a hypothetical click-ID-free private engine")

@@ -26,14 +26,22 @@ func main() {
 	})
 
 	fmt.Fprintf(os.Stderr, "crawling %d queries × 5 engines...\n", *queries)
-	ds := study.Crawl()
+	ds, err := study.Crawl()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 	if err := ds.Save("dataset.json"); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "dataset.json: %d iterations\n", len(ds.Iterations))
 
-	report := study.Analyze()
+	report, err := study.Analyze()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 	if err := os.WriteFile("report.txt", []byte(report.Render()), 0o644); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

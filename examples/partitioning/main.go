@@ -19,7 +19,11 @@ func run(mode searchads.StorageMode) *searchads.Report {
 		QueriesPerEngine: 40,
 		Storage:          mode,
 	})
-	return study.Analyze()
+	report, err := study.Analyze()
+	if err != nil {
+		panic(err)
+	}
+	return report
 }
 
 func main() {

@@ -15,7 +15,10 @@ func main() {
 		QueriesPerEngine: 25,
 	})
 
-	ds := study.Crawl()
+	ds, err := study.Crawl()
+	if err != nil {
+		panic(err)
+	}
 	fmt.Printf("crawled %d iterations on DuckDuckGo\n\n", len(ds.Iterations))
 
 	// Inspect the first iteration: the redirect chain behind one ad
@@ -35,7 +38,10 @@ func main() {
 	fmt.Printf("final URL: %s\n\n", truncate(it.FinalURL, 110))
 
 	// Full paper-style analysis of the crawl.
-	report := study.Analyze()
+	report, err := study.Analyze()
+	if err != nil {
+		panic(err)
+	}
 	fmt.Println(report.Render())
 }
 

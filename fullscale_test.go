@@ -21,7 +21,10 @@ func TestFullScaleReproduction(t *testing.T) {
 		QueriesPerEngine: 500,
 		Parallel:         true,
 	})
-	report := study.Analyze()
+	report, err := study.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
 	comps := report.Compare()
 	ok, total := 0, 0
 	for _, c := range comps {
@@ -65,9 +68,12 @@ func TestFullScaleReproduction(t *testing.T) {
 
 // TestReportJSON covers the machine-readable output path.
 func TestReportJSON(t *testing.T) {
-	report := searchads.NewStudy(searchads.Config{
+	report, err := searchads.NewStudy(searchads.Config{
 		Seed: 17, Engines: []string{searchads.Bing}, QueriesPerEngine: 6,
 	}).Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
 	data, err := report.JSON()
 	if err != nil {
 		t.Fatal(err)

@@ -144,7 +144,7 @@ func TestMintedUIDsUnique(t *testing.T) {
 	reg := NewRegistry(detrand.New(2))
 	seen := map[string]bool{}
 	for i := 0; i < 500; i++ {
-		v := reg.mintUID("host.example")
+		v := reg.mintUID("host.example", "client-1")
 		if seen[v] {
 			t.Fatalf("duplicate UID at %d", i)
 		}
@@ -160,7 +160,7 @@ func TestPlatformBuildClick(t *testing.T) {
 		Stack:   []string{"clickserve.dartsearch.net", "ad.doubleclick.net"},
 		AutoTag: true,
 	}
-	click := g.BuildClick(c)
+	click := g.BuildClick(c, "google-0001")
 	if click.Href.Host != "www.googleadservices.com" || click.Href.Path != "/pagead/aclk" {
 		t.Fatalf("click server = %s%s", click.Href.Host, click.Href.Path)
 	}
@@ -205,7 +205,7 @@ func TestMicrosoftClickWithCrossTag(t *testing.T) {
 		CrossTagGCLID: true,
 		OtherUIDParam: "irclickid",
 	}
-	click := m.BuildClick(c)
+	click := m.BuildClick(c, "bing-0001")
 	if click.Href.Host != "www.bing.com" || click.Href.Path != "/aclk" {
 		t.Fatalf("click server = %s%s", click.Href.Host, click.Href.Path)
 	}
@@ -217,7 +217,7 @@ func TestMicrosoftClickWithCrossTag(t *testing.T) {
 		t.Fatalf("msclkid shape = %q", q.Get("msclkid"))
 	}
 	// Without auto-tag, no click ID.
-	plain := m.BuildClick(&Campaign{ID: "c3", Landing: urlx.MustParse("https://x.example/")})
+	plain := m.BuildClick(&Campaign{ID: "c3", Landing: urlx.MustParse("https://x.example/")}, "bing-0001")
 	if plain.ClickID != "" || plain.FinalLanding.RawQuery != "" {
 		t.Fatalf("un-tagged campaign got params: %s", plain.FinalLanding)
 	}
@@ -226,7 +226,7 @@ func TestMicrosoftClickWithCrossTag(t *testing.T) {
 func TestClickIDsDifferPerImpression(t *testing.T) {
 	g := GoogleAds(detrand.New(6))
 	c := &Campaign{ID: "c", Landing: urlx.MustParse("https://a.example/"), AutoTag: true}
-	a, b := g.BuildClick(c), g.BuildClick(c)
+	a, b := g.BuildClick(c, "google-0001"), g.BuildClick(c, "google-0001")
 	if a.ClickID == b.ClickID {
 		t.Fatal("click IDs must be unique per impression")
 	}

@@ -74,11 +74,11 @@ func TestMintedClickIDShapes(t *testing.T) {
 	g := GoogleAds(detrand.New(99))
 	m := MicrosoftAds(detrand.New(98))
 	for i := 0; i < 50; i++ {
-		gclid := g.MintClickID()
+		gclid := g.MintClickID("google-0001")
 		if len(gclid) != len("Cj0KCQjw")+48 {
 			t.Fatalf("gclid length = %d", len(gclid))
 		}
-		msclkid := m.MintClickID()
+		msclkid := m.MintClickID("bing-0001")
 		if len(msclkid) != 32 {
 			t.Fatalf("msclkid length = %d", len(msclkid))
 		}

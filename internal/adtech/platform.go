@@ -4,7 +4,6 @@ import (
 	"net/url"
 	"sort"
 	"strings"
-	"sync"
 
 	"searchads/internal/detrand"
 	"searchads/internal/urlx"
@@ -66,14 +65,17 @@ type Platform struct {
 	// ClickIDPrefix gives minted IDs their recognisable shape.
 	ClickIDPrefix string
 
-	mu    sync.Mutex
-	seed  *detrand.Source
-	mintN int
+	seed detrand.Source
+	// seq scopes click-ID minting per requesting client: Google's
+	// platform is shared by the google and startpage engines (Microsoft's
+	// by bing, duckduckgo, and qwant), so a global counter would make
+	// minted IDs depend on how concurrently-crawled engines interleave.
+	seq detrand.Seq
 }
 
 // GoogleAds returns Google's advertising system ("StartPage relies on
 // Google AdSense to show ads").
-func GoogleAds(seed *detrand.Source) *Platform {
+func GoogleAds(seed detrand.Source) *Platform {
 	return &Platform{
 		Name:          "googleads",
 		ClickHost:     "www.googleadservices.com",
@@ -86,7 +88,7 @@ func GoogleAds(seed *detrand.Source) *Platform {
 
 // MicrosoftAds returns Microsoft's advertising system ("DuckDuckGo and
 // Qwant use Microsoft's advertising system").
-func MicrosoftAds(seed *detrand.Source) *Platform {
+func MicrosoftAds(seed detrand.Source) *Platform {
 	return &Platform{
 		Name:          "microsoft",
 		ClickHost:     "www.bing.com",
@@ -97,28 +99,24 @@ func MicrosoftAds(seed *detrand.Source) *Platform {
 	}
 }
 
-// MintClickID returns a fresh click identifier. Click IDs are unique per
-// ad impression — which is exactly why the paper's filter (ii) discards
-// per-ad-varying tokens while Table 6 still reports GCLID/MSCLKID by
-// name.
-func (p *Platform) MintClickID() string {
-	p.mu.Lock()
-	p.mintN++
-	n := p.mintN
-	p.mu.Unlock()
+// MintClickID returns a fresh click identifier for an impression served
+// to client. Click IDs are unique per ad impression — which is exactly
+// why the paper's filter (ii) discards per-ad-varying tokens while
+// Table 6 still reports GCLID/MSCLKID by name. The stream is keyed by
+// (platform seed, client, per-client serial), so values are independent
+// of cross-engine request interleaving.
+func (p *Platform) MintClickID(client string) string {
+	n := p.seq.Next(client)
 	if p.ClickIDPrefix != "" {
-		return p.ClickIDPrefix + p.seed.DeriveN("clickid", n).Token(48, detrand.Base64URLLike)
+		return p.ClickIDPrefix + p.seed.Derive("clickid", client).DeriveN("n", n).Token(48, detrand.Base64URLLike)
 	}
-	return p.seed.DeriveN("clickid", n).Token(32, detrand.HexLower)
+	return p.seed.Derive("clickid", client).DeriveN("n", n).Token(32, detrand.HexLower)
 }
 
 // MintOtherUID mints a value for a campaign's extra UID parameter.
-func (p *Platform) MintOtherUID() string {
-	p.mu.Lock()
-	p.mintN++
-	n := p.mintN
-	p.mu.Unlock()
-	return p.seed.DeriveN("otheruid", n).Token(24, detrand.AlphaNum)
+func (p *Platform) MintOtherUID(client string) string {
+	n := p.seq.Next(client)
+	return p.seed.Derive("otheruid", client).DeriveN("n", n).Token(24, detrand.AlphaNum)
 }
 
 // AdClick is a fully-constructed ad click: the href placed in the SERP
@@ -140,19 +138,20 @@ type AdClick struct {
 // BuildClick constructs the click URL for one rendered ad impression:
 // landing-URL decoration (click IDs, extra UID params), the campaign's
 // redirector stack, and the platform click server on the outside.
-func (p *Platform) BuildClick(c *Campaign) *AdClick {
+func (p *Platform) BuildClick(c *Campaign, client string) *AdClick {
 	landing := urlx.CopyURL(c.Landing)
 	click := &AdClick{Campaign: c}
 	params := map[string]string{}
 	if c.AutoTag {
-		click.ClickID = p.MintClickID()
+		click.ClickID = p.MintClickID(client)
 		params[p.ClickIDParam] = click.ClickID
 	}
 	if c.CrossTagGCLID && p.ClickIDParam != "gclid" {
-		params["gclid"] = "Cj0KCQjw" + p.seed.DeriveN("crossgclid", p.bump()).Token(48, detrand.Base64URLLike)
+		n := p.seq.Next(client)
+		params["gclid"] = "Cj0KCQjw" + p.seed.Derive("crossgclid", client).DeriveN("n", n).Token(48, detrand.Base64URLLike)
 	}
 	if c.OtherUIDParam != "" {
-		params[c.OtherUIDParam] = p.MintOtherUID()
+		params[c.OtherUIDParam] = p.MintOtherUID(client)
 	}
 	if len(params) > 0 {
 		landing = urlx.WithParams(landing, params)
@@ -165,14 +164,6 @@ func (p *Platform) BuildClick(c *Campaign) *AdClick {
 	return click
 }
 
-func (p *Platform) bump() int {
-	p.mu.Lock()
-	p.mintN++
-	n := p.mintN
-	p.mu.Unlock()
-	return n
-}
-
 // Pool is the set of campaigns an engine's ad system draws from.
 type Pool struct {
 	Campaigns []*Campaign
@@ -181,12 +172,13 @@ type Pool struct {
 // Select returns up to n campaigns for a query: keyword matches first
 // (most specific advertisers), then deterministic filler so a SERP always
 // carries ads, mirroring how broad-match auctions always fill slots.
-func (pool *Pool) Select(query string, n int, seed *detrand.Source) []*Campaign {
+func (pool *Pool) Select(query string, n int, seed detrand.Source) []*Campaign {
 	if n <= 0 || len(pool.Campaigns) == 0 {
 		return nil
 	}
 	terms := strings.Fields(strings.ToLower(query))
-	var matched, rest []*Campaign
+	matched := make([]*Campaign, 0, 8)
+	rest := make([]*Campaign, 0, len(pool.Campaigns))
 	for _, c := range pool.Campaigns {
 		if campaignMatches(c, terms) {
 			matched = append(matched, c)
@@ -195,8 +187,8 @@ func (pool *Pool) Select(query string, n int, seed *detrand.Source) []*Campaign 
 		}
 	}
 	// Deterministic shuffle of the filler, keyed by the query.
-	r := seed.Derive("select", query).Rand()
-	r.Shuffle(len(rest), func(i, j int) { rest[i], rest[j] = rest[j], rest[i] })
+	g := seed.Derive("select", query).Rand()
+	g.Shuffle(len(rest), func(i, j int) { rest[i], rest[j] = rest[j], rest[i] })
 	out := append(matched, rest...)
 	if len(out) > n {
 		out = out[:n]

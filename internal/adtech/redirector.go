@@ -59,12 +59,15 @@ type Policy struct {
 type Registry struct {
 	mu       sync.Mutex
 	policies map[string]*Policy // by host (exact) or site (wildcard)
-	seed     *detrand.Source
-	mintN    int
+	seed     detrand.Source
+	// seq scopes minting and bounce decisions per requesting client;
+	// every redirector is shared by all engines' chains, so a global
+	// counter would tie minted UIDs to cross-engine request interleaving.
+	seq detrand.Seq
 }
 
 // NewRegistry returns a registry minting identifiers from seed.
-func NewRegistry(seed *detrand.Source) *Registry {
+func NewRegistry(seed detrand.Source) *Registry {
 	return &Registry{
 		policies: make(map[string]*Policy),
 		seed:     seed.Derive("redirectors"),
@@ -112,23 +115,21 @@ func (r *Registry) Register(net *netsim.Network) {
 }
 
 // mintUID returns a fresh high-entropy identifier value, unique across
-// the whole study and deterministic in request order.
-func (r *Registry) mintUID(host string) string {
-	r.mu.Lock()
-	r.mintN++
-	n := r.mintN
-	r.mu.Unlock()
-	return r.seed.Derive("uid", host).DeriveN("n", n).Token(26, detrand.Base64URLLike)
+// the whole study and a pure function of (host, client, per-client
+// serial) — one client's bounces are strictly ordered, so the value
+// never depends on other clients' scheduling.
+func (r *Registry) mintUID(host, client string) string {
+	n := r.seq.Next(client)
+	return r.seed.Derive("uid", host, client).DeriveN("n", n).Token(26, detrand.Base64URLLike)
 }
 
 // bounceDecision returns whether this bounce stores a UID cookie. The
-// decision stream is derived per (host, serial) so it is deterministic.
-func (r *Registry) bounceDecision(host string, prob float64) bool {
-	r.mu.Lock()
-	r.mintN++
-	n := r.mintN
-	r.mu.Unlock()
-	return detrand.Bernoulli(r.seed.Derive("decide", host).DeriveN("n", n).Rand(), prob)
+// decision stream is derived per (host, client, serial) so it is
+// deterministic under any crawl scheduling.
+func (r *Registry) bounceDecision(host, client string, prob float64) bool {
+	n := r.seq.Next(client)
+	g := r.seed.Derive("decide", host, client).DeriveN("n", n).Rand()
+	return detrand.Bernoulli(&g, prob)
 }
 
 // Bounce implements one redirect hop: read the next-hop parameter, apply
@@ -151,8 +152,8 @@ func (r *Registry) Bounce(p *Policy, req *netsim.Request) *netsim.Response {
 		// bounce to the previous ones (the privacy harm of §4.2.2).
 		return resp
 	}
-	if p.UIDCookieProb > 0 && r.bounceDecision(p.Host, p.UIDCookieProb) {
-		c := netsim.NewCookie(p.CookieName, r.mintUID(p.Host))
+	if p.UIDCookieProb > 0 && r.bounceDecision(p.Host, req.Client, p.UIDCookieProb) {
+		c := netsim.NewCookie(p.CookieName, r.mintUID(p.Host, req.Client))
 		c.SameSite = netsim.SameSiteNone
 		c.Secure = true
 		c.Expires = req.Time.Add(390 * 24 * time.Hour)
@@ -179,7 +180,7 @@ func (r *Registry) referrerBounce(p *Policy, req *netsim.Request, next string) *
 	if req.Query("ruid") == "" {
 		// Step 1: decorate our own URL with the identifier.
 		if uid == "" {
-			uid = r.mintUID(p.Host)
+			uid = r.mintUID(p.Host, req.Client)
 		}
 		own := urlx.CopyURL(req.URL)
 		own = urlx.WithParams(own, map[string]string{"ruid": uid})
@@ -256,9 +257,10 @@ func BuildChain(hops []string, landing *url.URL) *url.URL {
 	for i := len(hops) - 1; i >= 0; i-- {
 		host := hops[i]
 		u := &url.URL{Scheme: "https", Host: host, Path: HopPath(host)}
-		q := url.Values{}
-		q.Set(NextParam, next.String())
-		u.RawQuery = q.Encode()
+		// One builder pass instead of url.Values{}.Encode(): chains are
+		// rebuilt for all four ads of every SERP render, and the nested
+		// next= payload grows quadratically with hop depth.
+		u.RawQuery = urlx.EncodeQuery(NextParam, next.String())
 		next = u
 	}
 	return next

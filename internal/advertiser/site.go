@@ -3,7 +3,6 @@ package advertiser
 import (
 	"net/http"
 	"strings"
-	"sync"
 
 	"searchads/internal/detrand"
 	"searchads/internal/netsim"
@@ -44,14 +43,15 @@ func (s *Site) LandingURL() string {
 
 // SiteRegistry serves every advertiser site.
 type SiteRegistry struct {
-	mu    sync.Mutex
 	sites map[string]*Site
-	seed  *detrand.Source
-	sessN int
+	seed  detrand.Source
+	// seq scopes session-cookie minting per requesting client, keeping
+	// minted values independent of cross-engine request interleaving.
+	seq detrand.Seq
 }
 
 // NewSiteRegistry builds a registry over the given sites.
-func NewSiteRegistry(seed *detrand.Source, sites []*Site) *SiteRegistry {
+func NewSiteRegistry(seed detrand.Source, sites []*Site) *SiteRegistry {
 	reg := &SiteRegistry{
 		sites: make(map[string]*Site, len(sites)),
 		seed:  seed.Derive("advertisers"),
@@ -90,31 +90,28 @@ func (reg *SiteRegistry) serve(s *Site, req *netsim.Request) *netsim.Response {
 		return resp
 	}
 	// Landing page (any path serves the landing document).
+	resources := make([]netsim.ResourceRef, 0, 2+len(s.Trackers))
+	resources = append(resources,
+		netsim.ResourceRef{URL: "https://" + s.Domain + "/static/site.js", Type: netsim.TypeScript},
+		netsim.ResourceRef{URL: "https://" + s.Domain + "/static/style.css", Type: netsim.TypeStylesheet},
+	)
+	for _, t := range s.Trackers {
+		resources = append(resources, netsim.ResourceRef{URL: t.ScriptURL(), Type: netsim.TypeScript})
+	}
 	page := &netsim.Page{
 		Title: s.Domain,
 		Root: netsim.NewElement("div", "id", "main").Append(
 			netsim.NewElement("h1").Append(),
 			netsim.NewElement("a", "href", "https://"+s.Domain+"/products"),
 		),
-		Resources: []netsim.ResourceRef{
-			{URL: "https://" + s.Domain + "/static/site.js", Type: netsim.TypeScript},
-			{URL: "https://" + s.Domain + "/static/style.css", Type: netsim.TypeStylesheet},
-		},
-	}
-	for _, t := range s.Trackers {
-		page.Resources = append(page.Resources, netsim.ResourceRef{
-			URL: t.ScriptURL(), Type: netsim.TypeScript,
-		})
+		Resources: resources,
 	}
 	resp.Page = page
 	// First-party session cookie: a rotating value the §3.2 session
 	// filter must reject.
 	if _, ok := req.Cookie("sess"); !ok {
-		reg.mu.Lock()
-		reg.sessN++
-		n := reg.sessN
-		reg.mu.Unlock()
-		c := netsim.NewCookie("sess", reg.seed.Derive("sess", s.Domain).DeriveN("n", n).Token(16, detrand.HexLower))
+		n := reg.seq.Next(req.Client)
+		c := netsim.NewCookie("sess", reg.seed.Derive("sess", s.Domain, req.Client).DeriveN("n", n).Token(16, detrand.HexLower))
 		resp.AddCookie(c)
 	}
 	return resp

@@ -10,7 +10,6 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
-	"sync"
 
 	"searchads/internal/detrand"
 	"searchads/internal/netsim"
@@ -88,8 +87,9 @@ var unknownWords = []string{
 // and their endpoints use /pixel and /collect paths, so the embedded
 // generic EasyPrivacy rules detect them while the entity list does not —
 // they form the "unknown" rows of Tables 3 and 5.
-func MintUnknownTrackers(seed *detrand.Source, n int) []*Tracker {
-	r := seed.Derive("unknown-trackers").Rand()
+func MintUnknownTrackers(seed detrand.Source, n int) []*Tracker {
+	g := seed.Derive("unknown-trackers").Rand()
+	r := &g
 	out := make([]*Tracker, 0, n)
 	used := make(map[string]bool, n)
 	for i := 0; i < n; i++ {
@@ -118,14 +118,16 @@ func MintUnknownTrackers(seed *detrand.Source, n int) []*Tracker {
 
 // TrackerRegistry serves every tracker host and mints their identifiers.
 type TrackerRegistry struct {
-	mu       sync.Mutex
 	trackers map[string]*Tracker
-	seed     *detrand.Source
-	mintN    int
+	seed     detrand.Source
+	// seq scopes minting per requesting client (trackers are embedded on
+	// every engine's destinations, so a global counter would tie minted
+	// IDs to cross-engine request interleaving).
+	seq detrand.Seq
 }
 
 // NewTrackerRegistry builds a registry over the given trackers.
-func NewTrackerRegistry(seed *detrand.Source, trackers []*Tracker) *TrackerRegistry {
+func NewTrackerRegistry(seed detrand.Source, trackers []*Tracker) *TrackerRegistry {
 	reg := &TrackerRegistry{
 		trackers: make(map[string]*Tracker, len(trackers)),
 		seed:     seed.Derive("trackers"),
@@ -152,12 +154,9 @@ func (reg *TrackerRegistry) Lookup(host string) (*Tracker, bool) {
 	return t, ok
 }
 
-func (reg *TrackerRegistry) mint(label string) string {
-	reg.mu.Lock()
-	reg.mintN++
-	n := reg.mintN
-	reg.mu.Unlock()
-	return reg.seed.Derive(label).DeriveN("n", n).Token(22, detrand.AlphaNum)
+func (reg *TrackerRegistry) mint(label, client string) string {
+	n := reg.seq.Next(client)
+	return reg.seed.Derive(label, client).DeriveN("n", n).Token(22, detrand.AlphaNum)
 }
 
 func (reg *TrackerRegistry) serve(t *Tracker, req *netsim.Request) *netsim.Response {
@@ -168,7 +167,7 @@ func (reg *TrackerRegistry) serve(t *Tracker, req *netsim.Request) *netsim.Respo
 	case strings.HasPrefix(req.URL.Path, t.PixelPath):
 		if t.SetsThirdPartyCookie {
 			if _, already := req.Cookie("tuid"); !already {
-				c := netsim.NewCookie("tuid", reg.mint("3p/"+t.Host))
+				c := netsim.NewCookie("tuid", reg.mint("3p/"+t.Host, req.Client))
 				c.SameSite = netsim.SameSiteNone
 				c.Secure = true
 				resp.AddCookie(c)
@@ -186,7 +185,7 @@ func (reg *TrackerRegistry) scriptFor(t *Tracker) netsim.ScriptProgram {
 		if t.SetsFirstPartyCookie {
 			name := t.FirstPartyCookieName
 			if _, exists := findCookie(env.DocumentCookies(), name); !exists {
-				env.SetDocumentCookie(netsim.NewCookie(name, reg.mint("fp/"+t.Host)))
+				env.SetDocumentCookie(netsim.NewCookie(name, reg.mint("fp/"+t.Host, env.Client())))
 			}
 		}
 		// Phone home: the collection request the filter lists catch.

@@ -17,7 +17,11 @@ func report(t *testing.T) (*Report, *crawler.Dataset) {
 	t.Helper()
 	if sharedReport == nil {
 		w := websim.NewWorld(websim.Config{Seed: 99, QueriesPerEngine: 60})
-		sharedDataset = crawler.New(crawler.Config{World: w, Iterations: 60}).Run()
+		var err error
+		sharedDataset, err = crawler.New(crawler.Config{World: w, Iterations: 60}).Run()
+		if err != nil {
+			t.Fatal(err)
+		}
 		sharedReport = Analyze(sharedDataset)
 	}
 	return sharedReport, sharedDataset

@@ -104,9 +104,14 @@ func PaperExpectations() []Expectation {
 		k      int
 		p      float64
 	}{
-		{"bing", 0, 0.96},       // 96% of Bing clicks bounce through nothing
-		{"duckduckgo", 1, 0.96}, // DDG: ~one redirector nearly always
-		{"google", 1, 0.73},     // Google: 69% one redirector (+4% at k<=0 none)
+		{"bing", 0, 0.96}, // 96% of Bing clicks bounce through nothing
+		// DDG: Table 2 puts 82% of clicks on the duckduckgo-bing-destination
+		// path (exactly one cross-site redirector, Bing's click server);
+		// every longer path adds >= 2. The figure's visual anchor reads
+		// higher, but it cannot exceed the Table 2 path share it is
+		// computed from, so the precise Table 2 number is the pin.
+		{"duckduckgo", 1, 0.82},
+		{"google", 1, 0.73}, // Google: 69% one redirector (+4% at k<=0 none)
 		{"qwant", 1, 0.90},
 		{"startpage", 1, 0.07}, // 93% of StartPage clicks see >= 2 sites
 	}

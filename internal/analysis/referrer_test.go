@@ -19,7 +19,10 @@ func TestReferrerSmugglingDetected(t *testing.T) {
 		Engines:                 []string{"duckduckgo"},
 		EnableReferrerSmuggling: true,
 	})
-	ds := crawler.New(crawler.Config{World: w, Engines: []string{"duckduckgo"}}).Run()
+	ds, err := crawler.New(crawler.Config{World: w, Engines: []string{"duckduckgo"}}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
 	r := Analyze(ds)
 
 	got := r.After["duckduckgo"].ReferrerUID

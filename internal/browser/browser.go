@@ -74,10 +74,14 @@ type Options struct {
 	// Fingerprint is the bot-detection surface; zero value means the
 	// stealth fingerprint.
 	Fingerprint Fingerprint
-	// Seed drives the recorder's capture-loss stream.
-	Seed *detrand.Source
+	// Seed drives the recorder's capture-loss stream. The zero Source
+	// falls back to a fixed default stream.
+	Seed detrand.Source
 	// MaxRedirects caps a navigation's hop chain. 0 means 25.
 	MaxRedirects int
+	// Client labels this browser profile on every request it sends (see
+	// netsim.Request.Client); the crawler passes its iteration instance.
+	Client string
 }
 
 // Hop is one step of a navigation chain, as reconstructed by the paper's
@@ -117,8 +121,18 @@ type Browser struct {
 	jar   *storage.Jar
 	local *storage.LocalStorage
 	opts  Options
+	// clock is the browser's own virtual clock, started from the
+	// network clock at construction. Each profile advancing private time
+	// keeps an iteration's timeline — and therefore every timestamp an
+	// origin server observes — independent of how many other profiles
+	// run concurrently, which Parallel-crawl byte-identity relies on.
+	clock *netsim.Clock
+	// baseHeader carries the fingerprint headers shared (read-only) by
+	// every request this browser sends; one map for the whole profile
+	// instead of one per request.
+	baseHeader http.Header
 
-	captureRand *detrand.Source
+	captureRand detrand.Source
 	captureN    int
 
 	crawlerLog   []*netsim.Request
@@ -144,17 +158,32 @@ func New(net *netsim.Network, opts Options) *Browser {
 	if opts.Fingerprint == (Fingerprint{}) {
 		opts.Fingerprint = StealthFingerprint()
 	}
-	if opts.Seed == nil {
+	if opts.Seed == (detrand.Source{}) {
 		opts.Seed = detrand.New(1)
 	}
+	baseHeader := make(http.Header, 3)
+	baseHeader.Set("User-Agent", opts.Fingerprint.UserAgent)
+	if opts.Fingerprint.Headless {
+		baseHeader.Set("X-Headless", "1")
+	}
+	if opts.Fingerprint.WebDriver {
+		baseHeader.Set("X-Webdriver", "1")
+	}
 	return &Browser{
-		net:         net,
-		jar:         storage.NewJar(opts.StorageMode),
-		local:       storage.NewLocalStorage(opts.StorageMode),
-		opts:        opts,
-		captureRand: opts.Seed.Derive("capture"),
+		net:          net,
+		jar:          storage.NewJar(opts.StorageMode),
+		local:        storage.NewLocalStorage(opts.StorageMode),
+		opts:         opts,
+		clock:        netsim.NewClock(net.Clock().Now()),
+		baseHeader:   baseHeader,
+		captureRand:  opts.Seed.Derive("capture"),
+		crawlerLog:   make([]*netsim.Request, 0, 96),
+		extensionLog: make([]*netsim.Request, 0, 96),
 	}
 }
+
+// Clock returns the browser's private virtual clock.
+func (b *Browser) Clock() *netsim.Clock { return b.clock }
 
 // Jar exposes the cookie jar for dataset dumps.
 func (b *Browser) Jar() *storage.Jar { return b.jar }
@@ -185,18 +214,16 @@ func (b *Browser) DocumentReferrer() string { return b.docReferrer }
 // send issues one request through the network with cookies attached, logs
 // it on both recorders, and stores response cookies.
 func (b *Browser) send(req *netsim.Request, topLevelNav bool) (*netsim.Response, error) {
-	now := b.net.Clock().Now()
-	req.Cookies = b.jar.Cookies(now, req.URL.String(), req.FirstParty, topLevelNav)
+	now := b.clock.Now()
+	req.Cookies = b.jar.Cookies(now, req.URL, req.FirstParty, topLevelNav)
 	if req.Header == nil {
-		req.Header = make(http.Header)
+		// The fingerprint headers are identical for every request of
+		// this profile; handlers only read them, so one shared map does.
+		req.Header = b.baseHeader
 	}
-	req.Header.Set("User-Agent", b.opts.Fingerprint.UserAgent)
-	if b.opts.Fingerprint.Headless {
-		req.Header.Set("X-Headless", "1")
-	}
-	if b.opts.Fingerprint.WebDriver {
-		req.Header.Set("X-Webdriver", "1")
-	}
+	req.Client = b.opts.Client
+	req.Time = now
+	b.clock.Advance(netsim.LatencyPerExchange)
 
 	resp, err := b.net.RoundTrip(req)
 
@@ -206,15 +233,15 @@ func (b *Browser) send(req *netsim.Request, topLevelNav bool) (*netsim.Response,
 	// any requests", §3.1).
 	b.extensionLog = append(b.extensionLog, req)
 	b.captureN++
-	r := b.captureRand.DeriveN("req", b.captureN).Rand()
-	if detrand.Bernoulli(r, b.opts.CaptureProb) {
+	g := b.captureRand.DeriveN("req", b.captureN).Rand()
+	if detrand.Bernoulli(&g, b.opts.CaptureProb) {
 		b.crawlerLog = append(b.crawlerLog, req)
 	}
 	if err != nil {
 		return nil, err
 	}
 	if len(resp.SetCookies) > 0 {
-		b.jar.SetCookies(b.net.Clock().Now(), req.URL.String(), req.FirstParty, resp.SetCookies)
+		b.jar.SetCookies(b.clock.Now(), req.URL, req.FirstParty, resp.SetCookies)
 	}
 	return resp, nil
 }
@@ -429,9 +456,9 @@ func (b *Browser) fireBeacon(beacon netsim.Beacon) {
 	b.send(req, false) // beacon failures are fire-and-forget
 }
 
-// Dwell advances virtual time, modelling the paper's 15-second stay on
-// destination pages ("waiting for 15 seconds on the ad's destination
-// website").
+// Dwell advances the browser's virtual time, modelling the paper's
+// 15-second stay on destination pages ("waiting for 15 seconds on the
+// ad's destination website").
 func (b *Browser) Dwell() {
-	b.net.Clock().Advance(15 * time.Second)
+	b.clock.Advance(15 * time.Second)
 }

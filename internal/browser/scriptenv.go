@@ -26,7 +26,8 @@ func (e *scriptEnv) PageURL() *url.URL   { return e.pageURL }
 func (e *scriptEnv) FirstParty() string  { return e.firstParty }
 func (e *scriptEnv) ScriptSrc() *url.URL { return e.src }
 func (e *scriptEnv) Referrer() string    { return e.b.docReferrer }
-func (e *scriptEnv) Now() time.Time      { return e.b.net.Clock().Now() }
+func (e *scriptEnv) Now() time.Time      { return e.b.clock.Now() }
+func (e *scriptEnv) Client() string      { return e.b.opts.Client }
 
 // SetDocumentCookie writes a cookie through document.cookie: the cookie
 // belongs to the page's origin, regardless of where the script came from
@@ -37,12 +38,12 @@ func (e *scriptEnv) SetDocumentCookie(c *netsim.Cookie) {
 		return
 	}
 	c.HTTPOnly = false // document.cookie cannot set HttpOnly
-	e.b.jar.SetCookies(e.Now(), e.pageURL.String(), e.firstParty, []*netsim.Cookie{c})
+	e.b.jar.SetCookies(e.Now(), e.pageURL, e.firstParty, []*netsim.Cookie{c})
 }
 
 // DocumentCookies lists the cookies visible to the page document.
 func (e *scriptEnv) DocumentCookies() []*netsim.Cookie {
-	return e.b.jar.Cookies(e.Now(), e.pageURL.String(), e.firstParty, false)
+	return e.b.jar.Cookies(e.Now(), e.pageURL, e.firstParty, false)
 }
 
 // LocalStorageSet writes to the page origin's storage area.

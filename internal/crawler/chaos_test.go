@@ -26,7 +26,7 @@ func TestIterationSurvivesDeadDestination(t *testing.T) {
 	}
 	e.Pool.Campaigns = []*adtech.Campaign{dead, e.Pool.Campaigns[0]}
 
-	ds := New(Config{World: w, Engines: []string{serp.Bing}, Iterations: 2}).Run()
+	ds := mustRun(t, Config{World: w, Engines: []string{serp.Bing}, Iterations: 2})
 	var failed, succeeded int
 	for _, it := range ds.Iterations {
 		if it.Error != "" {
@@ -61,7 +61,7 @@ func TestIterationSurvivesRedirectLoop(t *testing.T) {
 	}
 	e.Pool.Campaigns = []*adtech.Campaign{loopy, e.Pool.Campaigns[0]}
 
-	ds := New(Config{World: w, Engines: []string{serp.Qwant}, Iterations: 2}).Run()
+	ds := mustRun(t, Config{World: w, Engines: []string{serp.Qwant}, Iterations: 2})
 	var sawLoopError bool
 	for _, it := range ds.Iterations {
 		if strings.Contains(it.Error, "too many redirects") {

@@ -2,6 +2,9 @@ package crawler
 
 import (
 	"fmt"
+	"runtime"
+	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -38,12 +41,14 @@ type Config struct {
 	// SkipRevisit disables the next-day re-iteration (faster, but the
 	// session-identifier filter loses its signal).
 	SkipRevisit bool
-	// Parallel crawls the engines concurrently (one goroutine per
-	// engine). Within an engine, iterations stay sequential — the
-	// unvisited-first ad choice is order-dependent. Identifier minting
-	// across engines interleaves nondeterministically, so parallel
-	// datasets are not byte-identical across runs; every aggregate
-	// statistic is unchanged.
+	// Parallel crawls iterations on a worker pool sized to the CPU.
+	// Within an engine, iterations stay strictly ordered — the
+	// unvisited-first ad choice is order-dependent — but different
+	// engines' iterations overlap across all cores. Identifier streams
+	// are derived from (engine, iteration) labels rather than global
+	// mint order, and each browser profile runs its own virtual clock,
+	// so a Parallel crawl produces a dataset byte-identical to the
+	// sequential crawl of the same Config.
 	Parallel bool
 	// Filter, when set, matches every recorded request against the
 	// filter engine during the crawl (via Engine.MatchBatch) and
@@ -69,52 +74,114 @@ func New(cfg Config) *Crawler {
 	return &Crawler{cfg: cfg}
 }
 
-// Run executes the full crawl and returns the dataset.
-func (c *Crawler) Run() *Dataset {
+// Run executes the full crawl and returns the dataset. It fails fast
+// with an error if Config.Engines names an engine the world does not
+// have — a typo used to silently produce an empty per-engine slot.
+func (c *Crawler) Run() (*Dataset, error) {
 	w := c.cfg.World
+	engines := make([]*serp.Engine, len(c.cfg.Engines))
+	seen := make(map[string]bool, len(c.cfg.Engines))
+	for i, name := range c.cfg.Engines {
+		// Duplicates would give two chains identical instance labels, so
+		// their minting streams would collide and a Parallel crawl would
+		// no longer be byte-identical to a sequential one.
+		if seen[name] {
+			return nil, fmt.Errorf("crawler: engine %q listed twice in Config.Engines", name)
+		}
+		seen[name] = true
+		engine := w.Engine(name)
+		if engine == nil {
+			known := make([]string, 0, len(w.Engines))
+			for k := range w.Engines {
+				known = append(known, k)
+			}
+			sort.Strings(known)
+			return nil, fmt.Errorf("crawler: unknown engine %q (world has: %s)",
+				name, strings.Join(known, ", "))
+		}
+		engines[i] = engine
+	}
 	ds := &Dataset{
 		Seed:            w.Cfg.Seed,
 		StorageMode:     c.cfg.StorageMode.String(),
 		CreatedAt:       w.Net.Clock().Now(),
 		FilterAnnotated: c.cfg.Filter != nil,
 	}
-	perEngine := make([][]*Iteration, len(c.cfg.Engines))
-	runEngine := func(idx int, name string) {
-		engine := w.Engine(name)
-		if engine == nil {
-			return
-		}
-		queries := w.Queries[name]
-		n := len(queries)
+	// Per-engine iteration chains: counts[idx] iterations each, strictly
+	// ordered within an engine (the unvisited-first ad choice depends on
+	// the previous iterations' clicks).
+	counts := make([]int, len(engines))
+	total := 0
+	perEngine := make([][]*Iteration, len(engines))
+	visited := make([]map[string]bool, len(engines)) // landing domains already seen
+	for idx := range engines {
+		n := len(w.Queries[c.cfg.Engines[idx]])
 		if c.cfg.Iterations > 0 && c.cfg.Iterations < n {
 			n = c.cfg.Iterations
 		}
-		visited := make(map[string]bool) // landing domains already seen
-		for i := 0; i < n; i++ {
-			it := c.runIteration(engine, queries[i], i, visited)
-			c.annotateTrackers(it)
-			perEngine[idx] = append(perEngine[idx], it)
-		}
+		counts[idx] = n
+		total += n
+		perEngine[idx] = make([]*Iteration, n)
+		visited[idx] = make(map[string]bool)
+	}
+	runOne := func(idx, iter int) {
+		engine := engines[idx]
+		it := c.runIteration(engine, w.Queries[c.cfg.Engines[idx]][iter], iter, visited[idx])
+		c.annotateTrackers(it)
+		perEngine[idx][iter] = it
 	}
 	if c.cfg.Parallel {
-		var wg sync.WaitGroup
-		for idx, name := range c.cfg.Engines {
-			wg.Add(1)
-			go func(idx int, name string) {
-				defer wg.Done()
-				runEngine(idx, name)
-			}(idx, name)
-		}
-		wg.Wait()
+		c.runPool(runOne, counts, total)
 	} else {
-		for idx, name := range c.cfg.Engines {
-			runEngine(idx, name)
+		for idx := range engines {
+			for i := 0; i < counts[idx]; i++ {
+				runOne(idx, i)
+			}
 		}
 	}
 	for _, iters := range perEngine {
 		ds.Iterations = append(ds.Iterations, iters...)
 	}
-	return ds
+	return ds, nil
+}
+
+// runPool schedules iterations on an iteration-aware worker pool: one
+// task per (engine, iteration), with engine e's iteration i+1 enqueued
+// only when iteration i completes (the channel send/receive pair gives
+// the i→i+1 happens-before the per-engine visited map needs). At most
+// one task per engine is ever outstanding, so the buffered channel
+// never blocks and a worker-count of min(GOMAXPROCS, engines) saturates
+// the available overlap.
+func (c *Crawler) runPool(runOne func(idx, iter int), counts []int, total int) {
+	type task struct{ idx, iter int }
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(counts) {
+		workers = len(counts)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	tasks := make(chan task, len(counts))
+	var wg sync.WaitGroup
+	wg.Add(total)
+	for i := 0; i < workers; i++ {
+		go func() {
+			for t := range tasks {
+				runOne(t.idx, t.iter)
+				if t.iter+1 < counts[t.idx] {
+					tasks <- task{t.idx, t.iter + 1}
+				}
+				wg.Done()
+			}
+		}()
+	}
+	for idx, n := range counts {
+		if n > 0 {
+			tasks <- task{idx, 0}
+		}
+	}
+	wg.Wait()
+	close(tasks)
 }
 
 // runIteration performs one full crawl iteration in a fresh browser
@@ -139,6 +206,9 @@ func (c *Crawler) runIteration(engine *serp.Engine, query string, index int, vis
 		CaptureProb: c.cfg.CaptureProb,
 		Fingerprint: fp,
 		Seed:        w.Seed.Derive("browser", it.Instance),
+		// The instance label keys every origin server's identifier
+		// stream for this iteration's requests.
+		Client: it.Instance,
 	})
 
 	// Stage 1 — before the click: main page, then the results page.
@@ -151,7 +221,7 @@ func (c *Crawler) runIteration(engine *serp.Engine, query string, index int, vis
 		return it
 	}
 	it.SERPRequests = recordRequests(b.CrawlerRequests())
-	it.SERPCookies = recordCookies(b.Jar(), w.Net.Clock().Now())
+	it.SERPCookies = recordCookies(b.Jar(), b.Clock().Now())
 
 	// Scrape the displayed ads.
 	ads := serp.FindAds(name, b.Page())
@@ -209,29 +279,26 @@ func (c *Crawler) runIteration(engine *serp.Engine, query string, index int, vis
 	clickReqs, destReqs := splitClickRequests(b.CrawlerRequests()[clickStart:], destSite)
 	it.ClickRequests = recordRequests(clickReqs)
 	it.DestRequests = recordRequests(destReqs)
-	now := w.Net.Clock().Now()
-	it.Cookies = recordCookies(b.Jar(), now)
+	it.Cookies = recordCookies(b.Jar(), b.Clock().Now())
 	it.LocalStorage = recordStorage(b.LocalStorage())
 	it.CrawlerRequestCount = len(b.CrawlerRequests())
 	it.ExtensionRequestCount = len(b.ExtensionRequests())
 
 	// Next-day revisit on the same profile (§3.2 filter iii): values
 	// that changed are session identifiers, values that persisted are
-	// user-identifier candidates.
+	// user-identifier candidates. The jump happens on the browser's own
+	// clock, so it neither perturbs other profiles nor needs the old
+	// shared-clock rewind hack to keep long crawls in the study window.
 	if !c.cfg.SkipRevisit {
-		w.Net.Clock().Advance(24 * time.Hour)
+		b.Clock().Advance(24 * time.Hour)
 		b.Navigate(engine.SearchURL(query))
 		if it.FinalURL != "" {
 			if u, err := urlx.Resolve(urlx.MustParse("https://x.example/"), it.FinalURL); err == nil {
 				b.Navigate(u.String())
 			}
 		}
-		it.RevisitCookies = recordCookies(b.Jar(), w.Net.Clock().Now())
+		it.RevisitCookies = recordCookies(b.Jar(), b.Clock().Now())
 		it.RevisitLocalStorage = recordStorage(b.LocalStorage())
-		// Rewind the revisit jump so a 500-iteration crawl stays inside
-		// the study window; each iteration runs a fresh profile, so no
-		// cross-iteration state observes the rollback.
-		w.Net.Clock().Rewind(24 * time.Hour)
 	}
 	return it
 }
@@ -291,7 +358,7 @@ func recordRequests(reqs []*netsim.Request) []RequestRecord {
 	out := make([]RequestRecord, 0, len(reqs))
 	for _, r := range reqs {
 		rec := RequestRecord{
-			URL:        r.URL.String(),
+			URL:        r.URLString(),
 			Method:     r.Method,
 			Type:       string(r.Type),
 			FirstParty: r.FirstParty,

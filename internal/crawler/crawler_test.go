@@ -14,9 +14,19 @@ func smallWorld() *websim.World {
 	return websim.NewWorld(websim.Config{Seed: 11, QueriesPerEngine: 12})
 }
 
+// mustRun runs the crawl and fails the test on a config error.
+func mustRun(t testing.TB, cfg Config) *Dataset {
+	t.Helper()
+	ds, err := New(cfg).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
 func TestCrawlAllEngines(t *testing.T) {
 	w := smallWorld()
-	ds := New(Config{World: w, Iterations: 6}).Run()
+	ds := mustRun(t, Config{World: w, Iterations: 6})
 	if len(ds.Iterations) != 30 {
 		t.Fatalf("iterations = %d, want 30", len(ds.Iterations))
 	}
@@ -51,9 +61,16 @@ func TestCrawlAllEngines(t *testing.T) {
 	}
 }
 
+func TestRunRejectsDuplicateEngines(t *testing.T) {
+	_, err := New(Config{World: smallWorld(), Engines: []string{serp.Bing, serp.Bing}}).Run()
+	if err == nil || !strings.Contains(err.Error(), "listed twice") {
+		t.Fatalf("duplicate engines not rejected: %v", err)
+	}
+}
+
 func TestCrawlDeterministic(t *testing.T) {
 	run := func() *Dataset {
-		return New(Config{World: smallWorld(), Engines: []string{serp.Bing}, Iterations: 4}).Run()
+		return mustRun(t, Config{World: smallWorld(), Engines: []string{serp.Bing}, Iterations: 4})
 	}
 	a, b := run(), run()
 	if len(a.Iterations) != len(b.Iterations) {
@@ -77,7 +94,7 @@ func TestCrawlDeterministic(t *testing.T) {
 
 func TestAdChoicePrefersUnvisited(t *testing.T) {
 	w := smallWorld()
-	ds := New(Config{World: w, Engines: []string{serp.Google}, Iterations: 10}).Run()
+	ds := mustRun(t, Config{World: w, Engines: []string{serp.Google}, Iterations: 10})
 	domains := map[string]int{}
 	for _, it := range ds.Iterations {
 		domains[it.DisplayedAds[it.ClickedAd].LandingDomain]++
@@ -106,7 +123,7 @@ func TestChooseAd(t *testing.T) {
 
 func TestNoStealthYieldsNoAds(t *testing.T) {
 	w := smallWorld()
-	ds := New(Config{World: w, Engines: []string{serp.Bing}, Iterations: 3, NoStealth: true}).Run()
+	ds := mustRun(t, Config{World: w, Engines: []string{serp.Bing}, Iterations: 3, NoStealth: true})
 	for _, it := range ds.Iterations {
 		if it.Error != "no ads displayed" {
 			t.Fatalf("expected bot detection, got error=%q ads=%d", it.Error, len(it.DisplayedAds))
@@ -116,7 +133,7 @@ func TestNoStealthYieldsNoAds(t *testing.T) {
 
 func TestSkipRevisit(t *testing.T) {
 	w := smallWorld()
-	ds := New(Config{World: w, Engines: []string{serp.Qwant}, Iterations: 2, SkipRevisit: true}).Run()
+	ds := mustRun(t, Config{World: w, Engines: []string{serp.Qwant}, Iterations: 2, SkipRevisit: true})
 	for _, it := range ds.Iterations {
 		if len(it.RevisitCookies) != 0 {
 			t.Fatal("revisit data present despite SkipRevisit")
@@ -126,10 +143,10 @@ func TestSkipRevisit(t *testing.T) {
 
 func TestPartitionedCrawl(t *testing.T) {
 	w := smallWorld()
-	ds := New(Config{
+	ds := mustRun(t, Config{
 		World: w, Engines: []string{serp.StartPage}, Iterations: 3,
 		StorageMode: storage.Partitioned,
-	}).Run()
+	})
 	if ds.StorageMode != "partitioned" {
 		t.Fatalf("mode = %q", ds.StorageMode)
 	}
@@ -149,7 +166,7 @@ func TestPartitionedCrawl(t *testing.T) {
 
 func TestRecorderCoverage(t *testing.T) {
 	w := smallWorld()
-	ds := New(Config{World: w, Engines: []string{serp.Bing}, Iterations: 8}).Run()
+	ds := mustRun(t, Config{World: w, Engines: []string{serp.Bing}, Iterations: 8})
 	for _, it := range ds.Iterations {
 		ratio := float64(it.CrawlerRequestCount) / float64(it.ExtensionRequestCount)
 		if ratio < 0.80 || ratio > 1.0 {
@@ -160,7 +177,7 @@ func TestRecorderCoverage(t *testing.T) {
 
 func TestDatasetSaveLoad(t *testing.T) {
 	w := smallWorld()
-	ds := New(Config{World: w, Engines: []string{serp.Bing}, Iterations: 2}).Run()
+	ds := mustRun(t, Config{World: w, Engines: []string{serp.Bing}, Iterations: 2})
 	path := filepath.Join(t.TempDir(), "dataset.json")
 	if err := ds.Save(path); err != nil {
 		t.Fatal(err)
@@ -183,7 +200,7 @@ func TestDatasetSaveLoad(t *testing.T) {
 func TestHopsValidatedByLocationHeaders(t *testing.T) {
 	// §3.2: redirects are validated via Location headers and 30x codes.
 	w := smallWorld()
-	ds := New(Config{World: w, Engines: []string{serp.StartPage}, Iterations: 4}).Run()
+	ds := mustRun(t, Config{World: w, Engines: []string{serp.StartPage}, Iterations: 4})
 	for _, it := range ds.Iterations {
 		for i, h := range it.Hops {
 			last := i == len(it.Hops)-1

@@ -14,11 +14,11 @@ import (
 // checks the per-stage tracker annotations against an offline recount.
 func TestCrawlWithFilterAnnotations(t *testing.T) {
 	engine := filterlist.DefaultEngine()
-	ds := New(Config{
+	ds := run(t, Config{
 		World:    websim.NewWorld(websim.Config{Seed: 77, QueriesPerEngine: 15}),
 		Parallel: true,
 		Filter:   engine,
-	}).Run()
+	})
 
 	if !ds.FilterAnnotated {
 		t.Fatal("dataset does not record that it was filter-annotated")
@@ -53,9 +53,9 @@ func TestCrawlWithFilterAnnotations(t *testing.T) {
 // TestCrawlWithoutFilterLeavesCountsZero pins the default: no engine, no
 // annotation work, zero counts (and the omitempty JSON stays stable).
 func TestCrawlWithoutFilterLeavesCountsZero(t *testing.T) {
-	ds := New(Config{
+	ds := run(t, Config{
 		World: websim.NewWorld(websim.Config{Seed: 78, QueriesPerEngine: 3}),
-	}).Run()
+	})
 	if ds.FilterAnnotated {
 		t.Fatal("dataset claims filter annotation without a filter engine")
 	}

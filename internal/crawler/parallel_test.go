@@ -4,6 +4,8 @@
 package crawler_test
 
 import (
+	"bytes"
+	"encoding/json"
 	"testing"
 
 	"searchads/internal/analysis"
@@ -11,9 +13,55 @@ import (
 	"searchads/internal/websim"
 )
 
+// run runs the crawl, failing the test on a config error.
+func run(t testing.TB, cfg Config) *Dataset {
+	t.Helper()
+	ds, err := New(cfg).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+// marshal renders a dataset to its canonical JSON bytes.
+func marshal(t *testing.T, ds *Dataset) []byte {
+	t.Helper()
+	data, err := json.Marshal(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestParallelCrawlByteIdenticalToSequential is the PR-2 determinism
+// contract: identifier streams derive from (engine, iteration) labels
+// and every browser profile runs its own clock, so the worker-pool crawl
+// must produce the very same bytes as the sequential one — and repeat
+// runs of each mode must reproduce themselves.
+func TestParallelCrawlByteIdenticalToSequential(t *testing.T) {
+	crawl := func(parallel bool) []byte {
+		ds := run(t, Config{
+			World:    websim.NewWorld(websim.Config{Seed: 91, QueriesPerEngine: 8}),
+			Parallel: parallel,
+		})
+		return marshal(t, ds)
+	}
+	seq1, seq2 := crawl(false), crawl(false)
+	par1, par2 := crawl(true), crawl(true)
+	if !bytes.Equal(seq1, seq2) {
+		t.Fatal("sequential crawl is not self-reproducible")
+	}
+	if !bytes.Equal(par1, par2) {
+		t.Fatal("parallel crawl is not self-reproducible")
+	}
+	if !bytes.Equal(seq1, par1) {
+		t.Fatal("parallel dataset differs from sequential dataset")
+	}
+}
+
 func TestParallelCrawlMatchesSequentialAggregates(t *testing.T) {
-	seq := New(Config{World: websim.NewWorld(websim.Config{Seed: 55, QueriesPerEngine: 20})}).Run()
-	par := New(Config{World: websim.NewWorld(websim.Config{Seed: 55, QueriesPerEngine: 20}), Parallel: true}).Run()
+	seq := run(t, Config{World: websim.NewWorld(websim.Config{Seed: 55, QueriesPerEngine: 20})})
+	par := run(t, Config{World: websim.NewWorld(websim.Config{Seed: 55, QueriesPerEngine: 20}), Parallel: true})
 
 	if len(seq.Iterations) != len(par.Iterations) {
 		t.Fatalf("iteration counts differ: %d vs %d", len(seq.Iterations), len(par.Iterations))
@@ -48,7 +96,7 @@ func TestParallelCrawlMatchesSequentialAggregates(t *testing.T) {
 }
 
 func TestParallelCrawlAnalysisShape(t *testing.T) {
-	par := New(Config{World: websim.NewWorld(websim.Config{Seed: 56, QueriesPerEngine: 25}), Parallel: true}).Run()
+	par := run(t, Config{World: websim.NewWorld(websim.Config{Seed: 56, QueriesPerEngine: 25}), Parallel: true})
 	r := analysis.Analyze(par)
 	// The headline shapes hold under parallel crawling too.
 	if r.During["google"].NavTrackingFraction != 1.0 {

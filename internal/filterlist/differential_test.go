@@ -124,7 +124,8 @@ func TestPropertyRandomPatternsAgainstOracle(t *testing.T) {
 	src := detrand.New(20260728)
 	patterns := 0
 	for i := 0; i < 400; i++ {
-		rng := src.DeriveN("pattern", i).Rand()
+		g := src.DeriveN("pattern", i).Rand()
+		rng := &g
 		pat := randomPattern(rng)
 		r, err := ParseRule(pat)
 		if err != nil {
@@ -132,7 +133,8 @@ func TestPropertyRandomPatternsAgainstOracle(t *testing.T) {
 		}
 		patterns++
 		for j := 0; j < 40; j++ {
-			urlRng := src.DeriveN(fmt.Sprintf("url-%d", i), j).Rand()
+			ug := src.DeriveN(fmt.Sprintf("url-%d", i), j).Rand()
+			urlRng := &ug
 			u := randomURL(urlRng, pat)
 			req := RequestInfo{URL: u, Type: netsim.TypeScript, FirstParty: "a.example", ThirdParty: true}
 			if got, want := r.Matches(req), r.MatchesOracle(req); got != want {

@@ -121,7 +121,10 @@ type IndexStats struct {
 	// BlockTokenless / ExceptTokenless count rules with no safe token,
 	// which every request must evaluate.
 	BlockTokenless, ExceptTokenless int
-	// MaxBucket is the largest bucket's rule count.
+	// BlockHostRules / ExceptHostRules count the bare `||domain^` rules
+	// served by the hostname fast path instead of the token slide.
+	BlockHostRules, ExceptHostRules int
+	// MaxBucket is the largest token bucket's rule count.
 	MaxBucket int
 }
 
@@ -133,6 +136,8 @@ func (e *Engine) Stats() IndexStats {
 		ExceptBuckets:   len(e.exceptIdx.buckets),
 		BlockTokenless:  len(e.blockIdx.tokenless),
 		ExceptTokenless: len(e.exceptIdx.tokenless),
+		BlockHostRules:  len(e.blockIdx.hostAll),
+		ExceptHostRules: len(e.exceptIdx.hostAll),
 	}
 	for _, b := range e.blockIdx.buckets {
 		if len(b) > s.MaxBucket {

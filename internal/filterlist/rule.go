@@ -223,7 +223,7 @@ type RequestInfo struct {
 // InfoFor builds a RequestInfo from a simulated request.
 func InfoFor(req *netsim.Request) RequestInfo {
 	return RequestInfo{
-		URL:        req.URL.String(),
+		URL:        req.URLString(),
 		Type:       req.Type,
 		FirstParty: req.FirstParty,
 		ThirdParty: req.IsThirdParty(),

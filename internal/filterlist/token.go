@@ -82,12 +82,44 @@ func (p *pattern) safeTokens() []string {
 type index struct {
 	buckets   map[uint64][]*Rule
 	tokenless []*Rule
+	// hostBuckets holds the bare domain anchors — rules whose whole
+	// pattern is `||domain^` — keyed by the FNV-1a hash of the domain.
+	// Such a rule can only match when the request's hostname equals the
+	// domain or is a subdomain of it, so they are evaluated by a direct
+	// walk of the hostname's dot-suffixes instead of the token slide,
+	// and never inflate the token buckets. In EasyList-style lists these
+	// are the single most common rule shape.
+	hostBuckets map[uint64][]*Rule
+	// hostAll is the same rule set as a flat slice, used as the fallback
+	// for URLs whose authority is not a plain hostname (userinfo or an
+	// explicit port), where dot-suffix matching is not faithful to the
+	// ABP anchor semantics.
+	hostAll []*Rule
 	// bloom is a one-bit-per-slot occupancy filter over bucket hashes.
 	// Most URL tokens hit no bucket; testing a bit in this array is ~10x
 	// cheaper than the map probe it avoids. bloomMask is len(bloom)*64-1
 	// (sizes are powers of two).
 	bloom     []uint64
 	bloomMask uint64
+}
+
+// bareHostRule reports whether the rule's pattern is exactly `||domain^`
+// (no wildcards, no path, no end anchor): the shape whose match verdict
+// is fully determined by the request's hostname.
+func bareHostRule(r *Rule) bool {
+	p := &r.pat
+	return p.anchor == anchorDomain && !p.endAnchor && len(p.segs) == 1 &&
+		r.anchorDomain != "" && p.segs[0] == r.anchorDomain+"^"
+}
+
+// hashHostFold is hashToken with ASCII case-folding, for hashing
+// hostname slices straight out of a raw (possibly mixed-case) URL.
+func hashHostFold(s string) uint64 {
+	h := uint64(fnvOffset64)
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(lowerByte(s[i]))) * fnvPrime64
+	}
+	return h
 }
 
 func (x *index) bloomAdd(h uint64) {
@@ -118,11 +150,14 @@ func (x *index) sizeBloom(buckets int) {
 // (longest token wins ties), spreading rules that share common tokens
 // ("example", "tracker") across their more distinctive ones.
 func buildIndex(rules []*Rule) *index {
-	idx := &index{buckets: make(map[uint64][]*Rule)}
+	idx := &index{buckets: make(map[uint64][]*Rule), hostBuckets: make(map[uint64][]*Rule)}
 	toks := make([][]string, len(rules))
 	hashes := make([][]uint64, len(rules))
 	freq := make(map[uint64]int)
 	for i, r := range rules {
+		if bareHostRule(r) {
+			continue // indexed by hostname, not by token
+		}
 		t := r.pat.safeTokens()
 		h := make([]uint64, len(t))
 		for j, tok := range t {
@@ -132,6 +167,12 @@ func buildIndex(rules []*Rule) *index {
 		toks[i], hashes[i] = t, h
 	}
 	for i, r := range rules {
+		if bareHostRule(r) {
+			h := hashToken(r.anchorDomain)
+			idx.hostBuckets[h] = append(idx.hostBuckets[h], r)
+			idx.hostAll = append(idx.hostAll, r)
+			continue
+		}
 		if len(toks[i]) == 0 {
 			idx.tokenless = append(idx.tokenless, r)
 			continue
@@ -162,6 +203,11 @@ func buildIndex(rules []*Rule) *index {
 // tokens — the overwhelming majority — that hit no bucket.
 func (x *index) find(req *RequestInfo, typeBit uint16) *Rule {
 	url := req.URL
+	if len(x.hostAll) > 0 {
+		if r := x.findHost(req, typeBit); r != nil {
+			return r
+		}
+	}
 	for i := 0; i < len(url); {
 		if !isTokenByte(url[i]) {
 			i++
@@ -185,6 +231,77 @@ func (x *index) find(req *RequestInfo, typeBit uint16) *Rule {
 		if r.matchesBits(req, typeBit) {
 			return r
 		}
+	}
+	return nil
+}
+
+// findHost evaluates the bare `||domain^` rules by walking the URL's
+// hostname dot-suffixes: hash each suffix, probe hostBuckets, confirm
+// with a byte compare and the rule's option predicates. A `||domain^`
+// rule matches exactly when the hostname is the domain or a subdomain
+// of it (the byte after the host — '/', '?', '#', ':' or end of URL —
+// always satisfies the trailing '^'), so no pattern matching runs at
+// all. Authorities carrying userinfo ('@') fall back to the full ABP
+// matcher over the same rule set, where the anchor's subtler semantics
+// (candidate positions inside userinfo) still apply.
+func (x *index) findHost(req *RequestInfo, typeBit uint16) *Rule {
+	url := req.URL
+	start := schemeEnd(url)
+	if start < 0 {
+		return nil
+	}
+	// Delimit the authority first, noting ':' and '@' along the way. A
+	// ':' only marks the port boundary when no '@' follows it inside the
+	// authority ("user:pass@host" puts a ':' before the userinfo '@').
+	end := len(url)
+	colon := -1
+	clean := true
+scan:
+	for i := start; i < len(url); i++ {
+		switch url[i] {
+		case '/', '?', '#':
+			end = i
+			break scan
+		case ':':
+			if colon < 0 {
+				colon = i
+			}
+		case '@':
+			clean = false
+		}
+	}
+	if clean && colon >= 0 {
+		// Port boundary: the host ends at the ':', itself an ABP
+		// separator, so suffix matching stays faithful.
+		end = colon
+	}
+	if !clean {
+		for _, r := range x.hostAll {
+			if r.matchesBits(req, typeBit) {
+				return r
+			}
+		}
+		return nil
+	}
+	for pos := start; pos < end; {
+		h := hashHostFold(url[pos:end])
+		if rules, ok := x.hostBuckets[h]; ok {
+			for _, r := range rules {
+				if len(r.anchorDomain) == end-pos && equalFoldASCII(url[pos:end], r.anchorDomain) &&
+					r.optionsMatch(req, typeBit) {
+					return r
+				}
+			}
+		}
+		// Next candidate: the label after the next dot.
+		next := end
+		for i := pos; i < end; i++ {
+			if url[i] == '.' {
+				next = i + 1
+				break
+			}
+		}
+		pos = next
 	}
 	return nil
 }

@@ -18,6 +18,7 @@ import (
 	"net/url"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"searchads/internal/urlx"
@@ -103,8 +104,33 @@ type Request struct {
 	// hops; for meta/JS redirects, the redirecting page — the property
 	// referrer-based UID smuggling exploits (paper §5).
 	Referrer string
-	// Time is the virtual time at which the request was sent.
+	// Time is the virtual time at which the request was sent. If the
+	// sender (the browser) stamps it, RoundTrip leaves it alone and does
+	// not touch the network's shared clock; a zero Time is stamped from
+	// the network clock, which then advances by the per-exchange latency.
 	Time time.Time
+	// urlStr caches URL.String(); see URLString.
+	urlStr string
+	// Client labels the logical browser profile the request belongs to
+	// (the crawler uses its iteration instance, e.g. "bing-0042").
+	// Simulated origin servers key their identifier-minting streams by
+	// this label so that concurrently-crawled engines mint identical
+	// values regardless of request interleaving — the property that makes
+	// Parallel crawl datasets byte-identical to sequential ones. Empty
+	// for ad-hoc requests (tests, the HTTP bridge); those fall back to a
+	// shared "" stream, which is still deterministic in request order.
+	Client string
+}
+
+// URLString returns URL.String(), computed once and cached. Recorders,
+// the filter engine, and the dataset writer all need the textual URL;
+// re-rendering a deeply nested redirect-chain URL each time dominated
+// the old recording path.
+func (r *Request) URLString() string {
+	if r.urlStr == "" && r.URL != nil {
+		r.urlStr = r.URL.String()
+	}
+	return r.urlStr
 }
 
 // IsThirdParty reports whether the request crosses the first-party site
@@ -146,10 +172,22 @@ type Response struct {
 	Script ScriptProgram
 }
 
-// NewResponse returns an empty response with the given status and an
-// initialised header map.
+// NewResponse returns an empty response with the given status. The
+// header map is left nil — http.Header reads treat nil as empty, and
+// most simulated responses never set a header, so allocating one per
+// response was pure garbage on the crawl hot path. Use SetHeader (or
+// allocate Header explicitly) to add headers.
 func NewResponse(status int) *Response {
-	return &Response{Status: status, Header: make(http.Header)}
+	return &Response{Status: status}
+}
+
+// SetHeader sets a response header, allocating the map on first use.
+func (r *Response) SetHeader(key, value string) *Response {
+	if r.Header == nil {
+		r.Header = make(http.Header, 1)
+	}
+	r.Header.Set(key, value)
+	return r
 }
 
 // Redirect constructs a 30x response with a Location header, the mechanism
@@ -157,9 +195,7 @@ func NewResponse(status int) *Response {
 // header contains the new redirection URL, and status codes such as 301,
 // 302, 307, 308 indicate the occurrence of redirection").
 func Redirect(status int, location string) *Response {
-	resp := NewResponse(status)
-	resp.Header.Set("Location", location)
-	return resp
+	return NewResponse(status).SetHeader("Location", location)
 }
 
 // IsRedirect reports whether the response status signals an HTTP redirect.
@@ -209,12 +245,14 @@ type WireEvent struct {
 // Network routes requests to registered hosts and keeps the virtual clock.
 // The zero value is not usable; construct with NewNetwork.
 type Network struct {
-	mu       sync.RWMutex
-	hosts    map[string]Handler // exact hostname match
-	sites    map[string]Handler // eTLD+1 fallback (any subdomain)
-	clock    *Clock
-	wire     []WireEvent
-	keepWire bool
+	mu    sync.RWMutex
+	hosts map[string]Handler // exact hostname match
+	sites map[string]Handler // eTLD+1 fallback (any subdomain)
+	clock *Clock
+	wire  []WireEvent
+	// keepWire is atomic so the (almost always disabled) wire log costs
+	// RoundTrip one load instead of a mutex round trip per exchange.
+	keepWire atomic.Bool
 }
 
 // NewNetwork returns an empty network whose clock starts at the study
@@ -239,7 +277,7 @@ func (n *Network) Clock() *Clock { return n.clock }
 func (n *Network) RecordWire(on bool) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	n.keepWire = on
+	n.keepWire.Store(on)
 	if !on {
 		n.wire = nil
 	}
@@ -320,22 +358,28 @@ func (n *Network) RoundTrip(req *Request) (*Response, error) {
 	if req.Header == nil {
 		req.Header = make(http.Header)
 	}
-	req.Time = n.clock.Now()
-	n.clock.Advance(latencyPerExchange)
+	if req.Time.IsZero() {
+		// Ad-hoc senders use the network's shared clock; browsers stamp
+		// their own per-profile clock before RoundTrip, keeping the crawl
+		// timeline independent of cross-engine scheduling.
+		req.Time = n.clock.Now()
+		n.clock.Advance(latencyPerExchange)
+	}
 	resp := handler.Serve(req)
 	if resp == nil {
 		resp = NewResponse(http.StatusNoContent)
 	}
-	if resp.Header == nil {
-		resp.Header = make(http.Header)
-	}
-	n.mu.Lock()
-	if n.keepWire {
+	if n.keepWire.Load() {
+		n.mu.Lock()
 		n.wire = append(n.wire, WireEvent{Request: req, Response: resp})
+		n.mu.Unlock()
 	}
-	n.mu.Unlock()
 	return resp, nil
 }
+
+// LatencyPerExchange is the virtual time one HTTP exchange consumes;
+// browser-side clocks advance by it per request.
+const LatencyPerExchange = latencyPerExchange
 
 // latencyPerExchange is the virtual time consumed by one HTTP exchange.
 const latencyPerExchange = 35 * time.Millisecond

@@ -164,8 +164,11 @@ type ScriptEnv interface {
 	ScriptSrc() *url.URL
 	// Referrer is the including document's document.referrer value.
 	Referrer() string
-	// Now is the current virtual time.
+	// Now is the current virtual time (the browser profile's clock).
 	Now() time.Time
+	// Client is the browser profile's label (Request.Client); origin
+	// servers scope identifier-minting streams by it.
+	Client() string
 
 	// SetDocumentCookie stores a first-party cookie via document.cookie
 	// semantics (subject to the jar's partitioning rules).

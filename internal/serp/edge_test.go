@@ -73,7 +73,7 @@ func TestBeaconSinkAcceptsAllEngineBeacons(t *testing.T) {
 
 func TestRenderAdsWithoutPool(t *testing.T) {
 	e := &Engine{Spec: BingSpec()}
-	container := e.renderAds("query")
+	container := e.renderAds("query", "bing-0000")
 	if len(container.Children) != 0 {
 		t.Fatal("pool-less engine rendered ads")
 	}

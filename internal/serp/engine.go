@@ -11,7 +11,6 @@ import (
 	"net/url"
 	"strconv"
 	"strings"
-	"sync"
 	"time"
 
 	"searchads/internal/adtech"
@@ -89,13 +88,15 @@ type Engine struct {
 	// Beacons builds the engine's post-click beacon requests.
 	Beacons func(e *Engine, query string, ad *adtech.AdClick, pos int) []netsim.Beacon
 
-	seed  *detrand.Source
-	mu    sync.Mutex
-	mintN int
+	seed detrand.Source
+	// seq scopes identifier minting per requesting client so that values
+	// depend only on (engine, client, serial) — never on how requests
+	// from concurrently-crawled engines interleave.
+	seq detrand.Seq
 }
 
 // NewEngine wires an engine from its parts.
-func NewEngine(spec Spec, platform *adtech.Platform, pool *adtech.Pool, reg *adtech.Registry, seed *detrand.Source) *Engine {
+func NewEngine(spec Spec, platform *adtech.Platform, pool *adtech.Pool, reg *adtech.Registry, seed detrand.Source) *Engine {
 	return &Engine{
 		Spec:        spec,
 		Platform:    platform,
@@ -105,13 +106,19 @@ func NewEngine(spec Spec, platform *adtech.Platform, pool *adtech.Pool, reg *adt
 	}
 }
 
-// SearchURL returns the results-page URL for a query.
+// SearchURL returns the results-page URL for a query. Built with one
+// strings.Builder pass instead of url.Values/URL.String: the crawler
+// constructs one per SERP visit, and the url.Values detour was ~6
+// allocations of pure ceremony for a three-part concatenation.
 func (e *Engine) SearchURL(query string) string {
-	u := &url.URL{Scheme: "https", Host: e.Spec.Host, Path: e.Spec.SearchPath}
-	q := url.Values{}
-	q.Set(e.Spec.QueryParam, query)
-	u.RawQuery = q.Encode()
-	return u.String()
+	var b strings.Builder
+	b.Grow(len("https://") + len(e.Spec.Host) + len(e.Spec.SearchPath) + len(e.Spec.QueryParam) + 2 + len(query) + 8)
+	b.WriteString("https://")
+	b.WriteString(e.Spec.Host)
+	b.WriteString(e.Spec.SearchPath)
+	b.WriteByte('?')
+	urlx.AppendQuery(&b, e.Spec.QueryParam, query)
+	return b.String()
 }
 
 // Register installs the engine's hosts on the network.
@@ -122,12 +129,13 @@ func (e *Engine) Register(net *netsim.Network) {
 	}
 }
 
-func (e *Engine) mint(label string) string {
-	e.mu.Lock()
-	e.mintN++
-	n := e.mintN
-	e.mu.Unlock()
-	return e.seed.Derive(label).DeriveN("n", n).Token(24, detrand.AlphaNumDash)
+// mint returns a fresh identifier for the requesting client. The stream
+// is keyed by (engine seed, label, client, per-client serial): requests
+// from one client are strictly ordered, so the value is a pure function
+// of the crawl configuration regardless of cross-client scheduling.
+func (e *Engine) mint(label, client string) string {
+	n := e.seq.Next(client)
+	return e.seed.Derive(label, client).DeriveN("n", n).Token(24, detrand.AlphaNumDash)
 }
 
 // serve dispatches the engine's endpoints.
@@ -218,7 +226,7 @@ func (e *Engine) applyStorage(req *netsim.Request, resp *netsim.Response) {
 			if _, ok := req.Cookie(name); ok {
 				continue // identifier persists across visits
 			}
-			c := netsim.NewCookie(name, e.mint("uid/"+name))
+			c := netsim.NewCookie(name, e.mint("uid/"+name, req.Client))
 			c.WithDomain(urlx.RegistrableDomain(e.Spec.Host))
 			c.Expires = req.Time.Add(180 * 24 * time.Hour)
 			resp.AddCookie(c)
@@ -234,7 +242,7 @@ func (e *Engine) applyStorage(req *netsim.Request, resp *netsim.Response) {
 	if e.Spec.SessionCookie != "" {
 		// Re-minted every visit: a value that changes on the next-day
 		// revisit and must be filtered as a session identifier.
-		c := netsim.NewCookie(e.Spec.SessionCookie, e.mint("sess"))
+		c := netsim.NewCookie(e.Spec.SessionCookie, e.mint("sess", req.Client))
 		resp.AddCookie(c)
 	}
 }
@@ -255,15 +263,7 @@ func (e *Engine) serveSERP(req *netsim.Request) *netsim.Response {
 	query := req.Query(e.Spec.QueryParam)
 	resp := netsim.NewResponse(http.StatusOK)
 	root := netsim.NewElement("div", "id", "serp")
-
-	// Organic results: plain links, never to trackers (§4.1.2).
-	organics := netsim.NewElement("div", "id", "organic")
-	for i := 0; i < 8; i++ {
-		organics.Append(netsim.NewElement("a",
-			"href", "https://organic-"+strconv.Itoa(i)+".example/result",
-			"data-organic", "1"))
-	}
-	root.Append(organics)
+	root.Append(organicsBlock())
 
 	page := &netsim.Page{
 		Title: query + " - " + e.Spec.Name,
@@ -276,13 +276,15 @@ func (e *Engine) serveSERP(req *netsim.Request) *netsim.Response {
 
 	if !botDetected(req) {
 		if e.Spec.AdsInFrame {
-			frame := &url.URL{Scheme: "https", Host: e.Spec.Host, Path: "/ads-frame"}
-			q := url.Values{}
-			q.Set(e.Spec.QueryParam, query)
-			frame.RawQuery = q.Encode()
-			page.Frames = append(page.Frames, frame.String())
+			var f strings.Builder
+			f.Grow(len("https://") + len(e.Spec.Host) + len("/ads-frame?") + len(e.Spec.QueryParam) + 1 + len(query) + 8)
+			f.WriteString("https://")
+			f.WriteString(e.Spec.Host)
+			f.WriteString("/ads-frame?")
+			urlx.AppendQuery(&f, e.Spec.QueryParam, query)
+			page.Frames = append(page.Frames, f.String())
 		} else {
-			root.Append(e.renderAds(query))
+			root.Append(e.renderAds(query, req.Client))
 		}
 	}
 	resp.Page = page
@@ -298,14 +300,36 @@ func (e *Engine) adsFrame(req *netsim.Request) *netsim.Response {
 		resp.Page = &netsim.Page{Root: netsim.NewElement("div")}
 		return resp
 	}
-	resp.Page = &netsim.Page{Root: e.renderAds(query)}
+	resp.Page = &netsim.Page{Root: e.renderAds(query, req.Client)}
 	return resp
+}
+
+// organicHrefs are the constant organic-result links shared by every
+// SERP render (the elements themselves are built fresh per page:
+// served DOM is mutable — scripts may decorate links — so subtrees are
+// never shared between pages).
+var organicHrefs = func() [8]string {
+	var hrefs [8]string
+	for i := range hrefs {
+		hrefs[i] = "https://organic-" + strconv.Itoa(i) + ".example/result"
+	}
+	return hrefs
+}()
+
+// organicsBlock builds a fresh organic-results block (plain links,
+// never to trackers, §4.1.2).
+func organicsBlock() *netsim.Element {
+	organics := netsim.NewElement("div", "id", "organic")
+	for _, href := range organicHrefs {
+		organics.Append(netsim.NewElement("a", "href", href, "data-organic", "1"))
+	}
+	return organics
 }
 
 // renderAds builds the ads container. Every ad element carries the
 // landing domain ("The landing domains are included within the HTML
 // objects of the advertisements on all search engines", §3.1).
-func (e *Engine) renderAds(query string) *netsim.Element {
+func (e *Engine) renderAds(query, client string) *netsim.Element {
 	title := e.Spec.AdContainerTitle
 	if title == "" {
 		title = "Ads"
@@ -316,7 +340,7 @@ func (e *Engine) renderAds(query string) *netsim.Element {
 	}
 	campaigns := e.Pool.Select(query, AdsPerSERP, e.seed)
 	for pos, c := range campaigns {
-		click := e.Platform.BuildClick(c)
+		click := e.Platform.BuildClick(c, client)
 		href := e.buildHref(click)
 		el := netsim.NewElement("a",
 			"href", href.String(),
@@ -357,8 +381,6 @@ func (e *Engine) buildHref(click *adtech.AdClick) *url.URL {
 	// The engine's own bounce endpoint wraps the chain; its path comes
 	// from the Spec, so custom engines work without a hopPaths entry.
 	u := &url.URL{Scheme: "https", Host: host, Path: e.Spec.BouncePath}
-	q := url.Values{}
-	q.Set(adtech.NextParam, target.String())
-	u.RawQuery = q.Encode()
+	u.RawQuery = urlx.EncodeQuery(adtech.NextParam, target.String())
 	return u
 }

@@ -2,10 +2,11 @@ package serp
 
 import (
 	"net/http"
-	"net/url"
+	"strings"
 
 	"searchads/internal/adtech"
 	"searchads/internal/netsim"
+	"searchads/internal/urlx"
 )
 
 // Engine names used across the module. The order matches the paper's
@@ -124,15 +125,24 @@ func QwantSpec() Spec {
 	}
 }
 
-// beaconURL builds an engine beacon URL with query parameters.
-func beaconURL(host, path string, params map[string]string) string {
-	u := &url.URL{Scheme: "https", Host: host, Path: path}
-	q := url.Values{}
-	for k, v := range params {
-		q.Set(k, v)
+// beaconURL builds an engine beacon URL from ordered key/value pairs in
+// one builder pass (beacons are constructed for every rendered ad, and
+// the url.Values detour sorted a map it had just built). Pairs are
+// written in sorted key order to keep the output identical to the old
+// Values.Encode rendering.
+func beaconURL(host, path string, pairs ...string) string {
+	var b strings.Builder
+	b.Grow(len("https://") + len(host) + len(path) + 64)
+	b.WriteString("https://")
+	b.WriteString(host)
+	b.WriteString(path)
+	sep := byte('?')
+	for i := 0; i+1 < len(pairs); i += 2 {
+		b.WriteByte(sep)
+		sep = '&'
+		urlx.AppendQuery(&b, pairs[i], pairs[i+1])
 	}
-	u.RawQuery = q.Encode()
-	return u.String()
+	return b.String()
 }
 
 // BingBeacons reproduces §4.2.1: "clicking caused a request to be sent
@@ -142,11 +152,8 @@ func beaconURL(host, path string, params map[string]string) string {
 func BingBeacons(e *Engine, query string, ad *adtech.AdClick, pos int) []netsim.Beacon {
 	return []netsim.Beacon{{
 		Method: http.MethodPost,
-		URL: beaconURL(e.Spec.Host, "/fd/ls/GLinkPingPost.aspx", map[string]string{
-			"url": ad.FinalLanding.String(),
-			"q":   query,
-			"pos": itoa(pos),
-		}),
+		URL: beaconURL(e.Spec.Host, "/fd/ls/GLinkPingPost.aspx",
+			"pos", itoa(pos), "q", query, "url", ad.FinalLanding.String()),
 		Type: netsim.TypePing,
 	}}
 }
@@ -156,10 +163,8 @@ func BingBeacons(e *Engine, query string, ad *adtech.AdClick, pos int) []netsim.
 func GoogleBeacons(e *Engine, query string, ad *adtech.AdClick, pos int) []netsim.Beacon {
 	return []netsim.Beacon{{
 		Method: http.MethodPost,
-		URL: beaconURL(e.Spec.Host, "/gen_204", map[string]string{
-			"label": "ad_click",
-			"pos":   itoa(pos),
-		}),
+		URL: beaconURL(e.Spec.Host, "/gen_204",
+			"label", "ad_click", "pos", itoa(pos)),
 		Type: netsim.TypePing,
 	}}
 }
@@ -170,11 +175,8 @@ func GoogleBeacons(e *Engine, query string, ad *adtech.AdClick, pos int) []netsi
 func DuckDuckGoBeacons(e *Engine, query string, ad *adtech.AdClick, pos int) []netsim.Beacon {
 	return []netsim.Beacon{{
 		Method: http.MethodGet,
-		URL: beaconURL("improving.duckduckgo.com", "/t/ad_click", map[string]string{
-			"q":           query,
-			"ad_provider": "bing",
-			"du":          ad.FinalLanding.String(),
-		}),
+		URL: beaconURL("improving.duckduckgo.com", "/t/ad_click",
+			"ad_provider", "bing", "du", ad.FinalLanding.String(), "q", query),
 		Type: netsim.TypePing,
 	}}
 }
@@ -185,10 +187,8 @@ func DuckDuckGoBeacons(e *Engine, query string, ad *adtech.AdClick, pos int) []n
 func StartPageBeacons(e *Engine, query string, ad *adtech.AdClick, pos int) []netsim.Beacon {
 	return []netsim.Beacon{{
 		Method: http.MethodGet,
-		URL: beaconURL(e.Spec.Host, "/sp/cl", map[string]string{
-			"pos": itoa(pos),
-		}),
-		Type: netsim.TypePing,
+		URL:    beaconURL(e.Spec.Host, "/sp/cl", "pos", itoa(pos)),
+		Type:   netsim.TypePing,
 	}}
 }
 
@@ -200,13 +200,9 @@ func StartPageBeacons(e *Engine, query string, ad *adtech.AdClick, pos int) []ne
 func QwantBeacons(e *Engine, query string, ad *adtech.AdClick, pos int) []netsim.Beacon {
 	return []netsim.Beacon{{
 		Method: http.MethodPost,
-		URL: beaconURL(e.Spec.Host, "/action/click_serp", map[string]string{
-			"q":        query,
-			"device":   "desktop",
-			"locale":   "en_US",
-			"position": itoa(pos),
-			"url":      ad.FinalLanding.String(),
-		}),
+		URL: beaconURL(e.Spec.Host, "/action/click_serp",
+			"device", "desktop", "locale", "en_US", "position", itoa(pos),
+			"q", query, "url", ad.FinalLanding.String()),
 		Type: netsim.TypePing,
 	}}
 }

@@ -13,6 +13,7 @@
 package storage
 
 import (
+	"net/url"
 	"sort"
 	"strings"
 	"time"
@@ -99,9 +100,8 @@ func (j *Jar) partitionFor(firstParty string, chips bool) string {
 //
 // Invalid cookies (domain attribute not covering the request host, or a
 // bare public suffix) are dropped, as real browsers drop them.
-func (j *Jar) SetCookies(now time.Time, requestURL string, firstParty string, cookies []*netsim.Cookie) {
-	u, err := urlx.Resolve(urlx.MustParse("https://invalid.example/"), requestURL)
-	if err != nil {
+func (j *Jar) SetCookies(now time.Time, u *url.URL, firstParty string, cookies []*netsim.Cookie) {
+	if u == nil {
 		return
 	}
 	host := strings.ToLower(urlx.Hostname(u.Host))
@@ -171,9 +171,8 @@ func pathMatch(requestPath, cookiePath string) bool {
 // requestURL made in a tab whose top-level site is firstParty.
 // topLevelNav marks top-level navigations, which (like real browsers)
 // still send SameSite=Lax cookies cross-site.
-func (j *Jar) Cookies(now time.Time, requestURL string, firstParty string, topLevelNav bool) []*netsim.Cookie {
-	u, err := urlx.Resolve(urlx.MustParse("https://invalid.example/"), requestURL)
-	if err != nil {
+func (j *Jar) Cookies(now time.Time, u *url.URL, firstParty string, topLevelNav bool) []*netsim.Cookie {
+	if u == nil || len(j.cookies) == 0 {
 		return nil
 	}
 	host := strings.ToLower(urlx.Hostname(u.Host))
@@ -213,6 +212,9 @@ func (j *Jar) Cookies(now time.Time, requestURL string, firstParty string, topLe
 		}
 		matched = append(matched, sc)
 	}
+	if len(matched) == 0 {
+		return nil
+	}
 	// Stable order: longer paths first, then by creation, then name — the
 	// RFC 6265 serialisation order (made fully deterministic by the name
 	// tiebreak).
@@ -225,9 +227,13 @@ func (j *Jar) Cookies(now time.Time, requestURL string, firstParty string, topLe
 		}
 		return matched[a].Name < matched[b].Name
 	})
+	// One backing array for the result cookies instead of one heap
+	// object per cookie: this runs for every request the browser sends.
+	backing := make([]netsim.Cookie, len(matched))
 	out := make([]*netsim.Cookie, len(matched))
 	for i, sc := range matched {
-		out[i] = &netsim.Cookie{Name: sc.Name, Value: sc.Value}
+		backing[i] = netsim.Cookie{Name: sc.Name, Value: sc.Value}
+		out[i] = &backing[i]
 	}
 	return out
 }

@@ -5,42 +5,43 @@ import (
 	"time"
 
 	"searchads/internal/netsim"
+	"searchads/internal/urlx"
 )
 
 var t0 = time.Date(2022, 9, 1, 9, 0, 0, 0, time.UTC)
 
 func TestHostOnlyCookie(t *testing.T) {
 	j := NewJar(Flat)
-	j.SetCookies(t0, "https://www.bing.com/", "bing.com", []*netsim.Cookie{
+	j.SetCookies(t0, urlx.MustParse("https://www.bing.com/"), "bing.com", []*netsim.Cookie{
 		netsim.NewCookie("MUID", "abc"),
 	})
 	// Host-only: sent back to www.bing.com, not to bing.com.
-	if got := j.Cookies(t0, "https://www.bing.com/fd/ls", "bing.com", false); len(got) != 1 {
+	if got := j.Cookies(t0, urlx.MustParse("https://www.bing.com/fd/ls"), "bing.com", false); len(got) != 1 {
 		t.Fatalf("want cookie at setting host, got %d", len(got))
 	}
-	if got := j.Cookies(t0, "https://bing.com/", "bing.com", false); len(got) != 0 {
+	if got := j.Cookies(t0, urlx.MustParse("https://bing.com/"), "bing.com", false); len(got) != 0 {
 		t.Fatalf("host-only cookie leaked to apex: %d", len(got))
 	}
 }
 
 func TestDomainCookie(t *testing.T) {
 	j := NewJar(Flat)
-	j.SetCookies(t0, "https://www.bing.com/", "bing.com", []*netsim.Cookie{
+	j.SetCookies(t0, urlx.MustParse("https://www.bing.com/"), "bing.com", []*netsim.Cookie{
 		netsim.NewCookie("MUID", "abc").WithDomain(".bing.com"),
 	})
 	for _, h := range []string{"bing.com", "www.bing.com", "ads.bing.com"} {
-		if got := j.Cookies(t0, "https://"+h+"/", "bing.com", false); len(got) != 1 {
+		if got := j.Cookies(t0, urlx.MustParse("https://"+h+"/"), "bing.com", false); len(got) != 1 {
 			t.Errorf("domain cookie not sent to %s", h)
 		}
 	}
-	if got := j.Cookies(t0, "https://bing.com.evil.example/", "evil.example", false); len(got) != 0 {
+	if got := j.Cookies(t0, urlx.MustParse("https://bing.com.evil.example/"), "evil.example", false); len(got) != 0 {
 		t.Fatal("domain cookie sent to non-matching host")
 	}
 }
 
 func TestRejectForeignAndSuffixDomains(t *testing.T) {
 	j := NewJar(Flat)
-	j.SetCookies(t0, "https://qwant.com/", "qwant.com", []*netsim.Cookie{
+	j.SetCookies(t0, urlx.MustParse("https://qwant.com/"), "qwant.com", []*netsim.Cookie{
 		netsim.NewCookie("a", "1").WithDomain("bing.com"), // foreign
 		netsim.NewCookie("b", "2").WithDomain("com"),      // public suffix
 	})
@@ -51,13 +52,13 @@ func TestRejectForeignAndSuffixDomains(t *testing.T) {
 
 func TestExpiry(t *testing.T) {
 	j := NewJar(Flat)
-	j.SetCookies(t0, "https://a.com/", "a.com", []*netsim.Cookie{
+	j.SetCookies(t0, urlx.MustParse("https://a.com/"), "a.com", []*netsim.Cookie{
 		netsim.NewCookie("short", "1").WithTTL(t0, time.Minute),
 		netsim.NewCookie("long", "2").WithTTL(t0, 24*time.Hour),
 		netsim.NewCookie("session", "3"),
 	})
 	later := t0.Add(time.Hour)
-	got := j.Cookies(later, "https://a.com/", "a.com", false)
+	got := j.Cookies(later, urlx.MustParse("https://a.com/"), "a.com", false)
 	names := map[string]bool{}
 	for _, c := range got {
 		names[c.Name] = true
@@ -66,7 +67,7 @@ func TestExpiry(t *testing.T) {
 		t.Fatalf("expiry wrong: %v", names)
 	}
 	// Setting an already-expired cookie deletes it.
-	j.SetCookies(later, "https://a.com/", "a.com", []*netsim.Cookie{
+	j.SetCookies(later, urlx.MustParse("https://a.com/"), "a.com", []*netsim.Cookie{
 		netsim.NewCookie("long", "x").WithTTL(later, -time.Second),
 	})
 	if _, ok := j.Get("a.com", "long"); ok {
@@ -81,14 +82,14 @@ func TestPathMatching(t *testing.T) {
 	j := NewJar(Flat)
 	c := netsim.NewCookie("p", "1")
 	c.Path = "/ads"
-	j.SetCookies(t0, "https://a.com/ads/x", "a.com", []*netsim.Cookie{c})
-	if got := j.Cookies(t0, "https://a.com/ads/click", "a.com", false); len(got) != 1 {
+	j.SetCookies(t0, urlx.MustParse("https://a.com/ads/x"), "a.com", []*netsim.Cookie{c})
+	if got := j.Cookies(t0, urlx.MustParse("https://a.com/ads/click"), "a.com", false); len(got) != 1 {
 		t.Fatal("path prefix should match")
 	}
-	if got := j.Cookies(t0, "https://a.com/adsense", "a.com", false); len(got) != 0 {
+	if got := j.Cookies(t0, urlx.MustParse("https://a.com/adsense"), "a.com", false); len(got) != 0 {
 		t.Fatal("/adsense must not match path /ads")
 	}
-	if got := j.Cookies(t0, "https://a.com/ads", "a.com", false); len(got) != 1 {
+	if got := j.Cookies(t0, urlx.MustParse("https://a.com/ads"), "a.com", false); len(got) != 1 {
 		t.Fatal("exact path should match")
 	}
 }
@@ -97,11 +98,11 @@ func TestSecureAttribute(t *testing.T) {
 	j := NewJar(Flat)
 	c := netsim.NewCookie("s", "1")
 	c.Secure = true
-	j.SetCookies(t0, "https://a.com/", "a.com", []*netsim.Cookie{c})
-	if got := j.Cookies(t0, "http://a.com/", "a.com", false); len(got) != 0 {
+	j.SetCookies(t0, urlx.MustParse("https://a.com/"), "a.com", []*netsim.Cookie{c})
+	if got := j.Cookies(t0, urlx.MustParse("http://a.com/"), "a.com", false); len(got) != 0 {
 		t.Fatal("secure cookie sent over http")
 	}
-	if got := j.Cookies(t0, "https://a.com/", "a.com", false); len(got) != 1 {
+	if got := j.Cookies(t0, urlx.MustParse("https://a.com/"), "a.com", false); len(got) != 1 {
 		t.Fatal("secure cookie missing over https")
 	}
 }
@@ -113,23 +114,23 @@ func TestSameSiteSubresource(t *testing.T) {
 	none := netsim.NewCookie("none", "1")
 	none.SameSite = netsim.SameSiteNone
 	deflt := netsim.NewCookie("default", "1")
-	j.SetCookies(t0, "https://tracker.com/", "site-a.com", []*netsim.Cookie{lax, none, deflt})
+	j.SetCookies(t0, urlx.MustParse("https://tracker.com/"), "site-a.com", []*netsim.Cookie{lax, none, deflt})
 
 	// Cross-site subresource: only SameSite=None.
-	got := j.Cookies(t0, "https://tracker.com/pixel", "site-b.com", false)
+	got := j.Cookies(t0, urlx.MustParse("https://tracker.com/pixel"), "site-b.com", false)
 	if len(got) != 1 || got[0].Name != "none" {
 		t.Fatalf("cross-site subresource cookies = %v", names(got))
 	}
 	// Cross-site top-level navigation: Lax + None + default travel.
-	got = j.Cookies(t0, "https://tracker.com/bounce", "site-b.com", true)
+	got = j.Cookies(t0, urlx.MustParse("https://tracker.com/bounce"), "site-b.com", true)
 	if len(got) != 3 {
 		t.Fatalf("top-level nav cookies = %v", names(got))
 	}
 	// Strict never travels cross-site.
 	strict := netsim.NewCookie("strict", "1")
 	strict.SameSite = netsim.SameSiteStrict
-	j.SetCookies(t0, "https://tracker.com/", "site-a.com", []*netsim.Cookie{strict})
-	got = j.Cookies(t0, "https://tracker.com/bounce", "site-b.com", true)
+	j.SetCookies(t0, urlx.MustParse("https://tracker.com/"), "site-a.com", []*netsim.Cookie{strict})
+	got = j.Cookies(t0, urlx.MustParse("https://tracker.com/bounce"), "site-b.com", true)
 	for _, c := range got {
 		if c.Name == "strict" {
 			t.Fatal("strict cookie sent on cross-site navigation")
@@ -157,23 +158,23 @@ func TestPartitionedIsolation(t *testing.T) {
 			return c
 		}
 		// Tracker sets t_uid=01 while embedded on a.com.
-		j.SetCookies(t0, "https://tracker.com/px", "a.com", []*netsim.Cookie{none("01")})
+		j.SetCookies(t0, urlx.MustParse("https://tracker.com/px"), "a.com", []*netsim.Cookie{none("01")})
 		return j
 	}
 
 	flat := mk(Flat)
 	// On b.com the flat jar returns the same cookie -> cross-site tracking.
-	if got := flat.Cookies(t0, "https://tracker.com/px", "b.com", false); len(got) != 1 || got[0].Value != "01" {
+	if got := flat.Cookies(t0, urlx.MustParse("https://tracker.com/px"), "b.com", false); len(got) != 1 || got[0].Value != "01" {
 		t.Fatalf("flat jar: %v", got)
 	}
 
 	part := mk(Partitioned)
 	// On b.com the partitioned jar has nothing for the tracker.
-	if got := part.Cookies(t0, "https://tracker.com/px", "b.com", false); len(got) != 0 {
+	if got := part.Cookies(t0, urlx.MustParse("https://tracker.com/px"), "b.com", false); len(got) != 0 {
 		t.Fatalf("partitioned jar leaked across sites: %v", got)
 	}
 	// Back on a.com the cookie is still there.
-	if got := part.Cookies(t0, "https://tracker.com/px", "a.com", false); len(got) != 1 {
+	if got := part.Cookies(t0, urlx.MustParse("https://tracker.com/px"), "a.com", false); len(got) != 1 {
 		t.Fatal("partitioned jar lost its own partition")
 	}
 }
@@ -184,11 +185,11 @@ func TestPartitionedIsolation(t *testing.T) {
 func TestBounceTrackingSurvivesPartitioning(t *testing.T) {
 	j := NewJar(Partitioned)
 	// During a bounce via r.com the top-level site IS r.com.
-	j.SetCookies(t0, "https://r.com/redirect", "r.com", []*netsim.Cookie{
+	j.SetCookies(t0, urlx.MustParse("https://r.com/redirect"), "r.com", []*netsim.Cookie{
 		netsim.NewCookie("r_uid", "01"),
 	})
 	// A later bounce (from any other origin pair) sees the same cookie.
-	got := j.Cookies(t0, "https://r.com/redirect", "r.com", true)
+	got := j.Cookies(t0, urlx.MustParse("https://r.com/redirect"), "r.com", true)
 	if len(got) != 1 || got[0].Value != "01" {
 		t.Fatal("redirector could not re-identify user across bounces")
 	}
@@ -199,19 +200,19 @@ func TestCHIPSPartitionedAttributeOnFlatJar(t *testing.T) {
 	c := netsim.NewCookie("chips", "1")
 	c.Partitioned = true
 	c.SameSite = netsim.SameSiteNone
-	j.SetCookies(t0, "https://tracker.com/", "a.com", []*netsim.Cookie{c})
-	if got := j.Cookies(t0, "https://tracker.com/", "b.com", false); len(got) != 0 {
+	j.SetCookies(t0, urlx.MustParse("https://tracker.com/"), "a.com", []*netsim.Cookie{c})
+	if got := j.Cookies(t0, urlx.MustParse("https://tracker.com/"), "b.com", false); len(got) != 0 {
 		t.Fatal("CHIPS cookie leaked across partitions on flat jar")
 	}
-	if got := j.Cookies(t0, "https://tracker.com/", "a.com", false); len(got) != 1 {
+	if got := j.Cookies(t0, urlx.MustParse("https://tracker.com/"), "a.com", false); len(got) != 1 {
 		t.Fatal("CHIPS cookie missing in own partition")
 	}
 }
 
 func TestReplacementSemantics(t *testing.T) {
 	j := NewJar(Flat)
-	j.SetCookies(t0, "https://a.com/", "a.com", []*netsim.Cookie{netsim.NewCookie("k", "1")})
-	j.SetCookies(t0.Add(time.Second), "https://a.com/", "a.com", []*netsim.Cookie{netsim.NewCookie("k", "2")})
+	j.SetCookies(t0, urlx.MustParse("https://a.com/"), "a.com", []*netsim.Cookie{netsim.NewCookie("k", "1")})
+	j.SetCookies(t0.Add(time.Second), urlx.MustParse("https://a.com/"), "a.com", []*netsim.Cookie{netsim.NewCookie("k", "2")})
 	if v, _ := j.Get("a.com", "k"); v != "2" {
 		t.Fatalf("value = %q, want replacement", v)
 	}
@@ -222,7 +223,7 @@ func TestReplacementSemantics(t *testing.T) {
 
 func TestJarClearAndMode(t *testing.T) {
 	j := NewJar(Partitioned)
-	j.SetCookies(t0, "https://a.com/", "a.com", []*netsim.Cookie{netsim.NewCookie("k", "1")})
+	j.SetCookies(t0, urlx.MustParse("https://a.com/"), "a.com", []*netsim.Cookie{netsim.NewCookie("k", "1")})
 	j.Clear()
 	if j.Len() != 0 {
 		t.Fatal("clear failed")
@@ -237,7 +238,7 @@ func TestJarClearAndMode(t *testing.T) {
 
 func TestIgnoresNilAndNameless(t *testing.T) {
 	j := NewJar(Flat)
-	j.SetCookies(t0, "https://a.com/", "a.com", []*netsim.Cookie{nil, netsim.NewCookie("", "x")})
+	j.SetCookies(t0, urlx.MustParse("https://a.com/"), "a.com", []*netsim.Cookie{nil, netsim.NewCookie("", "x")})
 	if j.Len() != 0 {
 		t.Fatal("invalid cookies stored")
 	}
@@ -247,11 +248,11 @@ func TestCookieOrderingDeterministic(t *testing.T) {
 	j := NewJar(Flat)
 	long := netsim.NewCookie("deep", "1")
 	long.Path = "/a/b"
-	j.SetCookies(t0, "https://a.com/a/b", "a.com", []*netsim.Cookie{long})
-	j.SetCookies(t0.Add(time.Second), "https://a.com/", "a.com", []*netsim.Cookie{
+	j.SetCookies(t0, urlx.MustParse("https://a.com/a/b"), "a.com", []*netsim.Cookie{long})
+	j.SetCookies(t0.Add(time.Second), urlx.MustParse("https://a.com/"), "a.com", []*netsim.Cookie{
 		netsim.NewCookie("z", "1"), netsim.NewCookie("a", "1"),
 	})
-	got := names(j.Cookies(t0.Add(time.Minute), "https://a.com/a/b", "a.com", false))
+	got := names(j.Cookies(t0.Add(time.Minute), urlx.MustParse("https://a.com/a/b"), "a.com", false))
 	want := []string{"deep", "a", "z"} // longest path first, then name
 	for i := range want {
 		if got[i] != want[i] {

@@ -208,39 +208,149 @@ func MustParse(raw string) *url.URL {
 }
 
 // WithParam returns a copy of u with the query parameter key set to value.
-// The original URL is not modified.
+// The original URL is not modified. When the key is not already present
+// the pair is appended to the raw query without re-encoding it (the
+// request hot path decorates URLs with fresh tracking parameters far more
+// often than it overwrites existing ones).
 func WithParam(u *url.URL, key, value string) *url.URL {
 	cp := *u
+	if _, present := Param(u, key); !present {
+		var b strings.Builder
+		b.Grow(len(cp.RawQuery) + 1 + len(key) + 1 + len(value))
+		b.WriteString(cp.RawQuery)
+		if cp.RawQuery != "" {
+			b.WriteByte('&')
+		}
+		appendQueryEscape(&b, key)
+		b.WriteByte('=')
+		appendQueryEscape(&b, value)
+		cp.RawQuery = b.String()
+		return &cp
+	}
 	q := cp.Query()
 	q.Set(key, value)
 	cp.RawQuery = q.Encode()
 	return &cp
 }
 
-// WithParams returns a copy of u with every key/value pair of params set.
+// WithParams returns a copy of u with every key/value pair of params set
+// (in sorted key order, so the result is deterministic).
 func WithParams(u *url.URL, params map[string]string) *url.URL {
-	cp := *u
-	q := cp.Query()
 	keys := make([]string, 0, len(params))
 	for k := range params {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
+	cp := u
 	for _, k := range keys {
-		q.Set(k, params[k])
+		cp = WithParam(cp, k, params[k])
 	}
-	cp.RawQuery = q.Encode()
-	return &cp
+	if cp == u { // empty params: still return a copy, as before
+		c := *u
+		cp = &c
+	}
+	return cp
 }
 
-// Param returns the first value of the named query parameter and whether it
-// was present.
+// Param returns the first value of the named query parameter and whether
+// it was present. It scans RawQuery directly instead of materialising a
+// url.Values map — this sits on the simulated-server hot path (every
+// bounce reads its next-hop parameter, every SERP its query) — and
+// allocates only when the matched value is actually escaped.
 func Param(u *url.URL, key string) (string, bool) {
-	vs, ok := u.Query()[key]
-	if !ok || len(vs) == 0 {
-		return "", false
+	q := u.RawQuery
+	for q != "" {
+		var pair string
+		if i := strings.IndexByte(q, '&'); i >= 0 {
+			pair, q = q[:i], q[i+1:]
+		} else {
+			pair, q = q, ""
+		}
+		if pair == "" || strings.IndexByte(pair, ';') >= 0 {
+			continue // net/url rejects ';' pairs; mirror that
+		}
+		k, v := pair, ""
+		if i := strings.IndexByte(pair, '='); i >= 0 {
+			k, v = pair[:i], pair[i+1:]
+		}
+		if !queryEq(k, key) {
+			continue
+		}
+		if !strings.ContainsAny(v, "%+") {
+			return v, true
+		}
+		dec, err := url.QueryUnescape(v)
+		if err != nil {
+			continue // invalid escape: net/url drops the pair
+		}
+		return dec, true
 	}
-	return vs[0], true
+	return "", false
+}
+
+// queryEq reports whether the raw (possibly escaped) query key k decodes
+// to key, without allocating in the common unescaped case.
+func queryEq(k, key string) bool {
+	if k == key {
+		return true
+	}
+	if !strings.ContainsAny(k, "%+") {
+		return false
+	}
+	dec, err := url.QueryUnescape(k)
+	return err == nil && dec == key
+}
+
+const upperhex = "0123456789ABCDEF"
+
+// queryByteSafe reports whether b needs no escaping in a query component,
+// matching url.QueryEscape's character class.
+func queryByteSafe(b byte) bool {
+	switch {
+	case b >= 'a' && b <= 'z', b >= 'A' && b <= 'Z', b >= '0' && b <= '9':
+		return true
+	case b == '-' || b == '_' || b == '.' || b == '~':
+		return true
+	}
+	return false
+}
+
+// appendQueryEscape writes url.QueryEscape(s) into b without the
+// intermediate string.
+func appendQueryEscape(b *strings.Builder, s string) {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case queryByteSafe(c):
+			b.WriteByte(c)
+		case c == ' ':
+			b.WriteByte('+')
+		default:
+			b.WriteByte('%')
+			b.WriteByte(upperhex[c>>4])
+			b.WriteByte(upperhex[c&0xf])
+		}
+	}
+}
+
+// AppendQuery writes "key=value" (query-escaped) into b; it is the
+// zero-intermediate-allocation building block the hot URL constructors
+// (engine search URLs, redirect chains) use instead of url.Values.Encode.
+func AppendQuery(b *strings.Builder, key, value string) {
+	appendQueryEscape(b, key)
+	b.WriteByte('=')
+	appendQueryEscape(b, value)
+}
+
+// EncodeQuery returns the single escaped "key=value" pair, grown once
+// for the worst-case escaping expansion. Redirect-chain construction
+// wraps a full URL as one query pair at every nesting level, so this is
+// the shared spelling for that hot path.
+func EncodeQuery(key, value string) string {
+	var b strings.Builder
+	b.Grow(len(key) + 1 + 3*len(value))
+	AppendQuery(&b, key, value)
+	return b.String()
 }
 
 // CopyURL deep-copies a URL (including User info, which the simulator never
@@ -258,10 +368,20 @@ func CopyURL(u *url.URL) *url.URL {
 func IsHTTP(u *url.URL) bool { return u.Scheme == "http" || u.Scheme == "https" }
 
 // Resolve resolves ref against base, mirroring browser link resolution.
+// Absolute http(s) references without dot segments — the overwhelming
+// majority of simulated-web URLs — skip ResolveReference entirely: it
+// would only clone the URL and re-normalise a path that has nothing to
+// normalise.
 func Resolve(base *url.URL, ref string) (*url.URL, error) {
 	r, err := url.Parse(ref)
 	if err != nil {
 		return nil, fmt.Errorf("urlx: resolve %q: %w", ref, err)
+	}
+	// "/." catches every dot-segment shape — "/./", "/../", and paths
+	// *ending* in "/." or "/.." — at the cost of also sending rare
+	// "/.hidden" paths down the (correct, slower) slow path.
+	if IsHTTP(r) && r.Host != "" && r.Path != "" && r.Path[0] == '/' && !strings.Contains(r.Path, "/.") {
+		return r, nil
 	}
 	return base.ResolveReference(r), nil
 }

@@ -2,6 +2,7 @@ package urlx
 
 import (
 	"net/url"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -173,5 +174,107 @@ func TestWithParamQuickProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestParamMatchesNetURL pins the RawQuery-scanning Param against the
+// url.Values semantics it replaced, across escaping, multi-value,
+// flag-style, and malformed shapes.
+func TestParamMatchesNetURL(t *testing.T) {
+	queries := []string{
+		"",
+		"q=shoes",
+		"q=best+shoes&pos=2",
+		"next=https%3A%2F%2Fa.example%2Fb%3Fc%3Dd",
+		"a=1&a=2&b=3",
+		"flag&x=1",
+		"x=1&flag",
+		"weird%20key=v",
+		"v=%zz",       // invalid escape: net/url drops the pair
+		"a=1;b=2&c=3", // ';' pair is rejected by modern net/url
+		"empty=&after=1",
+		"q=%E2%9C%93",
+	}
+	keys := []string{"q", "pos", "next", "a", "b", "c", "flag", "x", "weird key", "v", "empty", "after", "missing"}
+	for _, raw := range queries {
+		u := &url.URL{Scheme: "https", Host: "h.example", RawQuery: raw}
+		want, _ := url.ParseQuery(raw) // ParseQuery keeps valid pairs even on error
+		for _, k := range keys {
+			gotV, gotOK := Param(u, k)
+			wantVs, wantOK := want[k]
+			if gotOK != wantOK {
+				t.Errorf("query %q key %q: present=%v, net/url says %v", raw, k, gotOK, wantOK)
+				continue
+			}
+			if wantOK && gotV != wantVs[0] {
+				t.Errorf("query %q key %q: value %q, net/url says %q", raw, k, gotV, wantVs[0])
+			}
+		}
+	}
+}
+
+// TestAppendQueryMatchesQueryEscape pins the builder-based escaping
+// against url.QueryEscape byte for byte.
+func TestAppendQueryMatchesQueryEscape(t *testing.T) {
+	for _, v := range []string{
+		"", "plain", "two words", "https://a.example/b?c=d&e=f",
+		"uniçode✓", "a%b", "x=y&z", "100%", "~.-_", "+plus+",
+	} {
+		var b strings.Builder
+		AppendQuery(&b, "k", v)
+		if want := "k=" + url.QueryEscape(v); b.String() != want {
+			t.Errorf("AppendQuery(%q) = %q, want %q", v, b.String(), want)
+		}
+	}
+}
+
+// TestWithParamAppendSemantics covers the append fast path: fresh keys
+// append in call order without re-encoding the existing query, existing
+// keys are replaced, and the decorated value round-trips through Param.
+func TestWithParamAppendSemantics(t *testing.T) {
+	u := MustParse("https://shop.example/landing")
+	u = WithParam(u, "gclid", "Cj0K+QjW/x")
+	u = WithParam(u, "dl", "a b")
+	if got := u.RawQuery; got != "gclid=Cj0K%2BQjW%2Fx&dl=a+b" {
+		t.Fatalf("RawQuery = %q", got)
+	}
+	for k, want := range map[string]string{"gclid": "Cj0K+QjW/x", "dl": "a b"} {
+		if got, ok := Param(u, k); !ok || got != want {
+			t.Fatalf("Param(%s) = %q, %v", k, got, ok)
+		}
+	}
+	// Replacement path still works.
+	u = WithParam(u, "gclid", "new")
+	if got, _ := Param(u, "gclid"); got != "new" {
+		t.Fatalf("replaced gclid = %q", got)
+	}
+}
+
+// TestResolveFastPathMatchesResolveReference asserts the absolute-URL
+// fast path returns what ResolveReference would have.
+func TestResolveFastPathMatchesResolveReference(t *testing.T) {
+	base := MustParse("https://base.example/dir/page")
+	for _, ref := range []string{
+		"https://a.example/landing?gclid=x",
+		"http://b.example/p/q#frag",
+		"https://c.example/",
+		"https://d.example/a/../b", // dot segments must take the slow path
+		"https://d.example/a/..",   // trailing dot segments too
+		"https://d.example/a/.",
+		"https://d.example/.well-known/x",
+		"/rooted/path",
+		"relative/path",
+		"?q=1",
+		"https://e.example", // empty path
+	} {
+		got, err := Resolve(base, ref)
+		if err != nil {
+			t.Fatalf("Resolve(%q): %v", ref, err)
+		}
+		r, _ := url.Parse(ref)
+		want := base.ResolveReference(r)
+		if got.String() != want.String() {
+			t.Errorf("Resolve(%q) = %q, ResolveReference says %q", ref, got.String(), want.String())
+		}
 	}
 }

@@ -160,7 +160,8 @@ func TestTrackerSampling(t *testing.T) {
 
 func TestMintDomainUnique(t *testing.T) {
 	used := map[string]bool{}
-	r := detrand.New(4).Rand()
+	g := detrand.New(4).Rand()
+	r := &g
 	seen := map[string]bool{}
 	for i := 0; i < 600; i++ {
 		d := mintDomain(r, used)

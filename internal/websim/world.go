@@ -67,7 +67,7 @@ func (c Config) withDefaults() Config {
 type World struct {
 	Net         *netsim.Network
 	Cfg         Config
-	Seed        *detrand.Source
+	Seed        detrand.Source
 	Engines     map[string]*serp.Engine
 	Redirectors *adtech.Registry
 	Sites       *advertiser.SiteRegistry
@@ -151,7 +151,15 @@ func NewWorld(cfg Config) *World {
 	w.Trackers = advertiser.NewTrackerRegistry(seed, allTrackers)
 	w.Trackers.Register(w.Net)
 
-	// 4. Per-engine advertiser pools and campaigns.
+	// 4. Per-engine advertiser pools and campaigns. Behavioural
+	// prevalences (stack mix, auto-tagging, clean sites, persistence) are
+	// realised as exact pool quotas — largest-remainder counts assigned
+	// to a seed-shuffled subset — rather than independent per-campaign
+	// coin flips. With pools of only ~60–100 campaigns, i.i.d. sampling
+	// put ±5pp of binomial noise on every Table 2/6 rate and made the
+	// full-scale reproduction a seed lottery; quota assignment pins the
+	// realised pool fractions to the calibration for every seed, leaving
+	// only the (intended) crawl-level variance of which ads get clicked.
 	usedDomains := make(map[string]bool)
 	var allSites []*advertiser.Site
 	pools := make(map[string]*adtech.Pool)
@@ -159,25 +167,52 @@ func NewWorld(cfg Config) *World {
 	for _, name := range serp.AllEngineNames() {
 		cal := cfg.Calibrations[name]
 		poolSeed := seed.Derive("pool", name)
-		r := poolSeed.Rand()
+		g := poolSeed.Rand()
+		r := &g
+		n := cal.PoolSize
+
+		choiceIdx := quotaChoices(r, stackWeights(cal.Stacks), n)
+		crossTag := quotaBools(r, cal.CrossTagGCLIDProb, n)
+		otherUID := quotaBools(r, cal.OtherUIDProb, n)
+		clean := quotaBools(r, cal.CleanSiteProb, n)
+		persistLS := quotaBools(r, 0.2, n)
+		persist := make(map[string][]bool)
+		for _, param := range sortedKeys(cal.PersistClickIDProb) {
+			persist[param] = quotaBools(r, cal.PersistClickIDProb[param], n)
+		}
+		// Auto-tagging applies to non-direct campaigns only, so its quota
+		// is taken over that subset.
+		var nonDirect []int
+		for i := 0; i < n; i++ {
+			if !cal.Stacks[choiceIdx[i]].Direct {
+				nonDirect = append(nonDirect, i)
+			}
+		}
+		autoTag := make([]bool, n)
+		for i, on := range quotaBools(r, cal.AutoTagProb, len(nonDirect)) {
+			autoTag[nonDirect[i]] = on
+		}
+
 		pool := &adtech.Pool{}
-		for i := 0; i < cal.PoolSize; i++ {
+		for i := 0; i < n; i++ {
 			domain := mintDomain(r, usedDomains)
 			site := &advertiser.Site{
 				Domain:      domain,
 				LandingPath: "/landing",
-				Trackers:    sampleTrackers(r, cal, builtins, trackerPools[name]),
+			}
+			if !clean[i] {
+				site.Trackers = sampleTrackers(r, cal, builtins, trackerPools[name])
 			}
 			for _, param := range sortedKeys(cal.PersistClickIDProb) {
-				if detrand.Bernoulli(r, cal.PersistClickIDProb[param]) {
+				if persist[param][i] {
 					site.PersistParams = append(site.PersistParams, param)
 				}
 			}
-			site.PersistToLocalStorage = detrand.Bernoulli(r, 0.2)
+			site.PersistToLocalStorage = persistLS[i]
 			allSites = append(allSites, site)
 			w.SitesByEngine[name] = append(w.SitesByEngine[name], site)
 
-			choice := cal.Stacks[detrand.Pick(r, stackWeights(cal.Stacks))]
+			choice := cal.Stacks[choiceIdx[i]]
 			campaign := &adtech.Campaign{
 				ID:               name + "-" + strconv.Itoa(i),
 				Landing:          urlx.MustParse(site.LandingURL()),
@@ -185,14 +220,10 @@ func NewWorld(cfg Config) *World {
 				Stack:            choice.Stack,
 				DirectFromEngine: choice.Direct,
 				PersistsClickIDs: site.PersistParams,
+				AutoTag:          autoTag[i],
+				CrossTagGCLID:    crossTag[i],
 			}
-			if !choice.Direct && detrand.Bernoulli(r, cal.AutoTagProb) {
-				campaign.AutoTag = true
-			}
-			if detrand.Bernoulli(r, cal.CrossTagGCLIDProb) {
-				campaign.CrossTagGCLID = true
-			}
-			if detrand.Bernoulli(r, cal.OtherUIDProb) {
+			if otherUID[i] {
 				campaign.OtherUIDParam = otherUIDParams[r.Intn(len(otherUIDParams))]
 			}
 			pool.Campaigns = append(pool.Campaigns, campaign)
@@ -248,13 +279,79 @@ func sortedKeys(m map[string]float64) []string {
 	return out
 }
 
-// sampleTrackers picks a site's tracker set: clean with CleanSiteProb,
-// otherwise TrackersPerSiteMin..Max services drawn by entity weight
-// (Table 5) from the builtin and long-tail pools.
-func sampleTrackers(r randSource, cal EngineCalibration, builtins, unknowns []*advertiser.Tracker) []*advertiser.Tracker {
-	if detrand.Bernoulli(r, cal.CleanSiteProb) {
-		return nil
+// quotaCounts splits n into per-choice counts proportional to weights
+// using largest-remainder rounding; the counts sum to n exactly.
+func quotaCounts(weights []float64, n int) []int {
+	var sum float64
+	for _, w := range weights {
+		sum += w
 	}
+	if len(weights) == 0 || !(sum > 0) {
+		// Mirrors detrand.Pick's contract (which this replaced): zero,
+		// negative, or NaN total weight is a calibration error, and
+		// int(NaN) would otherwise send the remainder loop spinning.
+		panic("websim: quota weights must sum to a positive value")
+	}
+	counts := make([]int, len(weights))
+	type rem struct {
+		idx  int
+		frac float64
+	}
+	rems := make([]rem, len(weights))
+	assigned := 0
+	for i, w := range weights {
+		exact := float64(n) * w / sum
+		counts[i] = int(exact)
+		assigned += counts[i]
+		rems[i] = rem{i, exact - float64(counts[i])}
+	}
+	sort.Slice(rems, func(a, b int) bool {
+		if rems[a].frac != rems[b].frac {
+			return rems[a].frac > rems[b].frac
+		}
+		return rems[a].idx < rems[b].idx // deterministic tie-break
+	})
+	for i := 0; assigned < n; i++ {
+		counts[rems[i%len(rems)].idx]++
+		assigned++
+	}
+	return counts
+}
+
+// quotaChoices expands quotaCounts into a per-campaign choice index,
+// shuffled so the quota'd choices land on a seed-determined subset.
+func quotaChoices(r *detrand.Gen, weights []float64, n int) []int {
+	counts := quotaCounts(weights, n)
+	out := make([]int, 0, n)
+	for idx, c := range counts {
+		for k := 0; k < c; k++ {
+			out = append(out, idx)
+		}
+	}
+	r.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}
+
+// quotaBools returns a shuffled boolean slice of length n with exactly
+// round(p*n) true entries.
+func quotaBools(r *detrand.Gen, p float64, n int) []bool {
+	k := int(p*float64(n) + 0.5)
+	if k > n {
+		k = n
+	}
+	out := make([]bool, n)
+	for i := 0; i < k; i++ {
+		out[i] = true
+	}
+	r.Shuffle(n, func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}
+
+// sampleTrackers picks a non-clean site's tracker set:
+// TrackersPerSiteMin..Max services drawn by entity weight (Table 5) from
+// the builtin and long-tail pools. (Clean sites are assigned by quota in
+// NewWorld before this runs.)
+func sampleTrackers(r randSource, cal EngineCalibration, builtins, unknowns []*advertiser.Tracker) []*advertiser.Tracker {
 	byEntity := builtinsByEntity(builtins)
 	entities := sortedKeys(cal.TrackerEntityWeights)
 	weights := make([]float64, len(entities))
@@ -316,7 +413,7 @@ func builtinsByEntity(builtins []*advertiser.Tracker) map[string][]*advertiser.T
 
 func contains(s, sub string) bool { return strings.Contains(s, sub) }
 
-// randSource is the subset of *rand.Rand the samplers use.
+// randSource is the subset of *detrand.Gen the samplers use.
 type randSource = detrand.Rng
 
 // Brand syllables for advertiser domain minting.

@@ -57,8 +57,9 @@ const (
 
 // Generate returns n distinct queries of the given kind, deterministic in
 // the seed.
-func Generate(kind Kind, seed *detrand.Source, n int) []string {
-	r := seed.Derive("workload").Rand()
+func Generate(kind Kind, seed detrand.Source, n int) []string {
+	g := seed.Derive("workload").Rand()
+	r := &g
 	seen := make(map[string]bool, n)
 	out := make([]string, 0, n)
 	for attempt := 0; len(out) < n && attempt < n*100; attempt++ {

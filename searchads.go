@@ -7,8 +7,8 @@
 // The typical flow is three calls:
 //
 //	study := searchads.NewStudy(searchads.Config{Seed: 1, QueriesPerEngine: 100})
-//	dataset := study.Crawl()
-//	report := study.Analyze()
+//	dataset, err := study.Crawl()
+//	report, err := study.Analyze()
 //	fmt.Println(report.Render())
 //
 // Config controls the world (seed, engines, query volume, calibration
@@ -117,9 +117,10 @@ type Config struct {
 	// the world (the paper's §5 limitation, implemented as an
 	// extension; Report.After[*].ReferrerUID measures it).
 	ReferrerSmuggling bool
-	// Parallel crawls engines concurrently. Aggregate statistics are
-	// unchanged, but datasets are no longer byte-identical across runs
-	// (identifier minting interleaves).
+	// Parallel crawls iterations on a worker pool spanning all cores.
+	// The dataset is byte-identical to a sequential crawl of the same
+	// Config: identifier streams derive from (engine, iteration) labels
+	// and each browser profile runs its own virtual clock.
 	Parallel bool
 	// Filter, when set, annotates every crawled iteration with
 	// per-stage tracker counts (filter-list matches via
@@ -153,9 +154,11 @@ func NewStudy(cfg Config) *Study {
 func (s *Study) World() *World { return s.world }
 
 // Crawl runs the measurement pipeline (§3.1) and caches the dataset.
-func (s *Study) Crawl() *Dataset {
+// It returns an error if Config.Engines names an unknown engine — a
+// typo used to silently yield an empty dataset.
+func (s *Study) Crawl() (*Dataset, error) {
 	if s.dataset == nil {
-		s.dataset = crawler.New(crawler.Config{
+		ds, err := crawler.New(crawler.Config{
 			World:       s.world,
 			Engines:     s.cfg.Engines,
 			Iterations:  s.cfg.Iterations,
@@ -166,17 +169,25 @@ func (s *Study) Crawl() *Dataset {
 			Parallel:    s.cfg.Parallel,
 			Filter:      s.cfg.Filter,
 		}).Run()
+		if err != nil {
+			return nil, err
+		}
+		s.dataset = ds
 	}
-	return s.dataset
+	return s.dataset, nil
 }
 
 // Analyze runs the §4 analyses (crawling first if needed) and caches
 // the report.
-func (s *Study) Analyze() *Report {
+func (s *Study) Analyze() (*Report, error) {
 	if s.report == nil {
-		s.report = analysis.Analyze(s.Crawl())
+		ds, err := s.Crawl()
+		if err != nil {
+			return nil, err
+		}
+		s.report = analysis.Analyze(ds)
 	}
-	return s.report
+	return s.report, nil
 }
 
 // AnalyzeDataset analyses a previously saved dataset.

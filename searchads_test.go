@@ -14,16 +14,22 @@ func TestStudyEndToEnd(t *testing.T) {
 		Engines:          []string{searchads.Google, searchads.Qwant},
 		QueriesPerEngine: 15,
 	})
-	ds := study.Crawl()
+	ds, err := study.Crawl()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(ds.Iterations) != 30 {
 		t.Fatalf("iterations = %d", len(ds.Iterations))
 	}
 	// Crawl is cached: a second call returns the same dataset.
-	if study.Crawl() != ds {
+	if ds2, _ := study.Crawl(); ds2 != ds {
 		t.Fatal("Crawl not cached")
 	}
-	report := study.Analyze()
-	if study.Analyze() != report {
+	report, err := study.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2, _ := study.Analyze(); r2 != report {
 		t.Fatal("Analyze not cached")
 	}
 	if report.During["google"].NavTrackingFraction != 1.0 {
@@ -41,7 +47,10 @@ func TestDatasetRoundTripThroughFacade(t *testing.T) {
 		Engines:          []string{searchads.Bing},
 		QueriesPerEngine: 5,
 	})
-	ds := study.Crawl()
+	ds, err := study.Crawl()
+	if err != nil {
+		t.Fatal(err)
+	}
 	path := filepath.Join(t.TempDir(), "ds.json")
 	if err := ds.Save(path); err != nil {
 		t.Fatal(err)
@@ -63,12 +72,31 @@ func TestStudiesAreReproducible(t *testing.T) {
 		Engines:          []string{searchads.DuckDuckGo},
 		QueriesPerEngine: 8,
 	}
-	a := searchads.NewStudy(cfg).Crawl()
-	b := searchads.NewStudy(cfg).Crawl()
+	a, errA := searchads.NewStudy(cfg).Crawl()
+	b, errB := searchads.NewStudy(cfg).Crawl()
+	if errA != nil || errB != nil {
+		t.Fatal(errA, errB)
+	}
 	for i := range a.Iterations {
 		if a.Iterations[i].FinalURL != b.Iterations[i].FinalURL {
 			t.Fatalf("iteration %d differs across identical studies", i)
 		}
+	}
+}
+
+func TestCrawlUnknownEngineErrors(t *testing.T) {
+	// A typo in Config.Engines must surface as an error, not an empty
+	// dataset.
+	_, err := searchads.NewStudy(searchads.Config{
+		Seed:             3,
+		Engines:          []string{"gogle"},
+		QueriesPerEngine: 2,
+	}).Crawl()
+	if err == nil {
+		t.Fatal("unknown engine did not error")
+	}
+	if !strings.Contains(err.Error(), "gogle") || !strings.Contains(err.Error(), "unknown engine") {
+		t.Fatalf("unhelpful error: %v", err)
 	}
 }
 

@@ -611,6 +611,35 @@ func BenchmarkStudyCrawlParallel(b *testing.B) {
 	}
 }
 
+// BenchmarkSweep measures the sweep engine on a small matrix: 4 seeds
+// × 2 storage modes (8 cells) of a 2-engine, 8-query study, crawled,
+// analyzed, and aggregated with streaming dataset discard. CI emits
+// its ns/op and allocs/op into BENCH_sweep.json alongside the filter
+// and crawl trajectories.
+func BenchmarkSweep(b *testing.B) {
+	b.ReportAllocs()
+	matrix := searchads.SweepMatrix{
+		Seeds:            []int64{1, 2, 3, 4},
+		Storage:          []searchads.StorageMode{searchads.FlatStorage, searchads.PartitionedStorage},
+		EngineSets:       [][]string{{searchads.Bing, searchads.DuckDuckGo}},
+		QueriesPerEngine: 8,
+	}
+	filter := searchads.DefaultFilterEngine()
+	for i := 0; i < b.N; i++ {
+		res, err := searchads.Sweep(matrix, searchads.SweepOptions{Filter: filter})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Cells) != 8 || len(res.Scenarios) != 2 {
+			b.Fatalf("cells=%d scenarios=%d", len(res.Cells), len(res.Scenarios))
+		}
+		if res.PeakRetainedDatasets > res.Parallelism {
+			b.Fatalf("peak retained datasets %d exceeds parallelism %d",
+				res.PeakRetainedDatasets, res.Parallelism)
+		}
+	}
+}
+
 // BenchmarkWorldBuild measures world construction alone (all engines,
 // pools, trackers, redirectors).
 func BenchmarkWorldBuild(b *testing.B) {

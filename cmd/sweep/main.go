@@ -1,0 +1,114 @@
+// Command sweep runs a multi-seed, multi-scenario study matrix on a
+// bounded worker pool and aggregates the key §4 metrics across seeds
+// (mean, stddev, min/max, 95% CI per engine). Datasets are streamed
+// through analysis and discarded, so memory stays O(-parallel) however
+// many cells the matrix expands to.
+//
+// Usage:
+//
+//	sweep -preset paper-baseline -seeds 10
+//	sweep -matrix 'storage=flat,partitioned;filter=on,off' -seeds 5 -queries 80
+//	sweep -preset adblock-user -seeds 10 -parallel 4 -out sweep.json
+//
+// The machine-readable JSON goes to stdout (or -out); the human table
+// and progress go to stderr. The exit status is non-zero if any cell
+// fails.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"searchads"
+)
+
+func main() {
+	var (
+		preset   = flag.String("preset", "", "named scenario matrix (paper-baseline, adblock-user, cookieless-web, storage-ablation, stealth-ablation)")
+		matrix   = flag.String("matrix", "", "matrix grammar, e.g. 'storage=flat,partitioned;filter=on,off;engines=bing+google,all'")
+		seeds    = flag.Int("seeds", 0, "number of seeds to sweep (seeds seed-base..seed-base+N-1; 0 = the matrix's own seeds, default 1)")
+		seedBase = flag.Int64("seed-base", 1, "first seed when -seeds is set")
+		queries  = flag.Int("queries", 50, "queries per engine per cell (yields to the matrix's queries= key unless given explicitly)")
+		parallel = flag.Int("parallel", 0, "cells in flight at once (0 = GOMAXPROCS); also the peak dataset-retention bound")
+		out      = flag.String("out", "", "write the JSON result to this file (default: stdout)")
+		quiet    = flag.Bool("quiet", false, "suppress the progress and table output on stderr")
+	)
+	flag.Parse()
+
+	m := searchads.SweepMatrix{}
+	if *preset != "" {
+		var err error
+		if m, err = searchads.SweepPreset(*preset); err != nil {
+			fail(err)
+		}
+	}
+	if *matrix != "" {
+		over, err := searchads.ParseSweepMatrix(*matrix)
+		if err != nil {
+			fail(err)
+		}
+		m = m.Overlay(over)
+	}
+	if *seeds > 0 {
+		m.Seeds = make([]int64, *seeds)
+		for i := range m.Seeds {
+			m.Seeds[i] = *seedBase + int64(i)
+		}
+	}
+	// The -queries default must not clobber a queries= value from the
+	// matrix grammar or a preset; only an explicitly passed flag wins.
+	queriesSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "queries" {
+			queriesSet = true
+		}
+	})
+	if queriesSet || m.QueriesPerEngine == 0 {
+		m.QueriesPerEngine = *queries
+	}
+
+	opts := searchads.SweepOptions{Parallel: *parallel}
+	if !*quiet {
+		opts.OnCellDone = func(done, total int, c searchads.SweepCell, err error) {
+			status := "ok"
+			if err != nil {
+				status = "FAILED: " + err.Error()
+			}
+			fmt.Fprintf(os.Stderr, "[%d/%d] %s seed=%d %s\n", done, total, c.Scenario, c.Seed, status)
+		}
+	}
+
+	res, sweepErr := searchads.Sweep(m, opts)
+
+	data, err := res.JSON()
+	if err != nil {
+		fail(err)
+	}
+	if *out != "" {
+		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+			fail(err)
+		}
+	} else {
+		os.Stdout.Write(data)
+		fmt.Println()
+	}
+	if !*quiet {
+		fmt.Fprint(os.Stderr, res.Render())
+	}
+	if sweepErr != nil {
+		fmt.Fprintf(os.Stderr, "sweep: %d cell(s) failed:\n%s\n",
+			res.CellErrors, indent(sweepErr.Error()))
+		os.Exit(1)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "sweep:", err)
+	os.Exit(1)
+}
+
+func indent(s string) string {
+	return "  " + strings.ReplaceAll(s, "\n", "\n  ")
+}

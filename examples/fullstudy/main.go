@@ -4,6 +4,11 @@
 // report.txt, and experiments.md to the working directory.
 //
 // The full run is a few minutes of CPU; use -queries to scale down.
+//
+// This is still a single seed — one sample of every rate the paper
+// reports. cmd/sweep repeats the campaign across seeds and scenarios
+// (storage modes, engine subsets, filter annotation) and reports
+// mean ± 95% CI per metric; see examples/sweep.
 package main
 
 import (

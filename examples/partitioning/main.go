@@ -4,6 +4,10 @@
 // navigation-based tracking — bounce tracking and UID smuggling —
 // survives it. This is the paper's central argument for why
 // redirector-based tracking matters.
+//
+// The same comparison across many seeds, with confidence intervals, is
+// one command away: `go run ./cmd/sweep -preset storage-ablation
+// -seeds 10` (see examples/sweep).
 package main
 
 import (

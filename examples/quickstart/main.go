@@ -1,5 +1,10 @@
 // Quickstart: run a small study end to end — build the simulated web,
 // crawl one engine, and print the analysis of a single ad click.
+//
+// One study is one point estimate. To run a family of studies — many
+// seeds, storage modes, engine subsets — with cross-seed mean/CI
+// aggregation, see examples/sweep and the cmd/sweep CLI
+// (e.g. `go run ./cmd/sweep -preset paper-baseline -seeds 10`).
 package main
 
 import (

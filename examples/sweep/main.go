@@ -1,0 +1,57 @@
+// Sweep: run a family of studies instead of one — a scenario matrix
+// (here: flat vs partitioned storage) across several seeds, executed
+// on a bounded worker pool with streaming aggregation. Each cell is
+// the same deterministic pipeline as searchads.Study, so every number
+// below is reproducible in isolation; the sweep retains only
+// O(parallelism) datasets however many cells run.
+//
+// The cmd/sweep CLI exposes the same machinery with presets
+// (paper-baseline, adblock-user, cookieless-web, ...) and a matrix
+// grammar; see also examples/quickstart for the single-study flow.
+package main
+
+import (
+	"fmt"
+
+	"searchads"
+)
+
+func main() {
+	// Three seeds × two storage modes on two engines: 6 cells.
+	matrix := searchads.SweepMatrix{
+		Seeds:            []int64{1, 2, 3},
+		Storage:          []searchads.StorageMode{searchads.FlatStorage, searchads.PartitionedStorage},
+		EngineSets:       [][]string{{searchads.Bing, searchads.DuckDuckGo}},
+		QueriesPerEngine: 15,
+	}
+
+	result, err := searchads.Sweep(matrix, searchads.SweepOptions{
+		Parallel: 2,
+		OnCellDone: func(done, total int, c searchads.SweepCell, err error) {
+			fmt.Printf("cell %d/%d done: %s seed=%d\n", done, total, c.Scenario, c.Seed)
+		},
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	fmt.Printf("\npeak retained datasets: %d (6 cells ran)\n\n", result.PeakRetainedDatasets)
+
+	// Cross-seed aggregates: the paper's point estimates become a mean
+	// with a 95% confidence interval.
+	for _, scenario := range result.Scenarios {
+		fmt.Printf("%s:\n", scenario.Scenario)
+		for _, engine := range scenario.Engines {
+			prevalence := engine.Metrics["tracker_prevalence"]
+			blocked := engine.Metrics["blocked_fraction"]
+			fmt.Printf("  %-12s tracker prevalence %.2f ± %.2f   blocked fraction %.3f ± %.3f\n",
+				engine.Engine,
+				prevalence.Mean, prevalence.CI95High-prevalence.Mean,
+				blocked.Mean, blocked.CI95High-blocked.Mean)
+		}
+	}
+
+	// The full table (every metric, stddev, min/max) and the JSON form:
+	fmt.Println()
+	fmt.Print(result.Render())
+}

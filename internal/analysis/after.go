@@ -18,9 +18,12 @@ var knownClickIDParams = map[string]bool{
 }
 
 // analyzeAfter implements §4.3: trackers on destination pages and UID
-// smuggling to advertisers.
-func analyzeAfter(iters []*crawler.Iteration, cls *tokens.Result, filter *filterlist.Engine, ents *entities.List) *AfterResult {
+// smuggling to advertisers. The second return value counts blocked
+// destination-stage requests — analyzeTraffic reuses it so the
+// destination stream is only matched against the filter lists once.
+func analyzeAfter(iters []*crawler.Iteration, cls *tokens.Result, filter *filterlist.Engine, ents *entities.List) (*AfterResult, int) {
 	res := &AfterResult{}
+	blockedRequests := 0
 	clicks := 0
 	pagesWithTrackers := 0
 	distinctTrackers := map[string]bool{}
@@ -44,6 +47,7 @@ func analyzeAfter(iters []*crawler.Iteration, cls *tokens.Result, filter *filter
 			if !verdicts[ri].Blocked {
 				continue
 			}
+			blockedRequests++
 			u, err := url.Parse(req.URL)
 			if err != nil {
 				continue
@@ -119,7 +123,7 @@ func analyzeAfter(iters []*crawler.Iteration, cls *tokens.Result, filter *filter
 	res.DistinctTrackers = len(distinctTrackers)
 	res.MedianTrackersPerPage = Median(perPageCounts)
 	res.TopEntities = topFreqs(entityCounts, entityTotal, 6)
-	return res
+	return res, blockedRequests
 }
 
 // finalURLParams returns the destination URL's query parameters.

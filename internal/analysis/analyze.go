@@ -29,6 +29,10 @@ type Report struct {
 	// RecorderCoverage is the §3.1 crawler-vs-extension median ratio
 	// per engine.
 	RecorderCoverage map[string]float64
+	// Traffic is the per-engine request-level summary (third-party and
+	// filter-list-blocked fractions over all crawl stages); the sweep
+	// engine's blocked-request and third-party-rate metrics read it.
+	Traffic map[string]TrafficStats
 
 	// EngineOrder lists engines in table order.
 	EngineOrder []string
@@ -152,6 +156,7 @@ func AnalyzeWith(ds *crawler.Dataset, opts Options) *Report {
 		During:           make(map[string]*DuringResult),
 		After:            make(map[string]*AfterResult),
 		RecorderCoverage: make(map[string]float64),
+		Traffic:          make(map[string]TrafficStats),
 		EngineOrder:      ds.Engines(),
 		classifier:       classifier,
 	}
@@ -162,10 +167,16 @@ func AnalyzeWith(ds *crawler.Dataset, opts Options) *Report {
 	}
 	for engine, iters := range ds.ByEngine() {
 		r.Table1[engine] = table1(iters)
-		r.Before[engine] = analyzeBefore(engine, iters, classifier, opts.Filter)
+		before := analyzeBefore(engine, iters, classifier, opts.Filter)
+		r.Before[engine] = before
 		r.During[engine] = analyzeDuring(iters, classifier, opts.Entities)
-		r.After[engine] = analyzeAfter(iters, classifier, opts.Filter, opts.Entities)
+		after, destBlocked := analyzeAfter(iters, classifier, opts.Filter, opts.Entities)
+		r.After[engine] = after
 		r.RecorderCoverage[engine] = recorderCoverage(iters)
+		// SERP and destination streams were already matched by
+		// analyzeBefore/analyzeAfter; traffic only matches the click
+		// stage itself.
+		r.Traffic[engine] = analyzeTraffic(iters, opts.Filter, before.TrackerRequests, destBlocked)
 	}
 	return r
 }

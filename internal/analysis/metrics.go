@@ -1,0 +1,137 @@
+package analysis
+
+import (
+	"searchads/internal/crawler"
+	"searchads/internal/filterlist"
+)
+
+// TrafficStats aggregates request-level traffic for one engine over all
+// crawl stages (SERP, click, destination dwell).
+type TrafficStats struct {
+	// Requests counts every recorded request.
+	Requests int `json:"requests"`
+	// ThirdParty counts requests whose host is third-party to the page
+	// that issued them.
+	ThirdParty int `json:"third_party"`
+	// Blocked counts requests matching the filter lists — what an
+	// adblock user's extension would have cancelled.
+	Blocked int `json:"blocked"`
+}
+
+// ThirdPartyRate is the fraction of requests going to third parties.
+func (t TrafficStats) ThirdPartyRate() float64 {
+	if t.Requests == 0 {
+		return 0
+	}
+	return float64(t.ThirdParty) / float64(t.Requests)
+}
+
+// BlockedFraction is the fraction of requests the filter lists match.
+func (t TrafficStats) BlockedFraction() float64 {
+	if t.Requests == 0 {
+		return 0
+	}
+	return float64(t.Blocked) / float64(t.Requests)
+}
+
+// analyzeTraffic tallies the engine's full request stream. The SERP
+// and destination stages were already matched against the filter lists
+// by analyzeBefore/analyzeAfter — their blocked counts arrive as
+// arguments — so only the click stage runs MatchBatch here; matching
+// is the analysis hot path and each stage is matched exactly once per
+// AnalyzeWith.
+func analyzeTraffic(iters []*crawler.Iteration, filter *filterlist.Engine, serpBlocked, destBlocked int) TrafficStats {
+	t := TrafficStats{Blocked: serpBlocked + destBlocked}
+	for _, it := range iters {
+		for _, stage := range [][]crawler.RequestRecord{it.SERPRequests, it.ClickRequests, it.DestRequests} {
+			t.Requests += len(stage)
+			for _, r := range stage {
+				if r.ThirdParty {
+					t.ThirdParty++
+				}
+			}
+		}
+		for _, v := range filter.MatchBatch(crawler.RequestInfos(it.ClickRequests)) {
+			if v.Blocked {
+				t.Blocked++
+			}
+		}
+	}
+	return t
+}
+
+// Per-engine scalar metrics exposed through Report.Metric. These are
+// the quantities the sweep engine aggregates across seeds; they cover
+// the key §4 rates (tracker prevalence, navigational tracking, UID
+// smuggling) plus the traffic-level third-party and blocked fractions.
+const (
+	// MetricTrackerPrevalence is the fraction of ad destination pages
+	// with at least one tracker request (§4.3.1).
+	MetricTrackerPrevalence = "tracker_prevalence"
+	// MetricThirdPartyRate is the fraction of all recorded requests
+	// going to third parties.
+	MetricThirdPartyRate = "third_party_rate"
+	// MetricBlockedFraction is the fraction of all recorded requests
+	// matching the filter lists.
+	MetricBlockedFraction = "blocked_fraction"
+	// MetricCookieSyncsPerClick is the mean number of redirectors per
+	// click that stored user-identifying cookies during the bounce
+	// (the Figure 5 distribution's mean) — the navigational
+	// cookie-sync surface.
+	MetricCookieSyncsPerClick = "cookie_syncs_per_click"
+	// MetricNavTracking is the share of ad clicks bounced through at
+	// least one redirector (§4.2.2).
+	MetricNavTracking = "nav_tracking"
+	// MetricAnyUID is the share of clicks delivering any user
+	// identifier to the advertiser (§4.3.2, Table 6 "any").
+	MetricAnyUID = "any_uid"
+)
+
+// MetricNames lists the per-engine scalar metrics in render order.
+func MetricNames() []string {
+	return []string{
+		MetricTrackerPrevalence,
+		MetricThirdPartyRate,
+		MetricBlockedFraction,
+		MetricCookieSyncsPerClick,
+		MetricNavTracking,
+		MetricAnyUID,
+	}
+}
+
+// Metric returns one named scalar for one engine (0 for engines or
+// names the report does not have).
+func (r *Report) Metric(engine, name string) float64 {
+	switch name {
+	case MetricTrackerPrevalence:
+		if a := r.After[engine]; a != nil {
+			return a.PagesWithTrackers
+		}
+	case MetricThirdPartyRate:
+		return r.Traffic[engine].ThirdPartyRate()
+	case MetricBlockedFraction:
+		return r.Traffic[engine].BlockedFraction()
+	case MetricCookieSyncsPerClick:
+		if d := r.During[engine]; d != nil {
+			return d.UIDRedirectorCDF.Mean()
+		}
+	case MetricNavTracking:
+		if d := r.During[engine]; d != nil {
+			return d.NavTrackingFraction
+		}
+	case MetricAnyUID:
+		if a := r.After[engine]; a != nil {
+			return a.AnyUID
+		}
+	}
+	return 0
+}
+
+// EngineMetrics returns every named scalar for one engine.
+func (r *Report) EngineMetrics(engine string) map[string]float64 {
+	out := make(map[string]float64, len(MetricNames()))
+	for _, name := range MetricNames() {
+		out[name] = r.Metric(engine, name)
+	}
+	return out
+}

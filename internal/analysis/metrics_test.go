@@ -1,0 +1,96 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+
+	"searchads/internal/crawler"
+	"searchads/internal/websim"
+)
+
+func TestCDFMean(t *testing.T) {
+	cases := []struct {
+		counts []int
+		want   float64
+	}{
+		{nil, 0},
+		{[]int{0, 0, 0}, 0},
+		{[]int{2, 2, 2}, 2},
+		{[]int{0, 1, 2, 3}, 1.5},
+		{[]int{5}, 5},
+	}
+	for _, c := range cases {
+		got := NewCDF(c.counts).Mean()
+		if math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("NewCDF(%v).Mean() = %v, want %v", c.counts, got, c.want)
+		}
+	}
+}
+
+func TestTrafficStatsRates(t *testing.T) {
+	ts := TrafficStats{Requests: 200, ThirdParty: 50, Blocked: 20}
+	if got := ts.ThirdPartyRate(); got != 0.25 {
+		t.Errorf("ThirdPartyRate = %v, want 0.25", got)
+	}
+	if got := ts.BlockedFraction(); got != 0.1 {
+		t.Errorf("BlockedFraction = %v, want 0.1", got)
+	}
+	var zero TrafficStats
+	if zero.ThirdPartyRate() != 0 || zero.BlockedFraction() != 0 {
+		t.Error("zero-request stats must yield zero rates")
+	}
+}
+
+// TestReportMetrics checks the named accessors against the report
+// fields they read, on a real (small) crawl.
+func TestReportMetrics(t *testing.T) {
+	w := websim.NewWorld(websim.Config{Seed: 77, Engines: []string{"bing"}, QueriesPerEngine: 8})
+	ds, err := crawler.New(crawler.Config{World: w}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := Analyze(ds)
+
+	if got, want := r.Metric("bing", MetricTrackerPrevalence), r.After["bing"].PagesWithTrackers; got != want {
+		t.Errorf("tracker_prevalence = %v, want %v", got, want)
+	}
+	if got, want := r.Metric("bing", MetricNavTracking), r.During["bing"].NavTrackingFraction; got != want {
+		t.Errorf("nav_tracking = %v, want %v", got, want)
+	}
+	if got, want := r.Metric("bing", MetricAnyUID), r.After["bing"].AnyUID; got != want {
+		t.Errorf("any_uid = %v, want %v", got, want)
+	}
+	if got, want := r.Metric("bing", MetricThirdPartyRate), r.Traffic["bing"].ThirdPartyRate(); got != want {
+		t.Errorf("third_party_rate = %v, want %v", got, want)
+	}
+	if got, want := r.Metric("bing", MetricBlockedFraction), r.Traffic["bing"].BlockedFraction(); got != want {
+		t.Errorf("blocked_fraction = %v, want %v", got, want)
+	}
+	if got, want := r.Metric("bing", MetricCookieSyncsPerClick), r.During["bing"].UIDRedirectorCDF.Mean(); got != want {
+		t.Errorf("cookie_syncs_per_click = %v, want %v", got, want)
+	}
+
+	// The destination pages carry trackers and third-party traffic in
+	// every calibrated world; the metrics must be non-degenerate.
+	if r.Metric("bing", MetricTrackerPrevalence) == 0 {
+		t.Error("tracker prevalence is zero on a calibrated crawl")
+	}
+	if r.Traffic["bing"].Requests == 0 || r.Traffic["bing"].Blocked == 0 {
+		t.Errorf("traffic stats degenerate: %+v", r.Traffic["bing"])
+	}
+
+	// Unknown engines and metric names yield 0, not panics.
+	if r.Metric("nope", MetricAnyUID) != 0 || r.Metric("bing", "bogus") != 0 {
+		t.Error("unknown engine/metric must be 0")
+	}
+
+	m := r.EngineMetrics("bing")
+	if len(m) != len(MetricNames()) {
+		t.Fatalf("EngineMetrics has %d entries, want %d", len(m), len(MetricNames()))
+	}
+	for _, name := range MetricNames() {
+		if m[name] != r.Metric("bing", name) {
+			t.Errorf("EngineMetrics[%s] mismatch", name)
+		}
+	}
+}

@@ -182,6 +182,13 @@ func (r *Report) Render() string {
 			e, pct(a.PersistedMSCLKID), pct(a.PersistedGCLID), pct(a.ReferrerUID))
 	}
 
+	b.WriteString("\n== Traffic: third-party and filter-list-blocked request rates ==\n")
+	fmt.Fprintf(&b, "%-12s %10s %13s %10s\n", "engine", "#requests", "third-party", "blocked")
+	for _, e := range engines {
+		t := r.Traffic[e]
+		fmt.Fprintf(&b, "%-12s %10d %13s %10s\n", e, t.Requests, pct(t.ThirdPartyRate()), pct(t.BlockedFraction()))
+	}
+
 	b.WriteString("\n== Sec 3.1: recorder coverage (crawler vs extension, median) ==\n")
 	for _, e := range engines {
 		fmt.Fprintf(&b, "%-12s %.0f%%\n", e, r.RecorderCoverage[e]*100)

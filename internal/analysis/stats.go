@@ -37,6 +37,19 @@ func NewCDF(counts []int) CDF {
 	return cdf
 }
 
+// Mean returns the distribution's mean (0 for an empty CDF).
+func (c CDF) Mean() float64 {
+	if c.N == 0 {
+		return 0
+	}
+	mean, prev := 0.0, 0.0
+	for k, p := range c.P {
+		mean += float64(k) * (p - prev)
+		prev = p
+	}
+	return mean
+}
+
 // At returns P(X <= k); values past the support are 1 (or 0 for an
 // empty CDF).
 func (c CDF) At(k int) float64 {

@@ -56,6 +56,14 @@ type Config struct {
 	// engine's index is read-only after build, so one engine is safely
 	// shared across Parallel engine goroutines.
 	Filter *filterlist.Engine
+	// Sink, when set, receives each iteration as soon as it finishes
+	// crawling, before the dataset is assembled. Calls are serialized
+	// (one at a time, even under Parallel) but arrive in completion
+	// order, which for Parallel crawls is not dataset order; consumers
+	// needing order should read the final dataset instead. The sweep
+	// engine uses Sink to stream progress and error counts from cells
+	// whose datasets it will discard after analysis.
+	Sink func(*Iteration)
 }
 
 // Crawler runs the measurement pipeline.
@@ -124,11 +132,17 @@ func (c *Crawler) Run() (*Dataset, error) {
 		perEngine[idx] = make([]*Iteration, n)
 		visited[idx] = make(map[string]bool)
 	}
+	var sinkMu sync.Mutex
 	runOne := func(idx, iter int) {
 		engine := engines[idx]
 		it := c.runIteration(engine, w.Queries[c.cfg.Engines[idx]][iter], iter, visited[idx])
 		c.annotateTrackers(it)
 		perEngine[idx][iter] = it
+		if c.cfg.Sink != nil {
+			sinkMu.Lock()
+			c.cfg.Sink(it)
+			sinkMu.Unlock()
+		}
 	}
 	if c.cfg.Parallel {
 		c.runPool(runOne, counts, total)

@@ -1,0 +1,114 @@
+package crawler
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"searchads/internal/websim"
+)
+
+// TestDatasetSaveLoadRoundTrip crawls a small real dataset and asserts
+// the Save → Load round trip — LoadDataset is exported through the
+// facade but the round trip was previously untested at this layer.
+// Equality is checked at the serialization level (re-saving the loaded
+// dataset must reproduce the file byte for byte; omitempty legitimately
+// turns empty slices into nil in memory) plus field-level spot checks
+// on the header and a full iteration.
+func TestDatasetSaveLoadRoundTrip(t *testing.T) {
+	w := websim.NewWorld(websim.Config{Seed: 55, Engines: []string{"bing", "startpage"}, QueriesPerEngine: 4})
+	ds, err := New(Config{World: w}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Iterations) != 8 {
+		t.Fatalf("iterations = %d", len(ds.Iterations))
+	}
+	path := filepath.Join(t.TempDir(), "ds.json")
+	if err := ds.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Seed != ds.Seed || back.StorageMode != ds.StorageMode || !back.CreatedAt.Equal(ds.CreatedAt) {
+		t.Fatalf("header differs after round trip: %+v vs %+v", back, ds)
+	}
+	if len(back.Iterations) != len(ds.Iterations) {
+		t.Fatalf("iterations = %d, want %d", len(back.Iterations), len(ds.Iterations))
+	}
+	for i := range ds.Iterations {
+		a, b := ds.Iterations[i], back.Iterations[i]
+		if b.Instance != a.Instance || b.Query != a.Query || b.FinalURL != a.FinalURL ||
+			b.ClickedAd != a.ClickedAd || len(b.SERPRequests) != len(a.SERPRequests) ||
+			len(b.Hops) != len(a.Hops) || len(b.DestRequests) != len(a.DestRequests) ||
+			len(b.Cookies) != len(a.Cookies) || len(b.RevisitCookies) != len(a.RevisitCookies) {
+			t.Fatalf("iteration %d differs after round trip:\n%+v\nvs\n%+v", i, b, a)
+		}
+		if !reflect.DeepEqual(b.DisplayedAds, a.DisplayedAds) {
+			t.Fatalf("iteration %d ads differ: %+v vs %+v", i, b.DisplayedAds, a.DisplayedAds)
+		}
+	}
+
+	// A second save of the loaded dataset must be byte-identical — the
+	// canonical form is a serialization fixpoint.
+	path2 := filepath.Join(t.TempDir(), "ds2.json")
+	if err := back.Save(path2); err != nil {
+		t.Fatal(err)
+	}
+	b1, _ := os.ReadFile(path)
+	b2, _ := os.ReadFile(path2)
+	if string(b1) != string(b2) {
+		t.Fatal("re-saving a loaded dataset changed its bytes")
+	}
+
+	// And the analyses of the two must agree exactly — the round trip
+	// loses nothing the pipeline reads.
+	if got, want := len(back.ByEngine()), len(ds.ByEngine()); got != want {
+		t.Fatalf("engines after round trip = %d, want %d", got, want)
+	}
+}
+
+// TestLoadCorruptDataset: corrupt or truncated files must yield a
+// useful error naming the parse step, and a missing file a read error —
+// never a zero dataset.
+func TestLoadCorruptDataset(t *testing.T) {
+	dir := t.TempDir()
+
+	corrupt := filepath.Join(dir, "corrupt.json")
+	if err := os.WriteFile(corrupt, []byte(`{"seed": "not-a-number"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(corrupt); err == nil || !strings.Contains(err.Error(), "parse dataset") {
+		t.Fatalf("corrupt file error = %v, want a parse error", err)
+	}
+
+	// Truncate a real dataset mid-stream.
+	w := websim.NewWorld(websim.Config{Seed: 56, Engines: []string{"qwant"}, QueriesPerEngine: 2})
+	ds, err := New(Config{World: w, SkipRevisit: true}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := filepath.Join(dir, "full.json")
+	if err := ds.Save(full); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truncated := filepath.Join(dir, "truncated.json")
+	if err := os.WriteFile(truncated, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(truncated); err == nil || !strings.Contains(err.Error(), "parse dataset") {
+		t.Fatalf("truncated file error = %v, want a parse error", err)
+	}
+
+	if _, err := Load(filepath.Join(dir, "missing.json")); err == nil || !strings.Contains(err.Error(), "read dataset") {
+		t.Fatalf("missing file error = %v, want a read error", err)
+	}
+}

@@ -1,0 +1,128 @@
+package sweep
+
+import "math"
+
+// Agg summarises one metric across the seeds of a scenario.
+type Agg struct {
+	// N is the number of cells aggregated.
+	N int `json:"n"`
+	// Mean/Stddev are the sample mean and sample (n-1) deviation.
+	Mean   float64 `json:"mean"`
+	Stddev float64 `json:"stddev"`
+	Min    float64 `json:"min"`
+	Max    float64 `json:"max"`
+	// CI95Low/High bound the normal-approximation 95% confidence
+	// interval of the mean (mean ± 1.96·stddev/√n; the point itself
+	// when n = 1).
+	CI95Low  float64 `json:"ci95_low"`
+	CI95High float64 `json:"ci95_high"`
+}
+
+// welford accumulates a stream of observations in O(1) memory
+// (Welford's online mean/variance plus running min/max).
+type welford struct {
+	n        int
+	mean, m2 float64
+	min, max float64
+}
+
+func (w *welford) add(x float64) {
+	w.n++
+	if w.n == 1 {
+		w.min, w.max = x, x
+	} else {
+		if x < w.min {
+			w.min = x
+		}
+		if x > w.max {
+			w.max = x
+		}
+	}
+	delta := x - w.mean
+	w.mean += delta / float64(w.n)
+	w.m2 += delta * (x - w.mean)
+}
+
+func (w *welford) agg() Agg {
+	a := Agg{N: w.n, Mean: w.mean, Min: w.min, Max: w.max}
+	if w.n > 1 {
+		a.Stddev = math.Sqrt(w.m2 / float64(w.n-1))
+	}
+	half := 1.96 * a.Stddev / math.Sqrt(float64(max(w.n, 1)))
+	a.CI95Low = a.Mean - half
+	a.CI95High = a.Mean + half
+	return a
+}
+
+// EngineAggregate holds one engine's metric aggregates in a scenario.
+type EngineAggregate struct {
+	Engine string `json:"engine"`
+	// Metrics maps analysis.MetricNames entries to their aggregate.
+	Metrics map[string]Agg `json:"metrics"`
+}
+
+// ScenarioAggregate is the cross-seed summary of one scenario.
+type ScenarioAggregate struct {
+	Scenario string `json:"scenario"`
+	// Cells counts the cells aggregated (errored cells are excluded).
+	Cells int `json:"cells"`
+	// Engines holds per-engine aggregates in crawl order.
+	Engines []EngineAggregate `json:"engines"`
+}
+
+// aggregate folds the per-cell scalar metrics into per-scenario
+// aggregates. It runs over CellResults (small scalar maps — the
+// datasets behind them were discarded as the pool streamed them
+// through analysis) in expansion order, so the output is deterministic
+// regardless of how the worker pool interleaved the cells.
+func aggregate(cells []Cell, results []CellResult, metricNames []string) []ScenarioAggregate {
+	var order []string
+	byScenario := map[string][]int{}
+	for i, c := range cells {
+		if _, ok := byScenario[c.Scenario]; !ok {
+			order = append(order, c.Scenario)
+		}
+		byScenario[c.Scenario] = append(byScenario[c.Scenario], i)
+	}
+
+	var out []ScenarioAggregate
+	for _, scenario := range order {
+		sa := ScenarioAggregate{Scenario: scenario}
+		// Engine order comes from the first successful cell's report.
+		var engines []string
+		for _, i := range byScenario[scenario] {
+			if results[i].Err == "" {
+				engines = results[i].EngineOrder
+				break
+			}
+		}
+		accs := make(map[string]map[string]*welford, len(engines))
+		for _, e := range engines {
+			accs[e] = make(map[string]*welford, len(metricNames))
+			for _, name := range metricNames {
+				accs[e][name] = &welford{}
+			}
+		}
+		for _, i := range byScenario[scenario] {
+			r := results[i]
+			if r.Err != "" {
+				continue
+			}
+			sa.Cells++
+			for _, e := range engines {
+				for _, name := range metricNames {
+					accs[e][name].add(r.Metrics[e][name])
+				}
+			}
+		}
+		for _, e := range engines {
+			ea := EngineAggregate{Engine: e, Metrics: make(map[string]Agg, len(metricNames))}
+			for _, name := range metricNames {
+				ea.Metrics[name] = accs[e][name].agg()
+			}
+			sa.Engines = append(sa.Engines, ea)
+		}
+		out = append(out, sa)
+	}
+	return out
+}

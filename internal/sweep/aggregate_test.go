@@ -1,0 +1,85 @@
+package sweep
+
+import (
+	"math"
+	"testing"
+)
+
+func TestWelfordMatchesNaive(t *testing.T) {
+	xs := []float64{0.93, 0.88, 0.97, 0.91, 0.85, 0.90}
+	var w welford
+	for _, x := range xs {
+		w.add(x)
+	}
+	a := w.agg()
+
+	mean := 0.0
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	varSum := 0.0
+	for _, x := range xs {
+		varSum += (x - mean) * (x - mean)
+	}
+	stddev := math.Sqrt(varSum / float64(len(xs)-1))
+
+	if math.Abs(a.Mean-mean) > 1e-12 {
+		t.Errorf("mean = %v, want %v", a.Mean, mean)
+	}
+	if math.Abs(a.Stddev-stddev) > 1e-12 {
+		t.Errorf("stddev = %v, want %v", a.Stddev, stddev)
+	}
+	if a.Min != 0.85 || a.Max != 0.97 || a.N != len(xs) {
+		t.Errorf("agg = %+v", a)
+	}
+	half := 1.96 * stddev / math.Sqrt(float64(len(xs)))
+	if math.Abs(a.CI95High-(mean+half)) > 1e-12 || math.Abs(a.CI95Low-(mean-half)) > 1e-12 {
+		t.Errorf("CI = [%v, %v], want mean ± %v", a.CI95Low, a.CI95High, half)
+	}
+}
+
+func TestWelfordSingleObservation(t *testing.T) {
+	var w welford
+	w.add(0.5)
+	a := w.agg()
+	if a.N != 1 || a.Mean != 0.5 || a.Stddev != 0 || a.CI95Low != 0.5 || a.CI95High != 0.5 {
+		t.Errorf("single-observation agg = %+v", a)
+	}
+	if a.Min != 0.5 || a.Max != 0.5 {
+		t.Errorf("single-observation range = [%v, %v]", a.Min, a.Max)
+	}
+}
+
+func TestAggregateSkipsErroredCells(t *testing.T) {
+	cells := []Cell{
+		{Scenario: "s", Seed: 1},
+		{Scenario: "s", Seed: 2},
+		{Scenario: "s", Seed: 3},
+	}
+	metric := "tracker_prevalence"
+	results := []CellResult{
+		{Scenario: "s", Seed: 1, EngineOrder: []string{"bing"},
+			Metrics: map[string]map[string]float64{"bing": {metric: 0.8}}},
+		{Scenario: "s", Seed: 2, Err: "boom"},
+		{Scenario: "s", Seed: 3, EngineOrder: []string{"bing"},
+			Metrics: map[string]map[string]float64{"bing": {metric: 0.6}}},
+	}
+	aggs := aggregate(cells, results, []string{metric})
+	if len(aggs) != 1 || aggs[0].Cells != 2 {
+		t.Fatalf("aggregates = %+v", aggs)
+	}
+	a := aggs[0].Engines[0].Metrics[metric]
+	if math.Abs(a.Mean-0.7) > 1e-12 || a.N != 2 {
+		t.Fatalf("mean over surviving cells = %+v", a)
+	}
+}
+
+func TestAggregateAllCellsFailed(t *testing.T) {
+	cells := []Cell{{Scenario: "s", Seed: 1}}
+	results := []CellResult{{Scenario: "s", Seed: 1, Err: "boom"}}
+	aggs := aggregate(cells, results, []string{"m"})
+	if len(aggs) != 1 || aggs[0].Cells != 0 || len(aggs[0].Engines) != 0 {
+		t.Fatalf("all-failed scenario aggregate = %+v", aggs)
+	}
+}

@@ -1,0 +1,131 @@
+package sweep
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"searchads/internal/storage"
+)
+
+func TestExpandDefaults(t *testing.T) {
+	cells := Matrix{}.Expand()
+	if len(cells) != 1 {
+		t.Fatalf("zero matrix expands to %d cells, want 1", len(cells))
+	}
+	c := cells[0]
+	if c.Seed != 1 || c.Storage != storage.Flat || c.FilterAnnotate || c.NoStealth || c.Engines != nil {
+		t.Fatalf("default cell = %+v", c)
+	}
+	if c.Scenario != "storage=flat,filter=off,stealth=on,engines=all" {
+		t.Fatalf("scenario = %q", c.Scenario)
+	}
+}
+
+func TestExpandOrderAndCount(t *testing.T) {
+	m := Matrix{
+		Seeds:          []int64{7, 8, 9},
+		Storage:        []storage.Mode{storage.Flat, storage.Partitioned},
+		FilterAnnotate: []bool{false, true},
+		EngineSets:     [][]string{{"bing"}, nil},
+	}
+	cells := m.Expand()
+	if len(cells) != 3*2*2*2 {
+		t.Fatalf("expanded %d cells, want 24", len(cells))
+	}
+	// Seeds innermost: all cells of a scenario are adjacent.
+	for i := 0; i < len(cells); i += 3 {
+		scenario := cells[i].Scenario
+		for j := 0; j < 3; j++ {
+			if cells[i+j].Scenario != scenario {
+				t.Fatalf("cell %d scenario %q != %q (seeds not innermost)", i+j, cells[i+j].Scenario, scenario)
+			}
+			if cells[i+j].Seed != m.Seeds[j] {
+				t.Fatalf("cell %d seed %d, want %d", i+j, cells[i+j].Seed, m.Seeds[j])
+			}
+		}
+	}
+	if got := len(m.Scenarios()); got != 8 {
+		t.Fatalf("Scenarios() = %d, want 8", got)
+	}
+	// Expansion is deterministic.
+	if !reflect.DeepEqual(cells, m.Expand()) {
+		t.Fatal("Expand not deterministic")
+	}
+}
+
+func TestParseMatrix(t *testing.T) {
+	m, err := ParseMatrix("seeds=3,5; storage=flat,partitioned; filter=on,off; stealth=off; engines=bing+google,all; queries=80; iterations=12")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Matrix{
+		Seeds:            []int64{3, 5},
+		Storage:          []storage.Mode{storage.Flat, storage.Partitioned},
+		FilterAnnotate:   []bool{true, false},
+		Stealth:          []bool{false},
+		EngineSets:       [][]string{{"bing", "google"}, nil},
+		QueriesPerEngine: 80,
+		Iterations:       12,
+	}
+	if !reflect.DeepEqual(m, want) {
+		t.Fatalf("parsed %+v, want %+v", m, want)
+	}
+
+	if m, err := ParseMatrix(""); err != nil || !reflect.DeepEqual(m, Matrix{}) {
+		t.Fatalf("empty grammar: %+v, %v", m, err)
+	}
+
+	for _, bad := range []string{
+		"storage=chrome",
+		"filter=maybe",
+		"bogus=1",
+		"storage",
+		"seeds=x",
+		"queries=1,2",
+		"storage=flat;storage=partitioned",
+		"engines=bing+",
+		"engines=",
+	} {
+		if _, err := ParseMatrix(bad); err == nil {
+			t.Errorf("ParseMatrix(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestPresets(t *testing.T) {
+	for _, name := range PresetNames() {
+		m, err := Preset(name)
+		if err != nil {
+			t.Fatalf("preset %s: %v", name, err)
+		}
+		if cells := m.Expand(); len(cells) == 0 {
+			t.Fatalf("preset %s expands to no cells", name)
+		}
+	}
+	if m, _ := Preset("adblock-user"); !m.Expand()[0].FilterAnnotate {
+		t.Error("adblock-user cells must annotate with the filter engine")
+	}
+	if m, _ := Preset("cookieless-web"); m.Expand()[0].Storage != storage.Partitioned {
+		t.Error("cookieless-web cells must use partitioned storage")
+	}
+	if m, _ := Preset("paper-baseline"); !reflect.DeepEqual(m, Matrix{}) {
+		t.Error("paper-baseline must be the default matrix")
+	}
+	_, err := Preset("nope")
+	if err == nil || !strings.Contains(err.Error(), "paper-baseline") {
+		t.Errorf("unknown preset error %v must list the known presets", err)
+	}
+}
+
+func TestOverlay(t *testing.T) {
+	base, _ := Preset("storage-ablation")
+	over := Matrix{Seeds: []int64{2, 4}, QueriesPerEngine: 30}
+	m := base.Overlay(over)
+	if !reflect.DeepEqual(m.Seeds, []int64{2, 4}) || m.QueriesPerEngine != 30 {
+		t.Fatalf("overlay did not apply: %+v", m)
+	}
+	if len(m.Storage) != 2 {
+		t.Fatalf("overlay clobbered the base storage dimension: %+v", m)
+	}
+}

@@ -1,0 +1,46 @@
+package sweep
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// JSON renders the sweep result as machine-readable JSON.
+func (r *Result) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", " ")
+}
+
+// Render produces the human table: one block per scenario, one row per
+// (engine, metric) with mean ± CI95 half-width, stddev, and range.
+func (r *Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "sweep: %d cells, %d scenarios, parallelism %d, peak retained datasets %d",
+		len(r.Cells), len(r.Scenarios), r.Parallelism, r.PeakRetainedDatasets)
+	if r.CellErrors > 0 {
+		fmt.Fprintf(&b, ", %d cell errors", r.CellErrors)
+	}
+	b.WriteString("\n")
+	for _, sa := range r.Scenarios {
+		fmt.Fprintf(&b, "\n== %s (%d seeds) ==\n", sa.Scenario, sa.Cells)
+		if len(sa.Engines) == 0 {
+			b.WriteString("  (no successful cells)\n")
+			continue
+		}
+		fmt.Fprintf(&b, "  %-12s %-24s %8s %8s %8s %8s %8s\n",
+			"engine", "metric", "mean", "±ci95", "stddev", "min", "max")
+		for _, ea := range sa.Engines {
+			for _, name := range r.Metrics {
+				a := ea.Metrics[name]
+				fmt.Fprintf(&b, "  %-12s %-24s %8.4f %8.4f %8.4f %8.4f %8.4f\n",
+					ea.Engine, name, a.Mean, a.CI95High-a.Mean, a.Stddev, a.Min, a.Max)
+			}
+		}
+	}
+	for _, cr := range r.Cells {
+		if cr.Err != "" {
+			fmt.Fprintf(&b, "\nERROR %s seed=%d: %s\n", cr.Scenario, cr.Seed, cr.Err)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,252 @@
+package sweep
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"searchads/internal/analysis"
+	"searchads/internal/crawler"
+	"searchads/internal/entities"
+	"searchads/internal/filterlist"
+	"searchads/internal/websim"
+)
+
+// Options configures a sweep run.
+type Options struct {
+	// Parallel bounds the number of cells in flight at once
+	// (0 = GOMAXPROCS). Each in-flight cell holds at most one dataset,
+	// so this is also the peak dataset-retention bound.
+	Parallel int
+	// Filter is the filter engine shared by every cell — crawl-time
+	// annotation for FilterAnnotate cells and the analysis side of all
+	// cells (nil = the embedded EasyList+EasyPrivacy default). The
+	// engine is read-only after its index is built and safe to share.
+	Filter *filterlist.Engine
+	// Entities is the organisation list shared by every cell's
+	// analysis (nil = the embedded Disconnect-style default).
+	Entities *entities.List
+	// OnReport, when set, receives each cell's report right after its
+	// analysis, before the cell's dataset is released. Calls are
+	// serialized, in completion order. The sweep itself retains only
+	// scalar metrics; a caller that stores every report reintroduces
+	// O(cells) retention on its own side.
+	OnReport func(Cell, *analysis.Report)
+	// OnCellDone, when set, is called (serialized) after each cell
+	// completes — progress reporting. done counts finished cells.
+	OnCellDone func(done, total int, c Cell, err error)
+}
+
+// CellResult is the retained summary of one executed cell: scalar
+// metrics only, the dataset and report are gone.
+type CellResult struct {
+	Scenario string `json:"scenario"`
+	Seed     int64  `json:"seed"`
+	// EngineOrder lists the cell's engines in crawl order.
+	EngineOrder []string `json:"engine_order"`
+	// Metrics maps engine → metric name → value (see
+	// analysis.MetricNames).
+	Metrics map[string]map[string]float64 `json:"metrics"`
+	// Iterations counts crawled iterations; IterationErrors counts the
+	// ones that recorded an error (e.g. "no ads displayed" on
+	// stealth-off cells) — streamed from the crawler's Sink hook.
+	Iterations      int `json:"iterations"`
+	IterationErrors int `json:"iteration_errors"`
+	// Err is the cell-level failure ("" on success). Errored cells are
+	// excluded from aggregation and make Run return an error.
+	Err string `json:"error,omitempty"`
+}
+
+// Result is a complete sweep: per-cell summaries plus per-scenario
+// cross-seed aggregates.
+type Result struct {
+	// Cells holds one entry per matrix cell, in expansion order.
+	Cells []CellResult `json:"cells"`
+	// Scenarios holds the cross-seed aggregates, in expansion order.
+	Scenarios []ScenarioAggregate `json:"scenarios"`
+	// Metrics names the aggregated metrics, in render order.
+	Metrics []string `json:"metrics"`
+	// Parallelism is the worker-pool width the sweep ran with.
+	Parallelism int `json:"parallelism"`
+	// PeakRetainedDatasets is the high-water mark of simultaneously
+	// retained datasets — bounded by Parallelism, not by cell count.
+	PeakRetainedDatasets int `json:"peak_retained_datasets"`
+	// CellErrors counts failed cells.
+	CellErrors int `json:"cell_errors"`
+}
+
+// Aggregate returns the named scenario's aggregate (nil if absent).
+func (r *Result) Aggregate(scenario string) *ScenarioAggregate {
+	for i := range r.Scenarios {
+		if r.Scenarios[i].Scenario == scenario {
+			return &r.Scenarios[i]
+		}
+	}
+	return nil
+}
+
+// Run expands the matrix and executes every cell on a bounded worker
+// pool. Each worker crawls its cell, streams the dataset through
+// analysis, folds the report into scalar metrics, and releases both —
+// so at any instant at most Parallel datasets exist. Cell execution is
+// exactly the searchads.Study pipeline with the same configuration, so
+// every cell's report is byte-identical to running that study
+// standalone.
+//
+// Run returns the result together with an error joining every cell
+// failure; the result is complete either way (failed cells carry Err
+// and are excluded from aggregates).
+func Run(m Matrix, opts Options) (*Result, error) {
+	cells := m.Expand()
+	workers := opts.Parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+	filter := opts.Filter
+	if filter == nil {
+		filter = filterlist.DefaultEngine()
+	}
+	ents := opts.Entities
+	if ents == nil {
+		ents = entities.Default()
+	}
+
+	r := &runner{
+		opts:    opts,
+		filter:  filter,
+		ents:    ents,
+		cells:   cells,
+		results: make([]CellResult, len(cells)),
+	}
+
+	indices := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range indices {
+				r.runCell(i)
+			}
+		}()
+	}
+	for i := range cells {
+		indices <- i
+	}
+	close(indices)
+	wg.Wait()
+
+	res := &Result{
+		Cells:                r.results,
+		Scenarios:            aggregate(cells, r.results, analysis.MetricNames()),
+		Metrics:              analysis.MetricNames(),
+		Parallelism:          workers,
+		PeakRetainedDatasets: r.peak,
+	}
+	var errs []error
+	for _, cr := range r.results {
+		if cr.Err != "" {
+			res.CellErrors++
+			errs = append(errs, fmt.Errorf("cell %s seed=%d: %s", cr.Scenario, cr.Seed, cr.Err))
+		}
+	}
+	return res, errors.Join(errs...)
+}
+
+// runner is the shared state of one sweep execution.
+type runner struct {
+	opts    Options
+	filter  *filterlist.Engine
+	ents    *entities.List
+	cells   []Cell
+	results []CellResult
+
+	mu       sync.Mutex // guards the fields below and serializes callbacks
+	retained int        // datasets currently alive
+	peak     int        // high-water mark of retained
+	done     int        // completed cells
+}
+
+// runCell executes one cell end to end and retains only its scalars.
+func (r *runner) runCell(i int) {
+	c := r.cells[i]
+	cr := CellResult{Scenario: c.Scenario, Seed: c.Seed}
+
+	rep, err := r.crawlAndAnalyze(c, &cr)
+	if err != nil {
+		cr.Err = err.Error()
+	} else {
+		cr.EngineOrder = rep.EngineOrder
+		cr.Metrics = make(map[string]map[string]float64, len(rep.EngineOrder))
+		for _, e := range rep.EngineOrder {
+			cr.Metrics[e] = rep.EngineMetrics(e)
+		}
+	}
+	r.results[i] = cr
+
+	if r.opts.OnCellDone != nil {
+		r.mu.Lock()
+		r.done++
+		r.opts.OnCellDone(r.done, len(r.cells), c, err)
+		r.mu.Unlock()
+	}
+}
+
+// crawlAndAnalyze is the cell pipeline: world build, crawl, analysis.
+// The dataset exists only inside this frame — it is born when the
+// crawl finishes and dropped when the function returns, which is what
+// keeps sweep memory O(parallelism).
+func (r *runner) crawlAndAnalyze(c Cell, cr *CellResult) (*analysis.Report, error) {
+	world := websim.NewWorld(websim.Config{
+		Seed:             c.Seed,
+		Engines:          c.Engines,
+		QueriesPerEngine: c.QueriesPerEngine,
+	})
+	var crawlFilter *filterlist.Engine
+	if c.FilterAnnotate {
+		crawlFilter = r.filter
+	}
+	r.trackDataset(+1)
+	defer r.trackDataset(-1)
+	ds, err := crawler.New(crawler.Config{
+		World:       world,
+		Engines:     c.Engines,
+		Iterations:  c.Iterations,
+		StorageMode: c.Storage,
+		NoStealth:   c.NoStealth,
+		SkipRevisit: c.SkipRevisit,
+		Filter:      crawlFilter,
+		Sink: func(it *crawler.Iteration) {
+			cr.Iterations++
+			if it.Error != "" {
+				cr.IterationErrors++
+			}
+		},
+	}).Run()
+	if err != nil {
+		return nil, err
+	}
+	rep := analysis.AnalyzeWith(ds, analysis.Options{Filter: r.filter, Entities: r.ents})
+	if r.opts.OnReport != nil {
+		r.mu.Lock()
+		r.opts.OnReport(c, rep)
+		r.mu.Unlock()
+	}
+	return rep, nil
+}
+
+// trackDataset maintains the retained-dataset high-water mark. A cell
+// counts as retaining a dataset from crawl start (the dataset
+// accumulates during the crawl) until analysis releases it.
+func (r *runner) trackDataset(delta int) {
+	r.mu.Lock()
+	r.retained += delta
+	if r.retained > r.peak {
+		r.peak = r.retained
+	}
+	r.mu.Unlock()
+}

@@ -24,6 +24,7 @@ import (
 	"searchads/internal/filterlist"
 	"searchads/internal/netsim"
 	"searchads/internal/storage"
+	"searchads/internal/sweep"
 	"searchads/internal/websim"
 )
 
@@ -49,6 +50,8 @@ type (
 	FilterRequest = filterlist.RequestInfo
 	// EntityList maps domains to organisations.
 	EntityList = entities.List
+	// AnalysisOptions configures Analyze/AnalyzeWith dependencies.
+	AnalysisOptions = analysis.Options
 )
 
 // ResourceType classifies a request for filter matching.
@@ -127,6 +130,11 @@ type Config struct {
 	// Engine.MatchBatch). The engine is read-only after its index is
 	// built and safe to share with Parallel crawls.
 	Filter *FilterEngine
+	// Sink, when set, receives each iteration as soon as it finishes
+	// crawling (serialized, in completion order). It lets streaming
+	// consumers — progress meters, the sweep engine — observe a crawl
+	// without retaining the dataset.
+	Sink func(*Iteration)
 }
 
 // Study owns one world and the artifacts derived from it.
@@ -168,6 +176,7 @@ func (s *Study) Crawl() (*Dataset, error) {
 			SkipRevisit: s.cfg.SkipRevisit,
 			Parallel:    s.cfg.Parallel,
 			Filter:      s.cfg.Filter,
+			Sink:        s.cfg.Sink,
 		}).Run()
 		if err != nil {
 			return nil, err
@@ -178,17 +187,64 @@ func (s *Study) Crawl() (*Dataset, error) {
 }
 
 // Analyze runs the §4 analyses (crawling first if needed) and caches
-// the report.
+// the report. It is AnalyzeWith with default options: the embedded
+// filter lists and entity list.
 func (s *Study) Analyze() (*Report, error) {
+	return s.AnalyzeWith(AnalysisOptions{})
+}
+
+// AnalyzeWith runs the §4 analyses with explicit dependencies — a
+// shared filter engine, an alternative entity list — crawling first if
+// needed. The report is cached: the first Analyze/AnalyzeWith call's
+// options win, later calls return the cached report unchanged.
+func (s *Study) AnalyzeWith(opts AnalysisOptions) (*Report, error) {
 	if s.report == nil {
 		ds, err := s.Crawl()
 		if err != nil {
 			return nil, err
 		}
-		s.report = analysis.Analyze(ds)
+		s.report = analysis.AnalyzeWith(ds, opts)
 	}
 	return s.report, nil
 }
+
+// Sweep types, re-exported for matrix construction and result
+// consumption. A sweep expands a scenario matrix (seeds × storage
+// modes × filter annotation × stealth × engine subsets) into concrete
+// studies, runs them on a bounded worker pool, and aggregates the key
+// §4 metrics across seeds (mean, stddev, min/max, 95% CI). Datasets
+// are streamed through analysis and discarded: a sweep retains
+// O(parallelism) datasets, never O(cells).
+type (
+	// SweepMatrix declares the scenario matrix.
+	SweepMatrix = sweep.Matrix
+	// SweepCell is one concrete (scenario, seed) study configuration.
+	SweepCell = sweep.Cell
+	// SweepOptions bounds parallelism and injects shared dependencies.
+	SweepOptions = sweep.Options
+	// SweepResult carries per-cell summaries and per-scenario
+	// cross-seed aggregates.
+	SweepResult = sweep.Result
+	// SweepAgg is one metric's cross-seed aggregate.
+	SweepAgg = sweep.Agg
+)
+
+// Sweep expands the matrix and executes every cell on a bounded worker
+// pool. Each cell runs the exact Study pipeline for its configuration,
+// so any cell's report is byte-identical to running that study
+// standalone. The returned error joins all cell failures; the result
+// is complete either way.
+func Sweep(m SweepMatrix, opts SweepOptions) (*SweepResult, error) {
+	return sweep.Run(m, opts)
+}
+
+// SweepPreset returns a named scenario matrix ("paper-baseline",
+// "adblock-user", "cookieless-web", ...); see sweep.PresetNames.
+func SweepPreset(name string) (SweepMatrix, error) { return sweep.Preset(name) }
+
+// ParseSweepMatrix parses the -matrix grammar, e.g.
+// "storage=flat,partitioned;filter=on,off;engines=bing+google,all".
+func ParseSweepMatrix(s string) (SweepMatrix, error) { return sweep.ParseMatrix(s) }
 
 // AnalyzeDataset analyses a previously saved dataset.
 func AnalyzeDataset(ds *Dataset) *Report { return analysis.Analyze(ds) }

@@ -123,3 +123,56 @@ func TestFacadeComponents(t *testing.T) {
 		t.Fatal("world has no sites")
 	}
 }
+
+// TestSinkStreamsIterations: Config.Sink observes every iteration as it
+// completes, for sequential and parallel crawls alike, without changing
+// the dataset.
+func TestSinkStreamsIterations(t *testing.T) {
+	for _, parallel := range []bool{false, true} {
+		var streamed int
+		study := searchads.NewStudy(searchads.Config{
+			Seed:             91,
+			Engines:          []string{searchads.Bing, searchads.Qwant},
+			QueriesPerEngine: 4,
+			Parallel:         parallel,
+			Sink:             func(it *searchads.Iteration) { streamed++ },
+		})
+		ds, err := study.Crawl()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if streamed != len(ds.Iterations) || streamed != 8 {
+			t.Fatalf("parallel=%v: sink saw %d iterations, dataset has %d",
+				parallel, streamed, len(ds.Iterations))
+		}
+	}
+}
+
+// TestAnalyzeWithMatchesAnalyze: explicit default options must give the
+// same report as Analyze, and a shared filter engine must be usable.
+func TestAnalyzeWithMatchesAnalyze(t *testing.T) {
+	cfg := searchads.Config{Seed: 92, Engines: []string{searchads.Google}, QueriesPerEngine: 5}
+	plain, err := searchads.NewStudy(cfg).Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared, err := searchads.NewStudy(cfg).AnalyzeWith(searchads.AnalysisOptions{
+		Filter:   searchads.DefaultFilterEngine(),
+		Entities: searchads.DefaultEntities(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Render() != shared.Render() {
+		t.Fatal("AnalyzeWith(default deps) differs from Analyze")
+	}
+	// Caching: the first call's options win.
+	s := searchads.NewStudy(cfg)
+	r1, err := s.AnalyzeWith(searchads.AnalysisOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2, _ := s.Analyze(); r2 != r1 {
+		t.Fatal("AnalyzeWith result not cached")
+	}
+}

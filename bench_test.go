@@ -7,6 +7,7 @@
 package searchads_test
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -34,10 +35,10 @@ func benchSetup(b *testing.B) (*searchads.Dataset, *searchads.Report) {
 	benchOnce.Do(func() {
 		study := searchads.NewStudy(searchads.Config{Seed: 4242, QueriesPerEngine: 80})
 		var err error
-		if benchDataset, err = study.Crawl(); err != nil {
+		if benchDataset, err = study.Crawl(context.Background()); err != nil {
 			b.Fatal(err)
 		}
-		if benchReport, err = study.Analyze(); err != nil {
+		if benchReport, err = study.Analyze(context.Background()); err != nil {
 			b.Fatal(err)
 		}
 	})
@@ -426,7 +427,7 @@ func BenchmarkSec32_TokenFunnel(b *testing.B) {
 func BenchmarkCrawl_EndToEnd(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		study := searchads.NewStudy(searchads.Config{Seed: int64(i + 1), QueriesPerEngine: 10})
-		if _, err := study.Analyze(); err != nil {
+		if _, err := study.Analyze(context.Background()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -441,14 +442,14 @@ func BenchmarkAblation_PartitionedVsFlat(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		flat, err := searchads.NewStudy(searchads.Config{
 			Seed: 5, Engines: []string{searchads.StartPage}, QueriesPerEngine: 15,
-		}).Analyze()
+		}).Analyze(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
 		part, err := searchads.NewStudy(searchads.Config{
 			Seed: 5, Engines: []string{searchads.StartPage}, QueriesPerEngine: 15,
 			Storage: searchads.PartitionedStorage,
-		}).Analyze()
+		}).Analyze(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -525,14 +526,14 @@ func BenchmarkAblation_StealthVsHeadless(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		stealth, err := searchads.NewStudy(searchads.Config{
 			Seed: 6, Engines: []string{searchads.Bing}, QueriesPerEngine: 8,
-		}).Crawl()
+		}).Crawl(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
 		headless, err := searchads.NewStudy(searchads.Config{
 			Seed: 6, Engines: []string{searchads.Bing}, QueriesPerEngine: 8,
 			NoStealth: true,
-		}).Crawl()
+		}).Crawl(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -562,7 +563,7 @@ func BenchmarkAblation_ReferrerSmuggling(b *testing.B) {
 		report, err := searchads.NewStudy(searchads.Config{
 			Seed: 9, Engines: []string{searchads.DuckDuckGo}, QueriesPerEngine: 55,
 			ReferrerSmuggling: true,
-		}).Analyze()
+		}).Analyze(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -584,7 +585,7 @@ func BenchmarkStudyCrawl(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		w := websim.NewWorld(websim.Config{Seed: 1009, QueriesPerEngine: 40})
-		ds, err := crawler.New(crawler.Config{World: w}).Run()
+		ds, err := crawler.New(crawler.Config{World: w}).Run(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -601,7 +602,7 @@ func BenchmarkStudyCrawlParallel(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		w := websim.NewWorld(websim.Config{Seed: 1009, QueriesPerEngine: 40})
-		ds, err := crawler.New(crawler.Config{World: w, Parallel: true}).Run()
+		ds, err := crawler.New(crawler.Config{World: w, Parallel: true}).Run(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -626,16 +627,39 @@ func BenchmarkSweep(b *testing.B) {
 	}
 	filter := searchads.DefaultFilterEngine()
 	for i := 0; i < b.N; i++ {
-		res, err := searchads.Sweep(matrix, searchads.SweepOptions{Filter: filter})
+		res, err := searchads.Sweep(context.Background(), matrix, searchads.SweepOptions{Filter: filter})
 		if err != nil {
 			b.Fatal(err)
 		}
 		if len(res.Cells) != 8 || len(res.Scenarios) != 2 {
 			b.Fatalf("cells=%d scenarios=%d", len(res.Cells), len(res.Scenarios))
 		}
-		if res.PeakRetainedDatasets > res.Parallelism {
-			b.Fatalf("peak retained datasets %d exceeds parallelism %d",
-				res.PeakRetainedDatasets, res.Parallelism)
+		if res.PeakRetainedIterations > res.Parallelism {
+			b.Fatalf("peak retained iterations %d exceeds parallelism %d",
+				res.PeakRetainedIterations, res.Parallelism)
+		}
+	}
+}
+
+// BenchmarkAccumulator measures the incremental-analysis path the v2
+// streaming API folds crawls through: every iteration of the shared
+// bench crawl added one at a time, then the report materialised. This
+// is the whole §4 analysis as the sweep engine and Study.Analyze now
+// run it; CI emits its ns/op and allocs/op into BENCH_accumulator.json
+// alongside the filter, crawl, and sweep trajectories.
+func BenchmarkAccumulator(b *testing.B) {
+	ds, _ := benchSetup(b)
+	filter := searchads.DefaultFilterEngine()
+	ents := searchads.DefaultEntities()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		acc := searchads.NewAccumulator(searchads.AnalysisOptions{Filter: filter, Entities: ents})
+		for _, it := range ds.Iterations {
+			acc.Add(it)
+		}
+		if acc.Report().Funnel.TotalTokens == 0 {
+			b.Fatal("empty funnel")
 		}
 	}
 }
@@ -662,7 +686,7 @@ func BenchmarkParallelCrawl(b *testing.B) {
 		b.Run(name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				w := websim.NewWorld(websim.Config{Seed: 9, QueriesPerEngine: 10})
-				ds, err := crawler.New(crawler.Config{World: w, Parallel: parallel}).Run()
+				ds, err := crawler.New(crawler.Config{World: w, Parallel: parallel}).Run(context.Background())
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -792,7 +816,7 @@ func BenchmarkBrowser_ClickNavigation(b *testing.B) {
 	c := crawler.New(crawler.Config{World: world, Engines: []string{searchads.StartPage}, Iterations: 1, SkipRevisit: true})
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		ds, err := c.Run()
+		ds, err := c.Run(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}

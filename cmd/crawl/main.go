@@ -1,5 +1,8 @@
 // Command crawl runs the paper's measurement pipeline over the simulated
-// web and writes the dataset as JSON.
+// web and writes the dataset as JSON. It consumes the v2 iteration
+// stream, so Ctrl-C (SIGINT/SIGTERM) cancels the crawl within one
+// iteration, writes the partial dataset crawled so far, and exits
+// non-zero.
 //
 // Usage:
 //
@@ -8,10 +11,14 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"searchads"
 )
@@ -32,6 +39,9 @@ func main() {
 	)
 	flag.Parse()
 
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
 	cfg := searchads.Config{
 		Seed:              *seed,
 		QueriesPerEngine:  *queries,
@@ -50,11 +60,21 @@ func main() {
 
 	study := searchads.NewStudy(cfg)
 	if !*quiet {
-		fmt.Fprintln(os.Stderr, "building world and crawling...")
+		fmt.Fprintln(os.Stderr, "building world and crawling... (Ctrl-C cancels and keeps the partial dataset)")
 	}
-	ds, err := study.Crawl()
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "crawl:", err)
+	// Assemble the dataset from the stream so a canceled crawl still
+	// leaves the iterations crawled so far on disk.
+	ds := study.NewDataset()
+	var streamErr error
+	for it, err := range study.Iterations(ctx) {
+		if err != nil {
+			streamErr = err
+			break
+		}
+		ds.Iterations = append(ds.Iterations, it)
+	}
+	if streamErr != nil && !errors.Is(streamErr, searchads.ErrCanceled) {
+		fmt.Fprintln(os.Stderr, "crawl:", streamErr)
 		os.Exit(1)
 	}
 	if err := ds.Save(*out); err != nil {
@@ -70,5 +90,10 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s: %d iterations (%d errors) across %d engines\n",
 			*out, len(ds.Iterations), errs, len(ds.Engines()))
+	}
+	if streamErr != nil {
+		fmt.Fprintf(os.Stderr, "crawl: canceled after %d iterations; partial dataset kept: %v\n",
+			len(ds.Iterations), streamErr)
+		os.Exit(130)
 	}
 }

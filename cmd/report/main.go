@@ -9,10 +9,14 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"searchads"
 	"searchads/internal/analysis"
@@ -38,14 +42,21 @@ func main() {
 		}
 		report = searchads.AnalyzeDataset(ds)
 	} else {
+		ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+		defer stop()
 		cfg := searchads.Config{Seed: *seed, QueriesPerEngine: *queries}
 		if *engines != "" {
 			cfg.Engines = strings.Split(*engines, ",")
 		}
 		var err error
-		report, err = searchads.NewStudy(cfg).Analyze()
+		// Analyze folds the live crawl incrementally; no dataset is
+		// materialised for a fresh-study report.
+		report, err = searchads.NewStudy(cfg).Analyze(ctx)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "report:", err)
+			if errors.Is(err, searchads.ErrCanceled) {
+				os.Exit(130)
+			}
 			os.Exit(1)
 		}
 	}

@@ -1,8 +1,9 @@
 // Command sweep runs a multi-seed, multi-scenario study matrix on a
 // bounded worker pool and aggregates the key §4 metrics across seeds
-// (mean, stddev, min/max, 95% CI per engine). Datasets are streamed
-// through analysis and discarded, so memory stays O(-parallel) however
-// many cells the matrix expands to.
+// (mean, stddev, min/max, 95% CI per engine). Each cell's crawl is
+// folded one iteration at a time through the incremental analysis, so
+// memory stays O(-parallel) iterations however many cells the matrix
+// expands to — no cell ever holds a dataset.
 //
 // Usage:
 //
@@ -12,14 +13,20 @@
 //
 // The machine-readable JSON goes to stdout (or -out); the human table
 // and progress go to stderr. The exit status is non-zero if any cell
-// fails.
+// fails. Ctrl-C (SIGINT/SIGTERM) cancels in-flight cells within one
+// crawl iteration, marks queued cells canceled, still emits the
+// partial result, and exits 130.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"searchads"
 )
@@ -80,7 +87,9 @@ func main() {
 		}
 	}
 
-	res, sweepErr := searchads.Sweep(m, opts)
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	res, sweepErr := searchads.Sweep(ctx, m, opts)
 
 	data, err := res.JSON()
 	if err != nil {
@@ -98,6 +107,11 @@ func main() {
 		fmt.Fprint(os.Stderr, res.Render())
 	}
 	if sweepErr != nil {
+		if errors.Is(sweepErr, searchads.ErrCanceled) {
+			fmt.Fprintf(os.Stderr, "sweep: canceled with %d cell(s) unfinished; partial results above\n",
+				res.CellErrors)
+			os.Exit(130)
+		}
 		fmt.Fprintf(os.Stderr, "sweep: %d cell(s) failed:\n%s\n",
 			res.CellErrors, indent(sweepErr.Error()))
 		os.Exit(1)

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 
 	"searchads/internal/adtech"
@@ -60,7 +61,7 @@ func main() {
 	ds, err := crawler.New(crawler.Config{
 		World:   world,
 		Engines: []string{serp.DuckDuckGo, "privacymax"},
-	}).Run()
+	}).Run(context.Background())
 	if err != nil {
 		panic(err)
 	}

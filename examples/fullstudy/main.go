@@ -12,9 +12,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"searchads"
 	"searchads/internal/analysis"
@@ -25,13 +28,17 @@ func main() {
 	seed := flag.Int64("seed", 20221001, "world seed")
 	flag.Parse()
 
+	// Ctrl-C cancels the crawl within one iteration (v2 API).
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
 	study := searchads.NewStudy(searchads.Config{
 		Seed:             *seed,
 		QueriesPerEngine: *queries,
 	})
 
 	fmt.Fprintf(os.Stderr, "crawling %d queries × 5 engines...\n", *queries)
-	ds, err := study.Crawl()
+	ds, err := study.Crawl(ctx)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -42,7 +49,7 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "dataset.json: %d iterations\n", len(ds.Iterations))
 
-	report, err := study.Analyze()
+	report, err := study.Analyze(ctx)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 
 	"searchads"
@@ -23,7 +24,7 @@ func run(mode searchads.StorageMode) *searchads.Report {
 		QueriesPerEngine: 40,
 		Storage:          mode,
 	})
-	report, err := study.Analyze()
+	report, err := study.Analyze(context.Background())
 	if err != nil {
 		panic(err)
 	}

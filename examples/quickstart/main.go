@@ -1,5 +1,11 @@
 // Quickstart: run a small study end to end — build the simulated web,
-// crawl one engine, and print the analysis of a single ad click.
+// stream the crawl of one engine, and print the analysis of a single ad
+// click.
+//
+// This shows the two halves of the v2 API: the iteration stream
+// (study.Iterations — iterations arrive the moment they finish
+// crawling, in deterministic order, cancellable via the context) and
+// the batch calls (study.Crawl / study.Analyze) layered on top of it.
 //
 // One study is one point estimate. To run a family of studies — many
 // seeds, storage modes, engine subsets — with cross-seed mean/CI
@@ -8,46 +14,55 @@
 package main
 
 import (
+	"context"
 	"fmt"
 
 	"searchads"
 )
 
 func main() {
+	ctx := context.Background()
 	study := searchads.NewStudy(searchads.Config{
 		Seed:             42,
 		Engines:          []string{searchads.DuckDuckGo},
 		QueriesPerEngine: 25,
 	})
 
-	ds, err := study.Crawl()
-	if err != nil {
-		panic(err)
+	// Stream the crawl: each iteration is handed over as soon as it
+	// completes, and the incremental analysis folds it in — no dataset
+	// is retained. Canceling ctx would end the stream within one
+	// iteration, with an error matching searchads.ErrCanceled.
+	acc := searchads.NewAccumulator(searchads.AnalysisOptions{})
+	var first *searchads.Iteration
+	for it, err := range study.Iterations(ctx) {
+		if err != nil {
+			panic(err)
+		}
+		if first == nil {
+			first = it
+		}
+		acc.Add(it)
 	}
-	fmt.Printf("crawled %d iterations on DuckDuckGo\n\n", len(ds.Iterations))
+	fmt.Printf("crawled %d iterations on DuckDuckGo\n\n", acc.Len())
 
 	// Inspect the first iteration: the redirect chain behind one ad
 	// click, hop by hop.
-	it := ds.Iterations[0]
-	fmt.Printf("query: %q\n", it.Query)
+	fmt.Printf("query: %q\n", first.Query)
 	fmt.Printf("clicked ad #%d of %d (landing: %s)\n",
-		it.ClickedAd+1, len(it.DisplayedAds), it.DisplayedAds[it.ClickedAd].LandingDomain)
+		first.ClickedAd+1, len(first.DisplayedAds), first.DisplayedAds[first.ClickedAd].LandingDomain)
 	fmt.Println("navigation chain:")
-	for _, hop := range it.Hops {
+	for _, hop := range first.Hops {
 		cookie := ""
 		if len(hop.SetCookieNames) > 0 {
 			cookie = fmt.Sprintf("   [Set-Cookie: %v]", hop.SetCookieNames)
 		}
 		fmt.Printf("  %3d %-9s %s%s\n", hop.Status, hop.Mechanism, truncate(hop.URL, 90), cookie)
 	}
-	fmt.Printf("final URL: %s\n\n", truncate(it.FinalURL, 110))
+	fmt.Printf("final URL: %s\n\n", truncate(first.FinalURL, 110))
 
-	// Full paper-style analysis of the crawl.
-	report, err := study.Analyze()
-	if err != nil {
-		panic(err)
-	}
-	fmt.Println(report.Render())
+	// Full paper-style analysis, straight from the fold — identical,
+	// byte for byte, to study.Crawl(ctx) + study.Analyze(ctx).
+	fmt.Println(acc.Report().Render())
 }
 
 func truncate(s string, n int) string {

@@ -2,8 +2,10 @@
 // (here: flat vs partitioned storage) across several seeds, executed
 // on a bounded worker pool with streaming aggregation. Each cell is
 // the same deterministic pipeline as searchads.Study, so every number
-// below is reproducible in isolation; the sweep retains only
-// O(parallelism) datasets however many cells run.
+// below is reproducible in isolation; every cell's crawl is folded one
+// iteration at a time through the incremental analysis, so the sweep
+// retains only O(parallelism) iterations however many cells run —
+// never a dataset.
 //
 // The cmd/sweep CLI exposes the same machinery with presets
 // (paper-baseline, adblock-user, cookieless-web, ...) and a matrix
@@ -11,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 
 	"searchads"
@@ -25,7 +28,9 @@ func main() {
 		QueriesPerEngine: 15,
 	}
 
-	result, err := searchads.Sweep(matrix, searchads.SweepOptions{
+	// The context cancels the whole family mid-flight if needed
+	// (cmd/sweep wires it to Ctrl-C).
+	result, err := searchads.Sweep(context.Background(), matrix, searchads.SweepOptions{
 		Parallel: 2,
 		OnCellDone: func(done, total int, c searchads.SweepCell, err error) {
 			fmt.Printf("cell %d/%d done: %s seed=%d\n", done, total, c.Scenario, c.Seed)
@@ -35,7 +40,7 @@ func main() {
 		panic(err)
 	}
 
-	fmt.Printf("\npeak retained datasets: %d (6 cells ran)\n\n", result.PeakRetainedDatasets)
+	fmt.Printf("\npeak retained iterations: %d (6 cells ran)\n\n", result.PeakRetainedIterations)
 
 	// Cross-seed aggregates: the paper's point estimates become a mean
 	// with a 95% confidence interval.

@@ -1,6 +1,7 @@
 package searchads_test
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -21,7 +22,7 @@ func TestFullScaleReproduction(t *testing.T) {
 		QueriesPerEngine: 500,
 		Parallel:         true,
 	})
-	report, err := study.Analyze()
+	report, err := study.Analyze(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,7 +71,7 @@ func TestFullScaleReproduction(t *testing.T) {
 func TestReportJSON(t *testing.T) {
 	report, err := searchads.NewStudy(searchads.Config{
 		Seed: 17, Engines: []string{searchads.Bing}, QueriesPerEngine: 6,
-	}).Analyze()
+	}).Analyze(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,605 @@
+package analysis
+
+import (
+	"net/url"
+	"sort"
+	"strings"
+
+	"searchads/internal/crawler"
+	"searchads/internal/entities"
+	"searchads/internal/filterlist"
+	"searchads/internal/tokens"
+	"searchads/internal/urlx"
+)
+
+// Accumulator is the incremental form of the §4 analysis: an
+// order-preserving fold over a crawl's iteration stream. Feed it
+// iterations one at a time with Add and materialise the analysis with
+// Report; the result is byte-identical — rendered and JSON forms alike
+// — to AnalyzeWith over a dataset holding the same iterations in the
+// same order (AnalyzeWith is implemented as exactly that fold).
+//
+// What the accumulator retains is compressed aggregate state, never the
+// iterations themselves: counters, distinct-value sets, count
+// histograms, and — for the quantities that depend on the §3.2 token
+// classifier, which only exists once the whole stream has been observed
+// — small per-click candidate sets (a few strings each) whose
+// classification is deferred to Report. Memory is therefore bounded by
+// the number of unique tokens, paths, and hosts, not by request volume,
+// which is what lets a sweep cell analyse a crawl in O(one iteration)
+// of dataset retention.
+//
+// Report does not consume the accumulator: it may be called at any
+// point for an analysis of the stream so far, and again after more
+// iterations arrive.
+type Accumulator struct {
+	filter  *filterlist.Engine
+	ents    *entities.List
+	tokens  *tokens.Accumulator
+	order   []string
+	engines map[string]*engineAcc
+	count   int
+}
+
+// NewAccumulator returns an empty accumulator with the given analysis
+// dependencies (zero-value Options select the embedded filter lists and
+// entity list, as AnalyzeWith does).
+func NewAccumulator(opts Options) *Accumulator {
+	if opts.Filter == nil {
+		opts.Filter = filterlist.DefaultEngine()
+	}
+	if opts.Entities == nil {
+		opts.Entities = entities.Default()
+	}
+	return &Accumulator{
+		filter:  opts.Filter,
+		ents:    opts.Entities,
+		tokens:  tokens.NewAccumulator(),
+		engines: make(map[string]*engineAcc),
+	}
+}
+
+// Len reports how many iterations have been folded in.
+func (a *Accumulator) Len() int { return a.count }
+
+// Add folds one crawl iteration into the analysis.
+func (a *Accumulator) Add(it *crawler.Iteration) {
+	a.count++
+	for _, o := range iterationObservations(it) {
+		a.tokens.Observe(o)
+	}
+	e := a.engines[it.Engine]
+	if e == nil {
+		e = newEngineAcc(it)
+		a.engines[it.Engine] = e
+		a.order = append(a.order, it.Engine)
+	}
+	e.addTable1(it)
+	e.addBefore(it, a.filter)
+	e.addClick(it, a.filter, a.ents)
+	e.addCoverage(it)
+	e.addTraffic(it, a.filter)
+}
+
+// Report materialises the §4 analysis of everything added so far.
+func (a *Accumulator) Report() *Report {
+	cls := a.tokens.Result()
+	r := &Report{
+		Table1:           make(map[string]Table1Row),
+		Before:           make(map[string]BeforeResult),
+		During:           make(map[string]*DuringResult),
+		After:            make(map[string]*AfterResult),
+		RecorderCoverage: make(map[string]float64),
+		Traffic:          make(map[string]TrafficStats),
+		EngineOrder:      append([]string(nil), a.order...),
+		classifier:       cls,
+	}
+	r.Funnel = FunnelResult{
+		TotalTokens: cls.TotalTokens,
+		ByReason:    cls.ByReason,
+		UserIDs:     cls.ByReason[tokens.ReasonUserID],
+	}
+	for _, name := range a.order {
+		e := a.engines[name]
+		r.Table1[name] = Table1Row{
+			Queries:              e.queries,
+			DistinctDestinations: len(e.dests),
+			DistinctPaths:        len(e.paths),
+		}
+		r.Before[name] = e.finishBefore(cls)
+		r.During[name] = e.finishDuring(cls)
+		r.After[name] = e.finishAfter(cls)
+		r.RecorderCoverage[name] = medianFromHist(e.ratioHist, e.ratioN)
+		// The SERP and destination streams were matched against the
+		// filter lists as their iterations arrived; traffic adds the
+		// click stage's count, so each stage is matched exactly once.
+		r.Traffic[name] = TrafficStats{
+			Requests:   e.requests,
+			ThirdParty: e.thirdParty,
+			Blocked:    e.serpTracker + e.clickBlocked + e.destBlocked,
+		}
+	}
+	return r
+}
+
+// engineAcc is one engine's folded analysis state.
+type engineAcc struct {
+	site string
+
+	// Table 1.
+	queries      int
+	dests, paths map[string]bool
+
+	// §4.1 — before the click.
+	serpTotal, serpTracker int
+	// uidCookieCands defers the classifier-dependent §4.1.1 check:
+	// distinct (cookie name, value) pairs seen on the engine's own site.
+	uidCookieCands map[[2]string]bool
+
+	// §4.2 — during the click.
+	clicks                int
+	pathCounts            map[string]int
+	redirHist             map[int]int
+	navTracking           int
+	orgCounts             map[string]int
+	redirectorOccurrences map[string]int
+	totalOccurrences      int
+	// uidRedirCands holds, per click, the (display host, stored cookie
+	// value) pairs of redirectors that set a cookie whose value survived
+	// in the profile — Figure 5 / Table 4 candidates awaiting the
+	// classifier's verdict. nil for clicks with no candidates.
+	uidRedirCands []map[[2]string]bool
+	beacons       map[string]*beaconAcc
+
+	// §4.3 — after the click.
+	pagesWithTrackers        int
+	distinctTrackers         map[string]bool
+	perPageHist              map[int]int
+	entityCounts             map[string]int
+	entityTotal              int
+	destBlocked              int
+	msclkid, gclid           int
+	otherEager, anyEager     int
+	otherDeferred            []deferredOther
+	referrerCands            map[string]*groupedValues
+	persistedMS, persistedGC int
+
+	// §3.1 recorder coverage.
+	ratioHist map[float64]int
+	ratioN    int
+
+	// Traffic.
+	requests, thirdParty, clickBlocked int
+}
+
+// beaconAcc folds one post-click endpoint (§4.2.1). The UID-cookie
+// count is classifier-dependent, so each request's cookie-value set is
+// retained, grouped by identical set (UID cookies repeat across
+// requests, so distinct sets stay few).
+type beaconAcc struct {
+	s         BeaconSummary
+	valueSets map[string]*groupedValues
+}
+
+// deferredOther is one click's §4.3.2 other-UID candidates: values that
+// only count if the classifier calls them user identifiers. countedAny
+// records whether the click already counted toward the "any" column.
+type deferredOther struct {
+	countedAny bool
+	values     []string
+}
+
+// groupedValues is a distinct set of token values with the number of
+// times (requests, clicks) it was observed.
+type groupedValues struct {
+	values []string
+	count  int
+}
+
+func newEngineAcc(it *crawler.Iteration) *engineAcc {
+	site := engineSite(it.Engine)
+	if it.EngineHost != "" {
+		site = urlx.RegistrableDomain(it.EngineHost)
+	}
+	return &engineAcc{
+		site:                  site,
+		dests:                 make(map[string]bool),
+		paths:                 make(map[string]bool),
+		uidCookieCands:        make(map[[2]string]bool),
+		pathCounts:            make(map[string]int),
+		redirHist:             make(map[int]int),
+		orgCounts:             make(map[string]int),
+		redirectorOccurrences: make(map[string]int),
+		beacons:               make(map[string]*beaconAcc),
+		distinctTrackers:      make(map[string]bool),
+		perPageHist:           make(map[int]int),
+		entityCounts:          make(map[string]int),
+		referrerCands:         make(map[string]*groupedValues),
+		ratioHist:             make(map[float64]int),
+	}
+}
+
+func (e *engineAcc) addTable1(it *crawler.Iteration) {
+	e.queries++
+	if it.FinalURL == "" {
+		return
+	}
+	p := PathOf(it)
+	e.dests[p.DestinationSite()] = true
+	e.paths[p.FullKey()] = true
+}
+
+// addBefore folds §4.1: identifiers in first-party storage and tracker
+// requests while rendering the SERP.
+func (e *engineAcc) addBefore(it *crawler.Iteration, filter *filterlist.Engine) {
+	for _, c := range it.SERPCookies {
+		if urlx.RegistrableDomain(c.Domain) != e.site {
+			continue
+		}
+		e.uidCookieCands[[2]string{c.Name, c.Value}] = true
+	}
+	e.serpTotal += len(it.SERPRequests)
+	for _, v := range filter.MatchBatch(crawler.RequestInfos(it.SERPRequests)) {
+		if v.Blocked {
+			e.serpTracker++
+		}
+	}
+}
+
+// addClick folds §4.2 (beacons, navigation tracking) and §4.3
+// (destination trackers, UID smuggling) for one ad click.
+func (e *engineAcc) addClick(it *crawler.Iteration, filter *filterlist.Engine, ents *entities.List) {
+	if it.FinalURL == "" {
+		return
+	}
+	e.clicks++
+	p := PathOf(it)
+	e.pathCounts[p.Key()]++
+
+	reds := p.Redirectors()
+	e.redirHist[len(reds)]++
+	if len(reds) > 0 {
+		e.navTracking++
+	}
+	for _, host := range reds {
+		e.redirectorOccurrences[host]++
+		e.totalOccurrences++
+	}
+	// Organisations touched by the path (destination excluded).
+	seenOrgs := map[string]bool{}
+	for _, site := range p.PathSitesWithoutDestination() {
+		seenOrgs[ents.EntityOf(site)] = true
+	}
+	for org := range seenOrgs {
+		e.orgCounts[org]++
+	}
+
+	e.uidRedirCands = append(e.uidRedirCands, uidRedirectorCandidates(it, p))
+	e.addBeacons(it)
+	e.addAfter(it, p, filter, ents)
+}
+
+// addBeacons folds the post-click first-party beacons (§4.2.1).
+func (e *engineAcc) addBeacons(it *crawler.Iteration) {
+	for _, req := range it.ClickRequests {
+		if req.Initiator != "click" {
+			continue
+		}
+		u, err := url.Parse(req.URL)
+		if err != nil {
+			continue
+		}
+		key := u.Host + u.Path
+		b := e.beacons[key]
+		if b == nil {
+			b = &beaconAcc{s: BeaconSummary{Endpoint: key}, valueSets: make(map[string]*groupedValues)}
+			e.beacons[key] = b
+		}
+		b.s.Count++
+		q := u.Query()
+		if q.Get("url") != "" || q.Get("du") != "" {
+			b.s.CarriesDestURL = true
+		}
+		if q.Get("q") != "" {
+			b.s.CarriesQuery = true
+		}
+		if q.Get("pos") != "" || q.Get("position") != "" {
+			b.s.CarriesPosition = true
+		}
+		if len(req.Cookies) > 0 {
+			vals := make([]string, 0, len(req.Cookies))
+			for _, v := range req.Cookies {
+				vals = append(vals, v)
+			}
+			groupValues(b.valueSets, vals)
+		}
+	}
+}
+
+// addAfter folds §4.3 for one click: destination trackers, UID
+// parameters, and click-ID persistence.
+func (e *engineAcc) addAfter(it *crawler.Iteration, p Path, filter *filterlist.Engine, ents *entities.List) {
+	// §4.3.1 — tracker requests during the 15-second dwell, matched as
+	// one batch per page.
+	pageTrackers := map[string]bool{}
+	verdicts := filter.MatchBatch(crawler.RequestInfos(it.DestRequests))
+	for ri, req := range it.DestRequests {
+		if !verdicts[ri].Blocked {
+			continue
+		}
+		e.destBlocked++
+		u, err := url.Parse(req.URL)
+		if err != nil {
+			continue
+		}
+		host := strings.ToLower(urlx.Hostname(u.Host))
+		if !pageTrackers[host] {
+			pageTrackers[host] = true
+			e.entityCounts[ents.EntityOf(host)]++
+			e.entityTotal++
+		}
+		e.distinctTrackers[host] = true
+	}
+	if len(pageTrackers) > 0 {
+		e.pagesWithTrackers++
+	}
+	e.perPageHist[len(pageTrackers)]++
+
+	// §4.3.2 — UID parameters received by the advertiser. Known click
+	// IDs and heuristic ad-tracking parameters count immediately;
+	// everything else is deferred to the classifier.
+	params := finalURLParams(it.FinalURL)
+	hasMS := params["msclkid"] != ""
+	hasGC := params["gclid"] != ""
+	eagerOther := false
+	var deferredVals map[string]bool
+	for k, v := range params {
+		if knownClickIDParams[k] {
+			continue
+		}
+		if tokens.PassesValueHeuristics(v) && isAdTrackingParam(k) {
+			eagerOther = true
+		} else if v != "" {
+			if deferredVals == nil {
+				deferredVals = map[string]bool{}
+			}
+			deferredVals[v] = true
+		}
+	}
+	if hasMS {
+		e.msclkid++
+	}
+	if hasGC {
+		e.gclid++
+	}
+	if eagerOther {
+		e.otherEager++
+	}
+	if hasMS || hasGC || eagerOther {
+		e.anyEager++
+	}
+	if !eagerOther && len(deferredVals) > 0 {
+		e.otherDeferred = append(e.otherDeferred, deferredOther{
+			countedAny: hasMS || hasGC,
+			values:     sortedKeys(deferredVals),
+		})
+	}
+
+	// Referrer-based smuggling (§5 extension): identifiers in the
+	// destination document's referrer, deferred to the classifier.
+	var refVals []string
+	for _, v := range finalURLParams(it.FinalReferrer) {
+		if v != "" {
+			refVals = append(refVals, v)
+		}
+	}
+	if len(refVals) > 0 {
+		groupValues(e.referrerCands, refVals)
+	}
+
+	// Persistence: the click-ID value reappears in the destination's
+	// first-party storage (classifier-independent).
+	destSite := p.DestinationSite()
+	if hasMS && persistedOnSite(it, destSite, params["msclkid"]) {
+		e.persistedMS++
+	}
+	if hasGC && persistedOnSite(it, destSite, params["gclid"]) {
+		e.persistedGC++
+	}
+}
+
+func (e *engineAcc) addCoverage(it *crawler.Iteration) {
+	if it.ExtensionRequestCount > 0 {
+		e.ratioHist[float64(it.CrawlerRequestCount)/float64(it.ExtensionRequestCount)]++
+		e.ratioN++
+	}
+}
+
+func (e *engineAcc) addTraffic(it *crawler.Iteration, filter *filterlist.Engine) {
+	for _, stage := range [][]crawler.RequestRecord{it.SERPRequests, it.ClickRequests, it.DestRequests} {
+		e.requests += len(stage)
+		for _, r := range stage {
+			if r.ThirdParty {
+				e.thirdParty++
+			}
+		}
+	}
+	for _, v := range filter.MatchBatch(crawler.RequestInfos(it.ClickRequests)) {
+		if v.Blocked {
+			e.clickBlocked++
+		}
+	}
+}
+
+func (e *engineAcc) finishBefore(cls *tokens.Result) BeforeResult {
+	res := BeforeResult{TotalRequests: e.serpTotal, TrackerRequests: e.serpTracker}
+	keys := map[string]bool{}
+	for nv := range e.uidCookieCands {
+		if cls.IsUserID(nv[1]) {
+			res.StoresUserIDs = true
+			keys[nv[0]] = true
+		}
+	}
+	for k := range keys {
+		res.IdentifierKeys = append(res.IdentifierKeys, k)
+	}
+	sortStrings(res.IdentifierKeys)
+	return res
+}
+
+func (e *engineAcc) finishDuring(cls *tokens.Result) *DuringResult {
+	res := &DuringResult{OrgFractions: make(map[string]float64)}
+	res.RedirectorCDF = cdfFromHist(e.redirHist, e.clicks)
+
+	// Resolve the deferred Figure 5 / Table 4 candidates: per click,
+	// the distinct display hosts whose surviving cookie value the
+	// classifier calls a user identifier.
+	uidHist := map[int]int{}
+	uidRedirectorCounts := map[string]int{}
+	for _, cands := range e.uidRedirCands {
+		n := 0
+		if len(cands) > 0 {
+			hosts := map[string]bool{}
+			for hv := range cands {
+				if cls.IsUserID(hv[1]) {
+					hosts[hv[0]] = true
+				}
+			}
+			n = len(hosts)
+			for h := range hosts {
+				uidRedirectorCounts[h]++
+			}
+		}
+		uidHist[n]++
+	}
+	res.UIDRedirectorCDF = cdfFromHist(uidHist, len(e.uidRedirCands))
+
+	if e.clicks > 0 {
+		res.NavTrackingFraction = float64(e.navTracking) / float64(e.clicks)
+	}
+	res.TopPaths = topFreqs(e.pathCounts, e.clicks, 5)
+	for org, c := range e.orgCounts {
+		res.OrgFractions[org] = float64(c) / float64(max(e.clicks, 1))
+	}
+	res.UIDRedirectors = topFreqs(uidRedirectorCounts, e.clicks, 6)
+	res.TopRedirectors = topFreqs(e.redirectorOccurrences, e.totalOccurrences, 8)
+	for _, b := range e.beacons {
+		s := b.s
+		for _, g := range b.valueSets {
+			if anyUserID(g.values, cls) {
+				s.WithUIDCookie += g.count
+			}
+		}
+		res.Beacons = append(res.Beacons, s)
+	}
+	sortBeacons(res.Beacons)
+	return res
+}
+
+func (e *engineAcc) finishAfter(cls *tokens.Result) *AfterResult {
+	res := &AfterResult{}
+	other := e.otherEager
+	any := e.anyEager
+	for _, d := range e.otherDeferred {
+		if anyUserID(d.values, cls) {
+			other++
+			if !d.countedAny {
+				any++
+			}
+		}
+	}
+	referrerUID := 0
+	for _, g := range e.referrerCands {
+		if anyUserID(g.values, cls) {
+			referrerUID += g.count
+		}
+	}
+	if e.clicks > 0 {
+		res.PagesWithTrackers = float64(e.pagesWithTrackers) / float64(e.clicks)
+		res.MSCLKID = float64(e.msclkid) / float64(e.clicks)
+		res.GCLID = float64(e.gclid) / float64(e.clicks)
+		res.OtherUID = float64(other) / float64(e.clicks)
+		res.AnyUID = float64(any) / float64(e.clicks)
+		res.ReferrerUID = float64(referrerUID) / float64(e.clicks)
+		res.PersistedMSCLKID = float64(e.persistedMS) / float64(e.clicks)
+		res.PersistedGCLID = float64(e.persistedGC) / float64(e.clicks)
+	}
+	res.DistinctTrackers = len(e.distinctTrackers)
+	res.MedianTrackersPerPage = medianFromHist(e.perPageHist, e.clicks)
+	res.TopEntities = topFreqs(e.entityCounts, e.entityTotal, 6)
+	return res
+}
+
+// uidRedirectorCandidates collects the (display host, stored value)
+// pairs of redirectors that set a cookie during this click's bounce
+// whose value survived in the profile — the classifier-independent half
+// of uid-storing-redirector detection. Returns nil when the click has
+// no candidates.
+func uidRedirectorCandidates(it *crawler.Iteration, p Path) map[[2]string]bool {
+	// Index stored cookie values by (domain, name).
+	stored := map[[2]string]string{}
+	for _, c := range it.Cookies {
+		stored[[2]string{c.Domain, c.Name}] = c.Value
+	}
+	dest := p.DestinationSite()
+	var out map[[2]string]bool
+	for _, h := range it.Hops {
+		u, err := url.Parse(h.URL)
+		if err != nil {
+			continue
+		}
+		host := strings.ToLower(urlx.Hostname(u.Host))
+		site := urlx.RegistrableDomain(host)
+		if site == p.OriginSite || site == dest {
+			continue
+		}
+		for _, name := range h.SetCookieNames {
+			v, ok := stored[[2]string{host, name}]
+			if !ok {
+				continue
+			}
+			if out == nil {
+				out = map[[2]string]bool{}
+			}
+			out[[2]string{displayHost(host), v}] = true
+		}
+	}
+	return out
+}
+
+// groupValues folds one sighting of a value set into a grouped index:
+// identical sets share one entry, so retained state scales with
+// distinct sets rather than sightings.
+func groupValues(groups map[string]*groupedValues, vals []string) {
+	sort.Strings(vals)
+	var b strings.Builder
+	for _, v := range vals {
+		b.WriteString(v)
+		b.WriteByte(0)
+	}
+	key := b.String()
+	g := groups[key]
+	if g == nil {
+		g = &groupedValues{values: vals}
+		groups[key] = g
+	}
+	g.count++
+}
+
+func anyUserID(vals []string, cls *tokens.Result) bool {
+	for _, v := range vals {
+		if cls.IsUserID(v) {
+			return true
+		}
+	}
+	return false
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -5,9 +5,6 @@ import (
 	"strings"
 
 	"searchads/internal/crawler"
-	"searchads/internal/entities"
-	"searchads/internal/filterlist"
-	"searchads/internal/tokens"
 	"searchads/internal/urlx"
 )
 
@@ -15,115 +12,6 @@ import (
 var knownClickIDParams = map[string]bool{
 	"msclkid": true,
 	"gclid":   true,
-}
-
-// analyzeAfter implements §4.3: trackers on destination pages and UID
-// smuggling to advertisers. The second return value counts blocked
-// destination-stage requests — analyzeTraffic reuses it so the
-// destination stream is only matched against the filter lists once.
-func analyzeAfter(iters []*crawler.Iteration, cls *tokens.Result, filter *filterlist.Engine, ents *entities.List) (*AfterResult, int) {
-	res := &AfterResult{}
-	blockedRequests := 0
-	clicks := 0
-	pagesWithTrackers := 0
-	distinctTrackers := map[string]bool{}
-	var perPageCounts []int
-	entityCounts := map[string]int{}
-	entityTotal := 0
-	var msclkid, gclid, other, anyUID, referrerUID int
-	var persistedMS, persistedGC int
-
-	for _, it := range iters {
-		if it.FinalURL == "" {
-			continue
-		}
-		clicks++
-
-		// §4.3.1 — tracker requests during the 15-second dwell, matched
-		// as one batch per page.
-		pageTrackers := map[string]bool{}
-		verdicts := filter.MatchBatch(crawler.RequestInfos(it.DestRequests))
-		for ri, req := range it.DestRequests {
-			if !verdicts[ri].Blocked {
-				continue
-			}
-			blockedRequests++
-			u, err := url.Parse(req.URL)
-			if err != nil {
-				continue
-			}
-			host := strings.ToLower(urlx.Hostname(u.Host))
-			if !pageTrackers[host] {
-				pageTrackers[host] = true
-				entityCounts[ents.EntityOf(host)]++
-				entityTotal++
-			}
-			distinctTrackers[host] = true
-		}
-		if len(pageTrackers) > 0 {
-			pagesWithTrackers++
-		}
-		perPageCounts = append(perPageCounts, len(pageTrackers))
-
-		// §4.3.2 — UID parameters received by the advertiser.
-		params := finalURLParams(it.FinalURL)
-		hasMS := params["msclkid"] != ""
-		hasGC := params["gclid"] != ""
-		hasOther := false
-		for k, v := range params {
-			if knownClickIDParams[k] {
-				continue
-			}
-			if cls.IsUserID(v) || tokens.PassesValueHeuristics(v) && isAdTrackingParam(k) {
-				hasOther = true
-			}
-		}
-		if hasMS {
-			msclkid++
-		}
-		if hasGC {
-			gclid++
-		}
-		if hasOther {
-			other++
-		}
-		if hasMS || hasGC || hasOther {
-			anyUID++
-		}
-		// Referrer-based smuggling (§5 extension): identifiers in the
-		// destination document's referrer.
-		for _, v := range finalURLParams(it.FinalReferrer) {
-			if cls.IsUserID(v) {
-				referrerUID++
-				break
-			}
-		}
-
-		// Persistence: the click-ID value reappears in the
-		// destination's first-party storage.
-		destSite := PathOf(it).DestinationSite()
-		if hasMS && persistedOnSite(it, destSite, params["msclkid"]) {
-			persistedMS++
-		}
-		if hasGC && persistedOnSite(it, destSite, params["gclid"]) {
-			persistedGC++
-		}
-	}
-
-	if clicks > 0 {
-		res.PagesWithTrackers = float64(pagesWithTrackers) / float64(clicks)
-		res.MSCLKID = float64(msclkid) / float64(clicks)
-		res.GCLID = float64(gclid) / float64(clicks)
-		res.OtherUID = float64(other) / float64(clicks)
-		res.AnyUID = float64(anyUID) / float64(clicks)
-		res.ReferrerUID = float64(referrerUID) / float64(clicks)
-		res.PersistedMSCLKID = float64(persistedMS) / float64(clicks)
-		res.PersistedGCLID = float64(persistedGC) / float64(clicks)
-	}
-	res.DistinctTrackers = len(distinctTrackers)
-	res.MedianTrackersPerPage = Median(perPageCounts)
-	res.TopEntities = topFreqs(entityCounts, entityTotal, 6)
-	return res, blockedRequests
 }
 
 // finalURLParams returns the destination URL's query parameters.

@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -18,7 +19,7 @@ func report(t *testing.T) (*Report, *crawler.Dataset) {
 	if sharedReport == nil {
 		w := websim.NewWorld(websim.Config{Seed: 99, QueriesPerEngine: 60})
 		var err error
-		sharedDataset, err = crawler.New(crawler.Config{World: w, Iterations: 60}).Run()
+		sharedDataset, err = crawler.New(crawler.Config{World: w, Iterations: 60}).Run(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}

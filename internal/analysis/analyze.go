@@ -1,14 +1,10 @@
 package analysis
 
 import (
-	"net/url"
-	"strings"
-
 	"searchads/internal/crawler"
 	"searchads/internal/entities"
 	"searchads/internal/filterlist"
 	"searchads/internal/tokens"
-	"searchads/internal/urlx"
 )
 
 // Report is the full §4 analysis of a dataset, one entry per engine plus
@@ -140,109 +136,20 @@ type Options struct {
 // Analyze runs the full §4 pipeline over a dataset.
 func Analyze(ds *crawler.Dataset) *Report { return AnalyzeWith(ds, Options{}) }
 
-// AnalyzeWith runs the pipeline with explicit dependencies.
+// AnalyzeWith runs the pipeline with explicit dependencies. It is
+// implemented as the Accumulator fold over the dataset's iterations, so
+// a streaming consumer folding the same iterations in the same order
+// produces a byte-identical report without ever holding the dataset.
 func AnalyzeWith(ds *crawler.Dataset, opts Options) *Report {
-	if opts.Filter == nil {
-		opts.Filter = filterlist.DefaultEngine()
+	acc := NewAccumulator(opts)
+	for _, it := range ds.Iterations {
+		acc.Add(it)
 	}
-	if opts.Entities == nil {
-		opts.Entities = entities.Default()
-	}
-	classifier := tokens.Classify(Observations(ds))
-
-	r := &Report{
-		Table1:           make(map[string]Table1Row),
-		Before:           make(map[string]BeforeResult),
-		During:           make(map[string]*DuringResult),
-		After:            make(map[string]*AfterResult),
-		RecorderCoverage: make(map[string]float64),
-		Traffic:          make(map[string]TrafficStats),
-		EngineOrder:      ds.Engines(),
-		classifier:       classifier,
-	}
-	r.Funnel = FunnelResult{
-		TotalTokens: classifier.TotalTokens,
-		ByReason:    classifier.ByReason,
-		UserIDs:     classifier.ByReason[tokens.ReasonUserID],
-	}
-	for engine, iters := range ds.ByEngine() {
-		r.Table1[engine] = table1(iters)
-		before := analyzeBefore(engine, iters, classifier, opts.Filter)
-		r.Before[engine] = before
-		r.During[engine] = analyzeDuring(iters, classifier, opts.Entities)
-		after, destBlocked := analyzeAfter(iters, classifier, opts.Filter, opts.Entities)
-		r.After[engine] = after
-		r.RecorderCoverage[engine] = recorderCoverage(iters)
-		// SERP and destination streams were already matched by
-		// analyzeBefore/analyzeAfter; traffic only matches the click
-		// stage itself.
-		r.Traffic[engine] = analyzeTraffic(iters, opts.Filter, before.TrackerRequests, destBlocked)
-	}
-	return r
+	return acc.Report()
 }
 
 // IsUserID exposes the classifier verdict for a value.
 func (r *Report) IsUserID(value string) bool { return r.classifier.IsUserID(value) }
-
-func table1(iters []*crawler.Iteration) Table1Row {
-	row := Table1Row{Queries: len(iters)}
-	dests := map[string]bool{}
-	paths := map[string]bool{}
-	for _, it := range iters {
-		if it.FinalURL == "" {
-			continue
-		}
-		p := PathOf(it)
-		dests[p.DestinationSite()] = true
-		paths[p.FullKey()] = true
-	}
-	row.DistinctDestinations = len(dests)
-	row.DistinctPaths = len(paths)
-	return row
-}
-
-func recorderCoverage(iters []*crawler.Iteration) float64 {
-	var ratios []float64
-	for _, it := range iters {
-		if it.ExtensionRequestCount > 0 {
-			ratios = append(ratios, float64(it.CrawlerRequestCount)/float64(it.ExtensionRequestCount))
-		}
-	}
-	return MedianFloat(ratios)
-}
-
-// analyzeBefore implements §4.1: identifiers in first-party storage and
-// tracker requests while rendering the SERP.
-func analyzeBefore(engine string, iters []*crawler.Iteration, cls *tokens.Result, filter *filterlist.Engine) BeforeResult {
-	res := BeforeResult{}
-	site := engineSite(engine)
-	if len(iters) > 0 && iters[0].EngineHost != "" {
-		site = urlx.RegistrableDomain(iters[0].EngineHost)
-	}
-	keys := map[string]bool{}
-	for _, it := range iters {
-		for _, c := range it.SERPCookies {
-			if urlx.RegistrableDomain(c.Domain) != site {
-				continue
-			}
-			if cls.IsUserID(c.Value) {
-				res.StoresUserIDs = true
-				keys[c.Name] = true
-			}
-		}
-		res.TotalRequests += len(it.SERPRequests)
-		for _, v := range filter.MatchBatch(crawler.RequestInfos(it.SERPRequests)) {
-			if v.Blocked {
-				res.TrackerRequests++
-			}
-		}
-	}
-	for k := range keys {
-		res.IdentifierKeys = append(res.IdentifierKeys, k)
-	}
-	sortStrings(res.IdentifierKeys)
-	return res
-}
 
 func sortStrings(s []string) {
 	for i := 1; i < len(s); i++ {
@@ -252,152 +159,12 @@ func sortStrings(s []string) {
 	}
 }
 
-// analyzeDuring implements §4.2: post-click beacons and navigation
-// tracking.
-func analyzeDuring(iters []*crawler.Iteration, cls *tokens.Result, ents *entities.List) *DuringResult {
-	res := &DuringResult{OrgFractions: make(map[string]float64)}
-	beacons := map[string]*BeaconSummary{}
-	var redirCounts, uidRedirCounts []int
-	pathCounts := map[string]int{}
-	orgCounts := map[string]int{}
-	uidRedirectorCounts := map[string]int{}
-	redirectorOccurrences := map[string]int{}
-	totalOccurrences := 0
-	navTracking := 0
-	clicks := 0
-
-	for _, it := range iters {
-		if it.FinalURL == "" {
-			continue
-		}
-		clicks++
-		p := PathOf(it)
-		pathCounts[p.Key()]++
-
-		reds := p.Redirectors()
-		redirCounts = append(redirCounts, len(reds))
-		if len(reds) > 0 {
-			navTracking++
-		}
-		for _, host := range reds {
-			redirectorOccurrences[host]++
-			totalOccurrences++
-		}
-		// Organisations touched by the path (destination excluded).
-		seenOrgs := map[string]bool{}
-		for _, site := range p.PathSitesWithoutDestination() {
-			seenOrgs[ents.EntityOf(site)] = true
-		}
-		for org := range seenOrgs {
-			orgCounts[org]++
-		}
-
-		// Redirectors that stored UID cookies during this click
-		// (Figure 5 / Table 4): the bounce's Set-Cookie names joined
-		// with the profile's stored values, classified by §3.2.
-		uidHosts := uidStoringRedirectors(it, p, cls)
-		uidRedirCounts = append(uidRedirCounts, len(uidHosts))
-		for _, h := range uidHosts {
-			uidRedirectorCounts[h]++
-		}
-
-		// Post-click first-party beacons (§4.2.1).
-		for _, req := range it.ClickRequests {
-			if req.Initiator != "click" {
-				continue
-			}
-			u, err := url.Parse(req.URL)
-			if err != nil {
-				continue
-			}
-			key := u.Host + u.Path
-			b := beacons[key]
-			if b == nil {
-				b = &BeaconSummary{Endpoint: key}
-				beacons[key] = b
-			}
-			b.Count++
-			q := u.Query()
-			if q.Get("url") != "" || q.Get("du") != "" {
-				b.CarriesDestURL = true
-			}
-			if q.Get("q") != "" {
-				b.CarriesQuery = true
-			}
-			if q.Get("pos") != "" || q.Get("position") != "" {
-				b.CarriesPosition = true
-			}
-			for _, v := range req.Cookies {
-				if cls.IsUserID(v) {
-					b.WithUIDCookie++
-					break
-				}
-			}
-		}
-	}
-
-	res.RedirectorCDF = NewCDF(redirCounts)
-	res.UIDRedirectorCDF = NewCDF(uidRedirCounts)
-	if clicks > 0 {
-		res.NavTrackingFraction = float64(navTracking) / float64(clicks)
-	}
-	res.TopPaths = topFreqs(pathCounts, clicks, 5)
-	for org, c := range orgCounts {
-		res.OrgFractions[org] = float64(c) / float64(max(clicks, 1))
-	}
-	res.UIDRedirectors = topFreqs(uidRedirectorCounts, clicks, 6)
-	res.TopRedirectors = topFreqs(redirectorOccurrences, totalOccurrences, 8)
-	for _, b := range beacons {
-		res.Beacons = append(res.Beacons, *b)
-	}
-	sortBeacons(res.Beacons)
-	return res
-}
-
 func sortBeacons(bs []BeaconSummary) {
 	for i := 1; i < len(bs); i++ {
 		for j := i; j > 0 && bs[j].Endpoint < bs[j-1].Endpoint; j-- {
 			bs[j], bs[j-1] = bs[j-1], bs[j]
 		}
 	}
-}
-
-// uidStoringRedirectors returns the display hosts of redirectors that
-// stored a user-identifying cookie during this iteration's bounce.
-func uidStoringRedirectors(it *crawler.Iteration, p Path, cls *tokens.Result) []string {
-	// Index stored cookie values by (domain, name).
-	stored := map[[2]string]string{}
-	for _, c := range it.Cookies {
-		stored[[2]string{c.Domain, c.Name}] = c.Value
-	}
-	dest := p.DestinationSite()
-	seen := map[string]bool{}
-	var out []string
-	for _, h := range it.Hops {
-		u, err := url.Parse(h.URL)
-		if err != nil {
-			continue
-		}
-		host := strings.ToLower(urlx.Hostname(u.Host))
-		site := urlx.RegistrableDomain(host)
-		if site == p.OriginSite || site == dest {
-			continue
-		}
-		for _, name := range h.SetCookieNames {
-			v, ok := stored[[2]string{host, name}]
-			if !ok {
-				continue
-			}
-			if cls.IsUserID(v) {
-				d := displayHost(host)
-				if !seen[d] {
-					seen[d] = true
-					out = append(out, d)
-				}
-			}
-		}
-	}
-	return out
 }
 
 func max(a, b int) int {

@@ -1,10 +1,5 @@
 package analysis
 
-import (
-	"searchads/internal/crawler"
-	"searchads/internal/filterlist"
-)
-
 // TrafficStats aggregates request-level traffic for one engine over all
 // crawl stages (SERP, click, destination dwell).
 type TrafficStats struct {
@@ -32,32 +27,6 @@ func (t TrafficStats) BlockedFraction() float64 {
 		return 0
 	}
 	return float64(t.Blocked) / float64(t.Requests)
-}
-
-// analyzeTraffic tallies the engine's full request stream. The SERP
-// and destination stages were already matched against the filter lists
-// by analyzeBefore/analyzeAfter — their blocked counts arrive as
-// arguments — so only the click stage runs MatchBatch here; matching
-// is the analysis hot path and each stage is matched exactly once per
-// AnalyzeWith.
-func analyzeTraffic(iters []*crawler.Iteration, filter *filterlist.Engine, serpBlocked, destBlocked int) TrafficStats {
-	t := TrafficStats{Blocked: serpBlocked + destBlocked}
-	for _, it := range iters {
-		for _, stage := range [][]crawler.RequestRecord{it.SERPRequests, it.ClickRequests, it.DestRequests} {
-			t.Requests += len(stage)
-			for _, r := range stage {
-				if r.ThirdParty {
-					t.ThirdParty++
-				}
-			}
-		}
-		for _, v := range filter.MatchBatch(crawler.RequestInfos(it.ClickRequests)) {
-			if v.Blocked {
-				t.Blocked++
-			}
-		}
-	}
-	return t
 }
 
 // Per-engine scalar metrics exposed through Report.Metric. These are

@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -45,7 +46,7 @@ func TestTrafficStatsRates(t *testing.T) {
 // fields they read, on a real (small) crawl.
 func TestReportMetrics(t *testing.T) {
 	w := websim.NewWorld(websim.Config{Seed: 77, Engines: []string{"bing"}, QueriesPerEngine: 8})
-	ds, err := crawler.New(crawler.Config{World: w}).Run()
+	ds, err := crawler.New(crawler.Config{World: w}).Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -19,7 +20,7 @@ func TestReferrerSmugglingDetected(t *testing.T) {
 		Engines:                 []string{"duckduckgo"},
 		EnableReferrerSmuggling: true,
 	})
-	ds, err := crawler.New(crawler.Config{World: w, Engines: []string{"duckduckgo"}}).Run()
+	ds, err := crawler.New(crawler.Config{World: w, Engines: []string{"duckduckgo"}}).Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

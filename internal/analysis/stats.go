@@ -1,6 +1,9 @@
 package analysis
 
-import "sort"
+import (
+	"slices"
+	"sort"
+)
 
 // CDF is an empirical cumulative distribution over small integer counts,
 // the form of Figures 4 and 5.
@@ -35,6 +38,66 @@ func NewCDF(counts []int) CDF {
 		cdf.P[k] = cum / float64(len(counts))
 	}
 	return cdf
+}
+
+// cdfFromHist builds the CDF of a count histogram (value → occurrences,
+// n = total observations). It reproduces NewCDF bit for bit: the per-bin
+// mass is an exact integer in float64 either way, and the cumulative sum
+// runs in the same index order.
+func cdfFromHist(hist map[int]int, n int) CDF {
+	if n == 0 {
+		return CDF{}
+	}
+	maxV := 0
+	for v, c := range hist {
+		if c > 0 && v > maxV {
+			maxV = v
+		}
+	}
+	cdf := CDF{P: make([]float64, maxV+1), N: n}
+	for v, c := range hist {
+		if v < 0 {
+			v = 0
+		}
+		cdf.P[v] += float64(c)
+	}
+	cum := 0.0
+	for k := range cdf.P {
+		cum += cdf.P[k]
+		cdf.P[k] = cum / float64(n)
+	}
+	return cdf
+}
+
+// medianFromHist returns the median of a count histogram (value →
+// occurrences, n = total observations), identical to Median/MedianFloat
+// over the expanded multiset: integer bins stay exact in float64, so
+// the even-n average matches the int-sum-then-divide form bit for bit.
+func medianFromHist[T int | float64](hist map[T]int, n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	vals := make([]T, 0, len(hist))
+	for v, c := range hist {
+		if c > 0 {
+			vals = append(vals, v)
+		}
+	}
+	slices.Sort(vals)
+	at := func(i int) float64 {
+		seen := 0
+		for _, v := range vals {
+			seen += hist[v]
+			if i < seen {
+				return float64(v)
+			}
+		}
+		return float64(vals[len(vals)-1])
+	}
+	if n%2 == 1 {
+		return at(n / 2)
+	}
+	return (at(n/2-1) + at(n/2)) / 2
 }
 
 // Mean returns the distribution's mean (0 for an empty CDF).

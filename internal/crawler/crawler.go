@@ -1,11 +1,15 @@
 package crawler
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"iter"
 	"runtime"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"searchads/internal/browser"
@@ -16,6 +20,10 @@ import (
 	"searchads/internal/urlx"
 	"searchads/internal/websim"
 )
+
+// ErrUnknownEngine is wrapped by Run/Iterations when Config.Engines
+// names an engine the world does not have; match with errors.Is.
+var ErrUnknownEngine = errors.New("unknown engine")
 
 // Config parameterises a crawl.
 type Config struct {
@@ -56,14 +64,6 @@ type Config struct {
 	// engine's index is read-only after build, so one engine is safely
 	// shared across Parallel engine goroutines.
 	Filter *filterlist.Engine
-	// Sink, when set, receives each iteration as soon as it finishes
-	// crawling, before the dataset is assembled. Calls are serialized
-	// (one at a time, even under Parallel) but arrive in completion
-	// order, which for Parallel crawls is not dataset order; consumers
-	// needing order should read the final dataset instead. The sweep
-	// engine uses Sink to stream progress and error counts from cells
-	// whose datasets it will discard after analysis.
-	Sink func(*Iteration)
 }
 
 // Crawler runs the measurement pipeline.
@@ -82,12 +82,56 @@ func New(cfg Config) *Crawler {
 	return &Crawler{cfg: cfg}
 }
 
-// Run executes the full crawl and returns the dataset. It fails fast
-// with an error if Config.Engines names an engine the world does not
-// have — a typo used to silently produce an empty per-engine slot.
-func (c *Crawler) Run() (*Dataset, error) {
+// NewDataset returns the metadata-only dataset shell Run fills with
+// iterations. Streaming consumers assembling their own dataset from
+// Iterations use it so the result is byte-identical to Run's.
+func (c *Crawler) NewDataset() *Dataset {
+	return &Dataset{
+		Seed:            c.cfg.World.Cfg.Seed,
+		StorageMode:     c.cfg.StorageMode.String(),
+		CreatedAt:       c.cfg.World.Net.Clock().Now(),
+		FilterAnnotated: c.cfg.Filter != nil,
+	}
+}
+
+// Run executes the full crawl and returns the dataset: the collected
+// form of Iterations. It fails fast with an error wrapping
+// ErrUnknownEngine if Config.Engines names an engine the world does not
+// have — a typo used to silently produce an empty per-engine slot —
+// and returns ctx.Err() (with no dataset) if the context is canceled
+// mid-crawl.
+func (c *Crawler) Run(ctx context.Context) (*Dataset, error) {
+	ds := c.NewDataset()
+	for it, err := range c.Iterations(ctx) {
+		if err != nil {
+			return nil, err
+		}
+		ds.Iterations = append(ds.Iterations, it)
+	}
+	return ds, nil
+}
+
+// crawlPlan is a validated crawl schedule: the resolved engines, the
+// per-engine iteration counts, and the global emission offsets.
+type crawlPlan struct {
+	engines []*serp.Engine
+	names   []string
+	counts  []int // iterations per engine
+	base    []int // global index of each engine's iteration 0
+	visited []map[string]bool
+	total   int
+}
+
+// plan validates the config against the world and lays out the
+// per-engine iteration chains: counts[idx] iterations each, strictly
+// ordered within an engine (the unvisited-first ad choice depends on
+// the previous iterations' clicks).
+func (c *Crawler) plan() (*crawlPlan, error) {
 	w := c.cfg.World
-	engines := make([]*serp.Engine, len(c.cfg.Engines))
+	p := &crawlPlan{
+		engines: make([]*serp.Engine, len(c.cfg.Engines)),
+		names:   c.cfg.Engines,
+	}
 	seen := make(map[string]bool, len(c.cfg.Engines))
 	for i, name := range c.cfg.Engines {
 		// Duplicates would give two chains identical instance labels, so
@@ -104,98 +148,216 @@ func (c *Crawler) Run() (*Dataset, error) {
 				known = append(known, k)
 			}
 			sort.Strings(known)
-			return nil, fmt.Errorf("crawler: unknown engine %q (world has: %s)",
-				name, strings.Join(known, ", "))
+			return nil, fmt.Errorf("crawler: %w %q (world has: %s)",
+				ErrUnknownEngine, name, strings.Join(known, ", "))
 		}
-		engines[i] = engine
+		p.engines[i] = engine
 	}
-	ds := &Dataset{
-		Seed:            w.Cfg.Seed,
-		StorageMode:     c.cfg.StorageMode.String(),
-		CreatedAt:       w.Net.Clock().Now(),
-		FilterAnnotated: c.cfg.Filter != nil,
-	}
-	// Per-engine iteration chains: counts[idx] iterations each, strictly
-	// ordered within an engine (the unvisited-first ad choice depends on
-	// the previous iterations' clicks).
-	counts := make([]int, len(engines))
-	total := 0
-	perEngine := make([][]*Iteration, len(engines))
-	visited := make([]map[string]bool, len(engines)) // landing domains already seen
-	for idx := range engines {
+	p.counts = make([]int, len(p.engines))
+	p.base = make([]int, len(p.engines))
+	p.visited = make([]map[string]bool, len(p.engines))
+	for idx := range p.engines {
 		n := len(w.Queries[c.cfg.Engines[idx]])
 		if c.cfg.Iterations > 0 && c.cfg.Iterations < n {
 			n = c.cfg.Iterations
 		}
-		counts[idx] = n
-		total += n
-		perEngine[idx] = make([]*Iteration, n)
-		visited[idx] = make(map[string]bool)
+		p.counts[idx] = n
+		p.base[idx] = p.total
+		p.total += n
+		p.visited[idx] = make(map[string]bool)
 	}
-	var sinkMu sync.Mutex
-	runOne := func(idx, iter int) {
-		engine := engines[idx]
-		it := c.runIteration(engine, w.Queries[c.cfg.Engines[idx]][iter], iter, visited[idx])
-		c.annotateTrackers(it)
-		perEngine[idx][iter] = it
-		if c.cfg.Sink != nil {
-			sinkMu.Lock()
-			c.cfg.Sink(it)
-			sinkMu.Unlock()
+	return p, nil
+}
+
+// runOne crawls one (engine, iteration) coordinate of the plan.
+func (c *Crawler) runOne(p *crawlPlan, idx, iter int) *Iteration {
+	it := c.runIteration(p.engines[idx], c.cfg.World.Queries[p.names[idx]][iter], iter, p.visited[idx])
+	c.annotateTrackers(it)
+	return it
+}
+
+// Iterations returns the crawl as a stream: every iteration, emitted in
+// dataset order (engines in Config order, iteration index ascending) as
+// soon as it — and, under Parallel, every iteration before it — has
+// finished crawling. It is the primary consumption surface; Run is the
+// collect-into-a-Dataset convenience over it.
+//
+// The stream yields each iteration with a nil error; if the context is
+// canceled or the config is invalid, it yields one final (nil, err) and
+// stops. Cancellation is honored between iterations — the stream ends
+// within one iteration's work — and leaves no goroutines behind: the
+// iterator returns only after its worker pool has drained. Breaking out
+// of the range early likewise stops the crawl and reclaims the pool.
+//
+// Iterations does not retain what it emits, so a consumer folding the
+// stream (e.g. analysis.Accumulator) observes a full sequential crawl
+// in O(one iteration) of memory — the mode to use when the memory
+// bound matters (the sweep engine crawls its cells sequentially for
+// exactly this reason). A Parallel crawl trades memory for speed: a
+// consumer slower than the crawl stalls the workers (the completion
+// channel is bounded — see streamParallel), but because emission is
+// engine-major while engines crawl concurrently, the reorder buffer
+// holds the faster engines' completed iterations until the emission
+// cursor reaches them — up to everything but the first engine's
+// remainder in the worst case, the same order of memory a Run dataset
+// holds anyway. Identifier minting is keyed by (engine, iteration)
+// labels, so the emitted iterations are byte-identical to the ones a
+// Run dataset holds, sequential or Parallel alike.
+func (c *Crawler) Iterations(ctx context.Context) iter.Seq2[*Iteration, error] {
+	return func(yield func(*Iteration, error) bool) {
+		p, err := c.plan()
+		if err != nil {
+			yield(nil, err)
+			return
+		}
+		if c.cfg.Parallel {
+			c.streamParallel(ctx, p, yield)
+		} else {
+			c.streamSequential(ctx, p, yield)
 		}
 	}
-	if c.cfg.Parallel {
-		c.runPool(runOne, counts, total)
-	} else {
-		for idx := range engines {
-			for i := 0; i < counts[idx]; i++ {
-				runOne(idx, i)
+}
+
+// streamSequential crawls engine-major; completion order is already
+// dataset order, so every iteration is emitted the moment it finishes.
+func (c *Crawler) streamSequential(ctx context.Context, p *crawlPlan, yield func(*Iteration, error) bool) {
+	for idx := range p.engines {
+		for i := 0; i < p.counts[idx]; i++ {
+			if err := ctx.Err(); err != nil {
+				yield(nil, err)
+				return
+			}
+			if !yield(c.runOne(p, idx, i), nil) {
+				return
 			}
 		}
 	}
-	for _, iters := range perEngine {
-		ds.Iterations = append(ds.Iterations, iters...)
-	}
-	return ds, nil
 }
 
-// runPool schedules iterations on an iteration-aware worker pool: one
-// task per (engine, iteration), with engine e's iteration i+1 enqueued
-// only when iteration i completes (the channel send/receive pair gives
-// the i→i+1 happens-before the per-engine visited map needs). At most
-// one task per engine is ever outstanding, so the buffered channel
-// never blocks and a worker-count of min(GOMAXPROCS, engines) saturates
-// the available overlap.
-func (c *Crawler) runPool(runOne func(idx, iter int), counts []int, total int) {
+// streamParallel runs the iteration-aware worker pool and emits in
+// dataset order: one task per (engine, iteration), with engine e's
+// iteration i+1 enqueued only when iteration i completes (the channel
+// send/receive pair gives the i→i+1 happens-before the per-engine
+// visited map needs). At most one task per engine is ever outstanding,
+// so the task channel never blocks and min(GOMAXPROCS, engines) workers
+// saturate the available overlap.
+//
+// The completion channel is bounded at one slot per engine, which is
+// the backpressure: a consumer slower than the crawl stalls the workers
+// rather than letting finished iterations pile up. The reorder buffer
+// (pending) is a different story: emission is engine-major while the
+// engines crawl concurrently, so later engines' completions accumulate
+// there until the cursor clears the engines before them — bounded only
+// by the dataset's tail, not by the worker count. Bounding it would
+// mean stalling every engine ahead of the cursor, i.e. serialising the
+// crawl; callers that need a hard memory bound use a sequential crawl
+// instead (see Iterations). A wavefront emission order that bounds the
+// buffer while keeping the overlap is noted in the ROADMAP.
+//
+// On cancellation (or an early consumer break) workers stop picking up
+// tasks, finish at most the iteration each is on, and the pool is
+// drained before the function returns — prompt, leak-free teardown.
+func (c *Crawler) streamParallel(ctx context.Context, p *crawlPlan, yield func(*Iteration, error) bool) {
+	type done struct {
+		global int
+		it     *Iteration
+	}
 	type task struct{ idx, iter int }
+
 	workers := runtime.GOMAXPROCS(0)
-	if workers > len(counts) {
-		workers = len(counts)
+	if workers > len(p.counts) {
+		workers = len(p.counts)
 	}
 	if workers < 1 {
 		workers = 1
 	}
-	tasks := make(chan task, len(counts))
+	pctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	tasks := make(chan task, len(p.counts))
+	completed := make(chan done, len(p.counts)) // bounded: backpressure on slow consumers
+	var chains atomic.Int32                     // engine chains still running
 	var wg sync.WaitGroup
-	wg.Add(total)
-	for i := 0; i < workers; i++ {
-		go func() {
-			for t := range tasks {
-				runOne(t.idx, t.iter)
-				if t.iter+1 < counts[t.idx] {
-					tasks <- task{t.idx, t.iter + 1}
-				}
-				wg.Done()
-			}
-		}()
-	}
-	for idx, n := range counts {
+	for idx, n := range p.counts {
 		if n > 0 {
+			chains.Add(1)
 			tasks <- task{idx, 0}
 		}
 	}
+	if chains.Load() == 0 {
+		close(tasks)
+	}
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-pctx.Done():
+					return
+				case t, ok := <-tasks:
+					if !ok {
+						return
+					}
+					it := c.runOne(p, t.idx, t.iter)
+					select {
+					case completed <- done{p.base[t.idx] + t.iter, it}:
+					case <-pctx.Done():
+						return
+					}
+					if t.iter+1 < p.counts[t.idx] {
+						select {
+						case tasks <- task{t.idx, t.iter + 1}:
+						case <-pctx.Done():
+							return
+						}
+					} else if chains.Add(-1) == 0 {
+						close(tasks)
+					}
+				}
+			}
+		}()
+	}
+
+	// Emit in dataset order on the consumer's goroutine, reordering
+	// out-of-order completions.
+	pending := make(map[int]*Iteration)
+	next := 0
+	for next < p.total {
+		select {
+		case <-ctx.Done():
+			cancel()
+			wg.Wait()
+			yield(nil, ctx.Err())
+			return
+		case d := <-completed:
+			pending[d.global] = d.it
+			for {
+				it, ok := pending[next]
+				if !ok {
+					break
+				}
+				// Re-check between yields: once the consumer cancels, no
+				// further iterations are emitted — not even buffered ones
+				// — so a run canceled after n yields delivered exactly
+				// the first n.
+				if err := ctx.Err(); err != nil {
+					cancel()
+					wg.Wait()
+					yield(nil, err)
+					return
+				}
+				delete(pending, next)
+				next++
+				if !yield(it, nil) {
+					cancel()
+					wg.Wait()
+					return
+				}
+			}
+		}
+	}
 	wg.Wait()
-	close(tasks)
 }
 
 // runIteration performs one full crawl iteration in a fresh browser

@@ -1,6 +1,7 @@
 package crawler
 
 import (
+	"context"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -17,7 +18,7 @@ func smallWorld() *websim.World {
 // mustRun runs the crawl and fails the test on a config error.
 func mustRun(t testing.TB, cfg Config) *Dataset {
 	t.Helper()
-	ds, err := New(cfg).Run()
+	ds, err := New(cfg).Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,7 +63,7 @@ func TestCrawlAllEngines(t *testing.T) {
 }
 
 func TestRunRejectsDuplicateEngines(t *testing.T) {
-	_, err := New(Config{World: smallWorld(), Engines: []string{serp.Bing, serp.Bing}}).Run()
+	_, err := New(Config{World: smallWorld(), Engines: []string{serp.Bing, serp.Bing}}).Run(context.Background())
 	if err == nil || !strings.Contains(err.Error(), "listed twice") {
 		t.Fatalf("duplicate engines not rejected: %v", err)
 	}

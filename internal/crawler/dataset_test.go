@@ -1,6 +1,7 @@
 package crawler
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -19,7 +20,7 @@ import (
 // on the header and a full iteration.
 func TestDatasetSaveLoadRoundTrip(t *testing.T) {
 	w := websim.NewWorld(websim.Config{Seed: 55, Engines: []string{"bing", "startpage"}, QueriesPerEngine: 4})
-	ds, err := New(Config{World: w}).Run()
+	ds, err := New(Config{World: w}).Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,7 +89,7 @@ func TestLoadCorruptDataset(t *testing.T) {
 
 	// Truncate a real dataset mid-stream.
 	w := websim.NewWorld(websim.Config{Seed: 56, Engines: []string{"qwant"}, QueriesPerEngine: 2})
-	ds, err := New(Config{World: w, SkipRevisit: true}).Run()
+	ds, err := New(Config{World: w, SkipRevisit: true}).Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -5,6 +5,7 @@ package crawler_test
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"testing"
 
@@ -16,7 +17,7 @@ import (
 // run runs the crawl, failing the test on a config error.
 func run(t testing.TB, cfg Config) *Dataset {
 	t.Helper()
-	ds, err := New(cfg).Run()
+	ds, err := New(cfg).Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,78 @@
+package sweep_test
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"searchads/internal/sweep"
+)
+
+// TestSweepCancellation: canceling the context mid-sweep stops
+// in-flight cells within one crawl iteration, marks the rest canceled
+// without running them, returns ctx.Err() through the joined error,
+// and drains the pool without leaking goroutines. Cells that finished
+// before the cancel keep their results (cmd/sweep prints them).
+func TestSweepCancellation(t *testing.T) {
+	before := runtime.NumGoroutine()
+	m := sweep.Matrix{
+		Seeds:            []int64{1, 2, 3, 4, 5, 6},
+		EngineSets:       [][]string{{"bing"}},
+		QueriesPerEngine: 6,
+		SkipRevisit:      true,
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	var fired int
+	res, err := sweep.Run(ctx, m, sweep.Options{
+		Parallel: 2,
+		OnCellDone: func(done, total int, c sweep.Cell, cellErr error) {
+			fired++
+			if done == 2 {
+				cancel() // cancel once the first wave of cells lands
+			}
+		},
+	})
+	cancel()
+	if err == nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled sweep returned err = %v, want context.Canceled wrapped", err)
+	}
+	if fired != len(res.Cells) {
+		t.Fatalf("OnCellDone fired %d times over %d cells", fired, len(res.Cells))
+	}
+	if res.CellErrors == 0 || res.CellErrors >= len(res.Cells) {
+		t.Fatalf("cell errors = %d of %d cells; want some canceled, some completed",
+			res.CellErrors, len(res.Cells))
+	}
+	completed := 0
+	for _, cr := range res.Cells {
+		if cr.Err == "" {
+			completed++
+			if cr.Metrics == nil || cr.Iterations == 0 {
+				t.Fatalf("completed cell %s seed=%d has no metrics", cr.Scenario, cr.Seed)
+			}
+		}
+	}
+	if completed == 0 {
+		t.Fatal("no cell completed before the cancel")
+	}
+	// Canceled cells must be excluded from aggregation, not averaged
+	// in as zeros.
+	for _, sa := range res.Scenarios {
+		if sa.Cells != completed {
+			t.Fatalf("scenario aggregated %d cells, %d completed", sa.Cells, completed)
+		}
+	}
+	leakFree := false
+	for i := 0; i < 50; i++ {
+		if runtime.NumGoroutine() <= before {
+			leakFree = true
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !leakFree {
+		t.Fatalf("goroutines %d > baseline %d after canceled sweep", runtime.NumGoroutine(), before)
+	}
+}

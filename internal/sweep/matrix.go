@@ -1,15 +1,16 @@
 // Package sweep orchestrates families of studies: it expands a
 // declarative scenario matrix (seeds × storage modes × filter
 // annotation × stealth × engine subsets) into concrete study
-// configurations, executes every cell on a bounded worker pool — each
-// cell is the deterministic crawl-and-analyze pipeline behind
-// searchads.Study, so any cell reproduces byte-identically in
-// isolation — and streams each cell's dataset straight into analysis,
-// discarding it afterwards. A 100-cell sweep therefore holds
-// O(parallelism) datasets in memory, never O(cells). Across the seeds
-// of each scenario it aggregates the key §4 metrics (mean, stddev,
-// min/max, 95% CI) and renders them as machine-readable JSON and a
-// human table.
+// configurations, executes every cell on a bounded, cancellable worker
+// pool — each cell is the deterministic crawl-and-analyze pipeline
+// behind searchads.Study, so any cell reproduces byte-identically in
+// isolation — and folds each cell's crawl one iteration at a time
+// through an incremental analysis (analysis.Accumulator), never
+// materialising a dataset. A 100-cell sweep therefore holds
+// O(parallelism) crawl iterations in memory, not O(cells) and not even
+// O(dataset). Across the seeds of each scenario it aggregates the key
+// §4 metrics (mean, stddev, min/max, 95% CI) and renders them as
+// machine-readable JSON and a human table.
 package sweep
 
 import (

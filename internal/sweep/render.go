@@ -15,8 +15,8 @@ func (r *Result) JSON() ([]byte, error) {
 // (engine, metric) with mean ± CI95 half-width, stddev, and range.
 func (r *Result) Render() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "sweep: %d cells, %d scenarios, parallelism %d, peak retained datasets %d",
-		len(r.Cells), len(r.Scenarios), r.Parallelism, r.PeakRetainedDatasets)
+	fmt.Fprintf(&b, "sweep: %d cells, %d scenarios, parallelism %d, peak retained iterations %d",
+		len(r.Cells), len(r.Scenarios), r.Parallelism, r.PeakRetainedIterations)
 	if r.CellErrors > 0 {
 		fmt.Fprintf(&b, ", %d cell errors", r.CellErrors)
 	}

@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -16,8 +17,9 @@ import (
 // Options configures a sweep run.
 type Options struct {
 	// Parallel bounds the number of cells in flight at once
-	// (0 = GOMAXPROCS). Each in-flight cell holds at most one dataset,
-	// so this is also the peak dataset-retention bound.
+	// (0 = GOMAXPROCS). Each in-flight cell holds at most one crawl
+	// iteration at a time, so this is also the peak
+	// iteration-retention bound.
 	Parallel int
 	// Filter is the filter engine shared by every cell — crawl-time
 	// annotation for FilterAnnotate cells and the analysis side of all
@@ -28,10 +30,9 @@ type Options struct {
 	// analysis (nil = the embedded Disconnect-style default).
 	Entities *entities.List
 	// OnReport, when set, receives each cell's report right after its
-	// analysis, before the cell's dataset is released. Calls are
-	// serialized, in completion order. The sweep itself retains only
-	// scalar metrics; a caller that stores every report reintroduces
-	// O(cells) retention on its own side.
+	// analysis. Calls are serialized, in completion order. The sweep
+	// itself retains only scalar metrics; a caller that stores every
+	// report reintroduces O(cells) retention on its own side.
 	OnReport func(Cell, *analysis.Report)
 	// OnCellDone, when set, is called (serialized) after each cell
 	// completes — progress reporting. done counts finished cells.
@@ -39,7 +40,7 @@ type Options struct {
 }
 
 // CellResult is the retained summary of one executed cell: scalar
-// metrics only, the dataset and report are gone.
+// metrics only, the iterations and report are gone.
 type CellResult struct {
 	Scenario string `json:"scenario"`
 	Seed     int64  `json:"seed"`
@@ -50,11 +51,12 @@ type CellResult struct {
 	Metrics map[string]map[string]float64 `json:"metrics"`
 	// Iterations counts crawled iterations; IterationErrors counts the
 	// ones that recorded an error (e.g. "no ads displayed" on
-	// stealth-off cells) — streamed from the crawler's Sink hook.
+	// stealth-off cells) — observed as the cell's stream goes by.
 	Iterations      int `json:"iterations"`
 	IterationErrors int `json:"iteration_errors"`
-	// Err is the cell-level failure ("" on success). Errored cells are
-	// excluded from aggregation and make Run return an error.
+	// Err is the cell-level failure ("" on success; canceled cells
+	// carry the context error). Errored cells are excluded from
+	// aggregation and make Run return an error.
 	Err string `json:"error,omitempty"`
 }
 
@@ -69,10 +71,13 @@ type Result struct {
 	Metrics []string `json:"metrics"`
 	// Parallelism is the worker-pool width the sweep ran with.
 	Parallelism int `json:"parallelism"`
-	// PeakRetainedDatasets is the high-water mark of simultaneously
-	// retained datasets — bounded by Parallelism, not by cell count.
-	PeakRetainedDatasets int `json:"peak_retained_datasets"`
-	// CellErrors counts failed cells.
+	// PeakRetainedIterations is the high-water mark of crawl
+	// iterations simultaneously held by the sweep — bounded by
+	// Parallelism, not by cell count and not by dataset size: each
+	// cell streams its crawl through an analysis.Accumulator one
+	// iteration at a time, so no cell ever holds a dataset.
+	PeakRetainedIterations int `json:"peak_retained_iterations"`
+	// CellErrors counts failed cells (including canceled ones).
 	CellErrors int `json:"cell_errors"`
 }
 
@@ -87,17 +92,20 @@ func (r *Result) Aggregate(scenario string) *ScenarioAggregate {
 }
 
 // Run expands the matrix and executes every cell on a bounded worker
-// pool. Each worker crawls its cell, streams the dataset through
-// analysis, folds the report into scalar metrics, and releases both —
-// so at any instant at most Parallel datasets exist. Cell execution is
-// exactly the searchads.Study pipeline with the same configuration, so
-// every cell's report is byte-identical to running that study
-// standalone.
+// pool. Each worker streams its cell's crawl straight through an
+// incremental analysis fold and retains only the resulting scalar
+// metrics — so at any instant the sweep holds at most Parallel crawl
+// iterations, never a dataset. Cell execution is exactly the
+// searchads.Study pipeline with the same configuration, so every
+// cell's report is byte-identical to running that study standalone.
 //
-// Run returns the result together with an error joining every cell
-// failure; the result is complete either way (failed cells carry Err
-// and are excluded from aggregates).
-func Run(m Matrix, opts Options) (*Result, error) {
+// Canceling ctx aborts promptly: in-flight cells stop within one crawl
+// iteration, queued cells are marked canceled without running, and the
+// pool is drained before Run returns. The result is complete either
+// way — failed or canceled cells carry Err and are excluded from
+// aggregates — and the returned error joins every cell failure plus
+// ctx.Err() when the sweep was canceled.
+func Run(ctx context.Context, m Matrix, opts Options) (*Result, error) {
 	cells := m.Expand()
 	workers := opts.Parallel
 	if workers <= 0 {
@@ -116,75 +124,92 @@ func Run(m Matrix, opts Options) (*Result, error) {
 	}
 
 	r := &runner{
-		opts:    opts,
-		filter:  filter,
-		ents:    ents,
-		cells:   cells,
-		results: make([]CellResult, len(cells)),
+		opts:     opts,
+		filter:   filter,
+		ents:     ents,
+		cells:    cells,
+		results:  make([]CellResult, len(cells)),
+		cellErrs: make([]error, len(cells)),
 	}
 
-	indices := make(chan int)
+	indices := make(chan int, len(cells))
+	for i := range cells {
+		indices <- i
+	}
+	close(indices)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range indices {
-				r.runCell(i)
+				r.runCell(ctx, i)
 			}
 		}()
 	}
-	for i := range cells {
-		indices <- i
-	}
-	close(indices)
 	wg.Wait()
 
 	res := &Result{
-		Cells:                r.results,
-		Scenarios:            aggregate(cells, r.results, analysis.MetricNames()),
-		Metrics:              analysis.MetricNames(),
-		Parallelism:          workers,
-		PeakRetainedDatasets: r.peak,
+		Cells:                  r.results,
+		Scenarios:              aggregate(cells, r.results, analysis.MetricNames()),
+		Metrics:                analysis.MetricNames(),
+		Parallelism:            workers,
+		PeakRetainedIterations: r.peak,
 	}
 	var errs []error
-	for _, cr := range r.results {
+	for i, cr := range r.results {
 		if cr.Err != "" {
 			res.CellErrors++
-			errs = append(errs, fmt.Errorf("cell %s seed=%d: %s", cr.Scenario, cr.Seed, cr.Err))
+			// Cancellation is reported once, below, not per cell. Cell
+			// errors keep their chains (%w) so errors.Is still matches
+			// sentinels like crawler.ErrUnknownEngine through the join.
+			if cellErr := r.cellErrs[i]; cellErr != nil && !errors.Is(cellErr, context.Canceled) && !errors.Is(cellErr, context.DeadlineExceeded) {
+				errs = append(errs, fmt.Errorf("cell %s seed=%d: %w", cr.Scenario, cr.Seed, cellErr))
+			}
 		}
+	}
+	if err := ctx.Err(); err != nil {
+		errs = append(errs, err)
 	}
 	return res, errors.Join(errs...)
 }
 
 // runner is the shared state of one sweep execution.
 type runner struct {
-	opts    Options
-	filter  *filterlist.Engine
-	ents    *entities.List
-	cells   []Cell
-	results []CellResult
+	opts     Options
+	filter   *filterlist.Engine
+	ents     *entities.List
+	cells    []Cell
+	results  []CellResult
+	cellErrs []error
 
 	mu       sync.Mutex // guards the fields below and serializes callbacks
-	retained int        // datasets currently alive
+	retained int        // crawl iterations currently held
 	peak     int        // high-water mark of retained
 	done     int        // completed cells
 }
 
 // runCell executes one cell end to end and retains only its scalars.
-func (r *runner) runCell(i int) {
+// Cells reached after cancellation are marked canceled without running.
+func (r *runner) runCell(ctx context.Context, i int) {
 	c := r.cells[i]
 	cr := CellResult{Scenario: c.Scenario, Seed: c.Seed}
 
-	rep, err := r.crawlAndAnalyze(c, &cr)
+	var err error
+	if err = ctx.Err(); err == nil {
+		var rep *analysis.Report
+		rep, err = r.crawlAndAnalyze(ctx, c, &cr)
+		if err == nil {
+			cr.EngineOrder = rep.EngineOrder
+			cr.Metrics = make(map[string]map[string]float64, len(rep.EngineOrder))
+			for _, e := range rep.EngineOrder {
+				cr.Metrics[e] = rep.EngineMetrics(e)
+			}
+		}
+	}
 	if err != nil {
 		cr.Err = err.Error()
-	} else {
-		cr.EngineOrder = rep.EngineOrder
-		cr.Metrics = make(map[string]map[string]float64, len(rep.EngineOrder))
-		for _, e := range rep.EngineOrder {
-			cr.Metrics[e] = rep.EngineMetrics(e)
-		}
+		r.cellErrs[i] = err
 	}
 	r.results[i] = cr
 
@@ -196,11 +221,12 @@ func (r *runner) runCell(i int) {
 	}
 }
 
-// crawlAndAnalyze is the cell pipeline: world build, crawl, analysis.
-// The dataset exists only inside this frame — it is born when the
-// crawl finishes and dropped when the function returns, which is what
-// keeps sweep memory O(parallelism).
-func (r *runner) crawlAndAnalyze(c Cell, cr *CellResult) (*analysis.Report, error) {
+// crawlAndAnalyze is the cell pipeline: world build, then the crawl
+// streamed one iteration at a time into an incremental analysis fold.
+// Each iteration is born inside the crawler, counted while the sweep
+// holds it, folded, and dropped — which is what keeps sweep memory
+// O(parallelism · iteration) instead of O(parallelism · dataset).
+func (r *runner) crawlAndAnalyze(ctx context.Context, c Cell, cr *CellResult) (*analysis.Report, error) {
 	world := websim.NewWorld(websim.Config{
 		Seed:             c.Seed,
 		Engines:          c.Engines,
@@ -210,9 +236,8 @@ func (r *runner) crawlAndAnalyze(c Cell, cr *CellResult) (*analysis.Report, erro
 	if c.FilterAnnotate {
 		crawlFilter = r.filter
 	}
-	r.trackDataset(+1)
-	defer r.trackDataset(-1)
-	ds, err := crawler.New(crawler.Config{
+	acc := analysis.NewAccumulator(analysis.Options{Filter: r.filter, Entities: r.ents})
+	for it, err := range crawler.New(crawler.Config{
 		World:       world,
 		Engines:     c.Engines,
 		Iterations:  c.Iterations,
@@ -220,17 +245,19 @@ func (r *runner) crawlAndAnalyze(c Cell, cr *CellResult) (*analysis.Report, erro
 		NoStealth:   c.NoStealth,
 		SkipRevisit: c.SkipRevisit,
 		Filter:      crawlFilter,
-		Sink: func(it *crawler.Iteration) {
-			cr.Iterations++
-			if it.Error != "" {
-				cr.IterationErrors++
-			}
-		},
-	}).Run()
-	if err != nil {
-		return nil, err
+	}).Iterations(ctx) {
+		if err != nil {
+			return nil, err
+		}
+		r.trackIteration(+1)
+		cr.Iterations++
+		if it.Error != "" {
+			cr.IterationErrors++
+		}
+		acc.Add(it)
+		r.trackIteration(-1)
 	}
-	rep := analysis.AnalyzeWith(ds, analysis.Options{Filter: r.filter, Entities: r.ents})
+	rep := acc.Report()
 	if r.opts.OnReport != nil {
 		r.mu.Lock()
 		r.opts.OnReport(c, rep)
@@ -239,10 +266,10 @@ func (r *runner) crawlAndAnalyze(c Cell, cr *CellResult) (*analysis.Report, erro
 	return rep, nil
 }
 
-// trackDataset maintains the retained-dataset high-water mark. A cell
-// counts as retaining a dataset from crawl start (the dataset
-// accumulates during the crawl) until analysis releases it.
-func (r *runner) trackDataset(delta int) {
+// trackIteration maintains the retained-iteration high-water mark: a
+// cell holds exactly one iteration from the moment the crawl stream
+// hands it over until the analysis fold has consumed it.
+func (r *runner) trackIteration(delta int) {
 	r.mu.Lock()
 	r.retained += delta
 	if r.retained > r.peak {

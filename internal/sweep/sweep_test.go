@@ -2,6 +2,7 @@ package sweep_test
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -47,7 +48,7 @@ func TestSweepCellByteIdenticalToStandaloneStudy(t *testing.T) {
 		asJSON   []byte
 	}
 	var got []captured
-	res, err := searchads.Sweep(m, searchads.SweepOptions{
+	res, err := searchads.Sweep(context.Background(), m, searchads.SweepOptions{
 		Parallel: 2,
 		OnReport: func(c sweep.Cell, rep *analysis.Report) {
 			j, err := rep.JSON()
@@ -65,7 +66,7 @@ func TestSweepCellByteIdenticalToStandaloneStudy(t *testing.T) {
 	}
 	for _, cap := range got {
 		study := searchads.NewStudy(studyConfig(cap.cell))
-		rep, err := study.Analyze()
+		rep, err := study.Analyze(context.Background())
 		if err != nil {
 			t.Fatalf("standalone study %s seed=%d: %v", cap.cell.Scenario, cap.cell.Seed, err)
 		}
@@ -84,9 +85,10 @@ func TestSweepCellByteIdenticalToStandaloneStudy(t *testing.T) {
 	}
 }
 
-// TestSweepMemoryBounded asserts the O(parallelism) retention claim:
-// the high-water mark of simultaneously retained datasets tracks the
-// pool width, not the cell count.
+// TestSweepMemoryBounded asserts the O(parallelism · iteration)
+// retention claim: the high-water mark of simultaneously retained
+// crawl iterations tracks the pool width, not the cell count — and
+// no cell ever holds a dataset at all.
 func TestSweepMemoryBounded(t *testing.T) {
 	m := sweep.Matrix{
 		Seeds:            []int64{1, 2, 3, 4, 5, 6, 7, 8},
@@ -94,16 +96,16 @@ func TestSweepMemoryBounded(t *testing.T) {
 		QueriesPerEngine: 3,
 		SkipRevisit:      true,
 	}
-	res, err := sweep.Run(m, sweep.Options{Parallel: 2})
+	res, err := sweep.Run(context.Background(), m, sweep.Options{Parallel: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(res.Cells) != 8 {
 		t.Fatalf("cells = %d, want 8", len(res.Cells))
 	}
-	if res.PeakRetainedDatasets < 1 || res.PeakRetainedDatasets > 2 {
-		t.Fatalf("peak retained datasets = %d, want within [1, parallelism=2] on an 8-cell sweep",
-			res.PeakRetainedDatasets)
+	if res.PeakRetainedIterations < 1 || res.PeakRetainedIterations > 2 {
+		t.Fatalf("peak retained iterations = %d, want within [1, parallelism=2] on an 8-cell sweep",
+			res.PeakRetainedIterations)
 	}
 	if res.Parallelism != 2 {
 		t.Fatalf("parallelism = %d, want 2", res.Parallelism)
@@ -121,7 +123,7 @@ func TestSweepAggregates(t *testing.T) {
 		SkipRevisit:      true,
 	}
 	var progress int
-	res, err := sweep.Run(m, sweep.Options{
+	res, err := sweep.Run(context.Background(), m, sweep.Options{
 		Parallel: 3,
 		OnCellDone: func(done, total int, c sweep.Cell, err error) {
 			progress++
@@ -175,14 +177,14 @@ func TestSweepAggregates(t *testing.T) {
 	if !strings.Contains(string(j1), `"ci95_low"`) || !strings.Contains(string(j1), `"tracker_prevalence"`) {
 		t.Error("JSON output missing CI or metric fields")
 	}
-	res2, err := sweep.Run(m, sweep.Options{Parallel: 1})
+	res2, err := sweep.Run(context.Background(), m, sweep.Options{Parallel: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Pool-shape fields legitimately differ between the two runs; the
 	// measurement content must not.
 	res2.Parallelism = res.Parallelism
-	res2.PeakRetainedDatasets = res.PeakRetainedDatasets
+	res2.PeakRetainedIterations = res.PeakRetainedIterations
 	j2, err := res2.JSON()
 	if err != nil {
 		t.Fatal(err)
@@ -205,7 +207,7 @@ func TestSweepCellErrors(t *testing.T) {
 		QueriesPerEngine: 3,
 		SkipRevisit:      true,
 	}
-	res, err := sweep.Run(m, sweep.Options{Parallel: 2})
+	res, err := sweep.Run(context.Background(), m, sweep.Options{Parallel: 2})
 	if err == nil {
 		t.Fatal("sweep with an unknown engine returned nil error")
 	}
@@ -238,7 +240,7 @@ func TestSweepPresetFacade(t *testing.T) {
 		QueriesPerEngine: 4,
 		SkipRevisit:      true,
 	})
-	res, err := searchads.Sweep(m, searchads.SweepOptions{Parallel: 2})
+	res, err := searchads.Sweep(context.Background(), m, searchads.SweepOptions{Parallel: 2})
 	if err != nil {
 		t.Fatal(err)
 	}

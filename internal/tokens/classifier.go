@@ -84,67 +84,110 @@ type Classifier struct {
 // observations and returns the classification of every unique value.
 func Classify(obs []Observation) *Result { return (&Classifier{}).Classify(obs) }
 
-// Classify implements the pipeline.
+// Classify implements the pipeline as a fold over an Accumulator: the
+// classification of a batch is identical to observing the same
+// observations one at a time and asking for the Result.
 func (c *Classifier) Classify(obs []Observation) *Result {
-	type valueCtx struct {
-		instances map[string]bool
-	}
-	values := make(map[string]*valueCtx)
-	// adKey groups filter-(ii) contexts: per (instance, key), the set of
-	// values seen across different ad URLs of one results page.
-	type adCtx struct {
-		byAdIndex map[int]string
-		distinct  map[string]bool
-	}
-	adKeys := make(map[[2]string]*adCtx)
-	// sessKey groups filter-(iii) contexts: per (instance, key, host,
-	// source), base-visit vs revisit values.
-	type sessCtx struct {
-		base, revisit map[string]bool
-	}
-	sessKeys := make(map[[4]string]*sessCtx)
-
+	acc := c.NewAccumulator()
 	for _, o := range obs {
-		if o.Value == "" {
-			continue
-		}
-		v := values[o.Value]
-		if v == nil {
-			v = &valueCtx{instances: make(map[string]bool)}
-			values[o.Value] = v
-		}
-		v.instances[o.Instance] = true
+		acc.Observe(o)
+	}
+	return acc.Result()
+}
 
-		if o.AdIndex >= 0 {
-			k := [2]string{o.Instance, o.Key}
-			a := adKeys[k]
-			if a == nil {
-				a = &adCtx{byAdIndex: make(map[int]string), distinct: make(map[string]bool)}
-				adKeys[k] = a
-			}
-			a.byAdIndex[o.AdIndex] = o.Value
-			a.distinct[o.Value] = true
-		}
+// valueCtx tracks one token value's sightings (filter i).
+type valueCtx struct {
+	instances map[string]bool
+}
 
-		sk := [4]string{o.Instance, o.Key, o.Host, string(o.Source)}
-		s := sessKeys[sk]
-		if s == nil {
-			s = &sessCtx{base: make(map[string]bool), revisit: make(map[string]bool)}
-			sessKeys[sk] = s
+// adCtx groups filter-(ii) contexts: per (instance, key), the set of
+// values seen across different ad URLs of one results page.
+type adCtx struct {
+	byAdIndex map[int]string
+	distinct  map[string]bool
+}
+
+// sessCtx groups filter-(iii) contexts: per (instance, key, host,
+// source), base-visit vs revisit values.
+type sessCtx struct {
+	base, revisit map[string]bool
+}
+
+// Accumulator is the incremental form of the §3.2 pipeline: feed it
+// observations one sighting (or one crawl iteration) at a time via
+// Observe, then call Result to run the filters. Its state is the
+// classifier's grouping indexes — O(unique tokens), never the
+// observation stream itself — which is what lets streaming consumers
+// classify a crawl without retaining the dataset. Observation order
+// does not affect the Result.
+type Accumulator struct {
+	cfg      Classifier
+	values   map[string]*valueCtx
+	adKeys   map[[2]string]*adCtx
+	sessKeys map[[4]string]*sessCtx
+}
+
+// NewAccumulator returns an empty accumulator for this classifier's
+// configuration.
+func (c *Classifier) NewAccumulator() *Accumulator {
+	return &Accumulator{
+		cfg:      *c,
+		values:   make(map[string]*valueCtx),
+		adKeys:   make(map[[2]string]*adCtx),
+		sessKeys: make(map[[4]string]*sessCtx),
+	}
+}
+
+// NewAccumulator returns an empty accumulator with the default pipeline
+// (manual pass enabled), the incremental counterpart of Classify.
+func NewAccumulator() *Accumulator { return (&Classifier{}).NewAccumulator() }
+
+// Observe folds one sighting into the accumulator.
+func (a *Accumulator) Observe(o Observation) {
+	if o.Value == "" {
+		return
+	}
+	v := a.values[o.Value]
+	if v == nil {
+		v = &valueCtx{instances: make(map[string]bool)}
+		a.values[o.Value] = v
+	}
+	v.instances[o.Instance] = true
+
+	if o.AdIndex >= 0 {
+		k := [2]string{o.Instance, o.Key}
+		ad := a.adKeys[k]
+		if ad == nil {
+			ad = &adCtx{byAdIndex: make(map[int]string), distinct: make(map[string]bool)}
+			a.adKeys[k] = ad
 		}
-		if o.Revisit {
-			s.revisit[o.Value] = true
-		} else {
-			s.base[o.Value] = true
-		}
+		ad.byAdIndex[o.AdIndex] = o.Value
+		ad.distinct[o.Value] = true
 	}
 
+	sk := [4]string{o.Instance, o.Key, o.Host, string(o.Source)}
+	s := a.sessKeys[sk]
+	if s == nil {
+		s = &sessCtx{base: make(map[string]bool), revisit: make(map[string]bool)}
+		a.sessKeys[sk] = s
+	}
+	if o.Revisit {
+		s.revisit[o.Value] = true
+	} else {
+		s.base[o.Value] = true
+	}
+}
+
+// Result runs filters (i)–(iv) and the manual pass over everything
+// observed so far. It does not mutate the accumulator: observing more
+// and asking again yields the classification of the larger stream.
+func (a *Accumulator) Result() *Result {
 	// Filter (ii): keys whose values differ across ad URLs on the same
 	// page mark all their values as ad identifiers.
 	adValues := make(map[string]bool)
-	for _, a := range adKeys {
-		if len(a.distinct) > 1 && len(a.byAdIndex) > 1 {
-			for v := range a.distinct {
+	for _, ad := range a.adKeys {
+		if len(ad.distinct) > 1 && len(ad.byAdIndex) > 1 {
+			for v := range ad.distinct {
 				adValues[v] = true
 			}
 		}
@@ -152,7 +195,7 @@ func (c *Classifier) Classify(obs []Observation) *Result {
 	// Filter (iii): keys whose value changed between base visit and the
 	// next-day revisit mark those values as session identifiers.
 	sessValues := make(map[string]bool)
-	for _, s := range sessKeys {
+	for _, s := range a.sessKeys {
 		if len(s.base) == 0 || len(s.revisit) == 0 {
 			continue
 		}
@@ -173,20 +216,20 @@ func (c *Classifier) Classify(obs []Observation) *Result {
 	}
 
 	res := &Result{
-		TotalTokens: len(values),
+		TotalTokens: len(a.values),
 		UserIDs:     make(map[string]bool),
 		ByReason:    make(map[Reason]int),
 		reasons:     make(map[string]Reason),
 	}
 	// Deterministic iteration order for stable funnel counts.
-	ordered := make([]string, 0, len(values))
-	for v := range values {
+	ordered := make([]string, 0, len(a.values))
+	for v := range a.values {
 		ordered = append(ordered, v)
 	}
 	sort.Strings(ordered)
 
 	for _, val := range ordered {
-		ctx := values[val]
+		ctx := a.values[val]
 		var reason Reason
 		switch {
 		case len(ctx.instances) > 1:
@@ -198,7 +241,7 @@ func (c *Classifier) Classify(obs []Observation) *Result {
 		case len(val) < MinIDLength || LooksLikeTimestamp(val) ||
 			LooksLikeURL(val) || IsEnglishWords(val) || LooksLikePhrase(val):
 			reason = ReasonHeuristics
-		case !c.SkipManualPass && (LooksLikeCoordinates(val) ||
+		case !a.cfg.SkipManualPass && (LooksLikeCoordinates(val) ||
 			LooksLikeAcronym(val) || isWordCombination(val)):
 			reason = ReasonManualPass
 		default:

@@ -4,20 +4,43 @@
 // advertising systems, the paper's crawl methodology, and the analyses
 // behind every table and figure of its evaluation.
 //
-// The typical flow is three calls:
+// The v2 API is context-aware and streaming-first. The batch flow is
+// still three calls, now cancellable:
 //
 //	study := searchads.NewStudy(searchads.Config{Seed: 1, QueriesPerEngine: 100})
-//	dataset, err := study.Crawl()
-//	report, err := study.Analyze()
+//	dataset, err := study.Crawl(ctx)
+//	report, err := study.Analyze(ctx)
 //	fmt.Println(report.Render())
 //
-// Config controls the world (seed, engines, query volume, calibration
-// overrides) and the browser (flat vs partitioned cookie storage,
-// stealth, recorder capture probability). Identical Configs produce
-// byte-identical datasets.
+// The primary consumption surface, though, is the iteration stream —
+// every iteration arrives, in deterministic order, the moment it
+// finishes crawling, and nothing forces the dataset into memory:
+//
+//	study := searchads.NewStudy(cfg)
+//	acc := searchads.NewAccumulator(searchads.AnalysisOptions{})
+//	for it, err := range study.Iterations(ctx) {
+//		if err != nil {
+//			return err // ctx canceled, or the config was invalid
+//		}
+//		acc.Add(it) // incremental §4 analysis, O(iteration) memory
+//	}
+//	fmt.Println(acc.Report().Render())
+//
+// Canceling ctx aborts a crawl, analysis, or sweep within one
+// iteration's work; the error wraps both ErrCanceled and ctx.Err(), so
+// errors.Is works against either. Config controls the world (seed,
+// engines, query volume, calibration overrides) and the browser (flat
+// vs partitioned cookie storage, stealth, recorder capture
+// probability). Identical Configs produce byte-identical datasets and
+// iteration streams, sequential or Parallel alike.
 package searchads
 
 import (
+	"context"
+	"errors"
+	"fmt"
+	"iter"
+
 	"searchads/internal/analysis"
 	"searchads/internal/crawler"
 	"searchads/internal/entities"
@@ -27,6 +50,38 @@ import (
 	"searchads/internal/sweep"
 	"searchads/internal/websim"
 )
+
+// Typed sentinel errors, matchable with errors.Is.
+var (
+	// ErrUnknownEngine reports a Config.Engines entry the world does
+	// not have. Crawl, Analyze, Iterations, and Sweep cells wrap it.
+	ErrUnknownEngine = crawler.ErrUnknownEngine
+	// ErrCanceled reports a crawl, analysis, or sweep aborted by its
+	// context. Returned errors wrap both ErrCanceled and the context's
+	// own error, so errors.Is(err, context.Canceled) also matches.
+	ErrCanceled = errors.New("searchads: canceled")
+	// ErrReportCached reports an AnalyzeWith call whose options differ
+	// from the ones the study's cached report was computed with; the
+	// cached report is not silently returned as if the new options had
+	// been honored. Options compare by identity (the Filter and
+	// Entities pointers), deliberately conservative: a freshly built
+	// DefaultFilterEngine() is not recognised as "the same" as the nil
+	// default — reuse the same instances (or zero values) for repeat
+	// calls, or analyze a fresh Study / AnalyzeDataset instead.
+	ErrReportCached = errors.New("searchads: report already cached with different options")
+)
+
+// wrapCanceled tags context-abort errors with ErrCanceled so callers
+// can errors.Is against the facade sentinel or the context error alike.
+func wrapCanceled(err error) error {
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return fmt.Errorf("%w: %w", ErrCanceled, err)
+	}
+	return err
+}
 
 // Re-exported result and component types. They alias the internal
 // implementations so example code and downstream tooling handle the
@@ -130,10 +185,11 @@ type Config struct {
 	// Engine.MatchBatch). The engine is read-only after its index is
 	// built and safe to share with Parallel crawls.
 	Filter *FilterEngine
-	// Sink, when set, receives each iteration as soon as it finishes
-	// crawling (serialized, in completion order). It lets streaming
-	// consumers — progress meters, the sweep engine — observe a crawl
-	// without retaining the dataset.
+	// Sink, when set, receives each iteration as soon as the live
+	// iteration stream emits it — a thin adapter over Iterations, so
+	// calls arrive in the stream's deterministic order. It fires during
+	// any live crawl (Crawl, Iterations, or the crawl behind Analyze)
+	// and not when a cached dataset is replayed.
 	Sink func(*Iteration)
 }
 
@@ -141,70 +197,182 @@ type Config struct {
 type Study struct {
 	cfg     Config
 	world   *World
+	crawled bool // a live crawl has touched (or partially touched) the world
 	dataset *Dataset
 	report  *Report
+	// reportOpts records the options the cached report was built with,
+	// so a later AnalyzeWith with different ones fails typed instead of
+	// pretending.
+	reportOpts AnalysisOptions
 }
 
 // NewStudy builds the simulated web for the given config.
 func NewStudy(cfg Config) *Study {
-	world := websim.NewWorld(websim.Config{
+	return &Study{cfg: cfg, world: buildWorld(cfg)}
+}
+
+func buildWorld(cfg Config) *World {
+	return websim.NewWorld(websim.Config{
 		Seed:                    cfg.Seed,
 		Engines:                 cfg.Engines,
 		QueriesPerEngine:        cfg.QueriesPerEngine,
 		Calibrations:            cfg.Calibrations,
 		EnableReferrerSmuggling: cfg.ReferrerSmuggling,
 	})
-	return &Study{cfg: cfg, world: world}
 }
 
 // World exposes the underlying simulated web (e.g. to serve it over
-// net/http via netsim.HTTPBridge).
+// net/http via netsim.HTTPBridge). Starting a crawl after a previous
+// live stream was canceled or abandoned rebuilds the world (see
+// freshWorld), so hold on to the pointer only within one crawl's life.
 func (s *Study) World() *World { return s.world }
 
-// Crawl runs the measurement pipeline (§3.1) and caches the dataset.
-// It returns an error if Config.Engines names an unknown engine — a
-// typo used to silently yield an empty dataset.
-func (s *Study) Crawl() (*Dataset, error) {
-	if s.dataset == nil {
-		ds, err := crawler.New(crawler.Config{
-			World:       s.world,
-			Engines:     s.cfg.Engines,
-			Iterations:  s.cfg.Iterations,
-			StorageMode: s.cfg.Storage,
-			CaptureProb: s.cfg.CaptureProb,
-			NoStealth:   s.cfg.NoStealth,
-			SkipRevisit: s.cfg.SkipRevisit,
-			Parallel:    s.cfg.Parallel,
-			Filter:      s.cfg.Filter,
-			Sink:        s.cfg.Sink,
-		}).Run()
-		if err != nil {
-			return nil, err
-		}
-		s.dataset = ds
+// freshWorld returns a world no crawl has touched. Origin servers mint
+// per-client identifier serials, so a world that served a partial or
+// discarded crawl would continue those streams and break determinism;
+// rebuilding from the config restores the exact fresh-study state.
+func (s *Study) freshWorld() *World {
+	if s.crawled {
+		s.world = buildWorld(s.cfg)
+		s.crawled = false
 	}
-	return s.dataset, nil
+	return s.world
 }
 
-// Analyze runs the §4 analyses (crawling first if needed) and caches
-// the report. It is AnalyzeWith with default options: the embedded
-// filter lists and entity list.
-func (s *Study) Analyze() (*Report, error) {
-	return s.AnalyzeWith(AnalysisOptions{})
+func (s *Study) crawlerConfig(w *World) crawler.Config {
+	return crawler.Config{
+		World:       w,
+		Engines:     s.cfg.Engines,
+		Iterations:  s.cfg.Iterations,
+		StorageMode: s.cfg.Storage,
+		CaptureProb: s.cfg.CaptureProb,
+		NoStealth:   s.cfg.NoStealth,
+		SkipRevisit: s.cfg.SkipRevisit,
+		Parallel:    s.cfg.Parallel,
+		Filter:      s.cfg.Filter,
+	}
+}
+
+func (s *Study) newCrawler() *crawler.Crawler {
+	w := s.freshWorld()
+	s.crawled = true
+	return crawler.New(s.crawlerConfig(w))
+}
+
+// NewDataset returns the metadata-only dataset shell (seed, storage
+// mode, creation time, filter annotation) a streaming consumer can
+// fill from Iterations; appending every streamed iteration yields a
+// dataset byte-identical to the one Crawl caches.
+func (s *Study) NewDataset() *Dataset {
+	return crawler.New(s.crawlerConfig(s.world)).NewDataset()
+}
+
+// Crawl runs the measurement pipeline (§3.1), materialises the dataset,
+// and caches it; later Crawl/Iterations/Analyze calls reuse it. It
+// returns an error wrapping ErrUnknownEngine if Config.Engines names an
+// unknown engine — a typo used to silently yield an empty dataset —
+// and an error wrapping ErrCanceled (and ctx.Err()) if ctx is canceled
+// mid-crawl; nothing is cached then, and the next call starts afresh.
+func (s *Study) Crawl(ctx context.Context) (*Dataset, error) {
+	if s.dataset != nil {
+		return s.dataset, nil
+	}
+	c := s.newCrawler()
+	ds := c.NewDataset()
+	for it, err := range c.Iterations(ctx) {
+		if err != nil {
+			return nil, wrapCanceled(err)
+		}
+		if s.cfg.Sink != nil {
+			s.cfg.Sink(it)
+		}
+		ds.Iterations = append(ds.Iterations, it)
+	}
+	s.dataset = ds
+	return ds, nil
+}
+
+// Iterations returns the study's crawl as a stream — the primary v2
+// consumption surface. Iterations are emitted in deterministic dataset
+// order (engines in Config order, iteration index ascending) as soon as
+// they complete, for sequential and Parallel crawls alike; a run
+// canceled after n iterations has yielded exactly the first n the full
+// crawl would produce. Each iteration arrives with a nil error; on
+// cancellation (or an invalid config) the stream yields one final
+// (nil, err) — wrapping ErrCanceled/ErrUnknownEngine — and stops.
+//
+// If Crawl already cached a dataset, the stream replays it. Otherwise
+// the crawl runs live and nothing is retained: folding the stream
+// (e.g. with an Accumulator) observes the whole crawl in O(iteration)
+// memory for sequential crawls. Parallel crawls keep that bound only
+// against slow consumers (workers stall rather than pile up finished
+// iterations); their engine-major emission order still buffers faster
+// engines' completions until the cursor reaches them, so a Parallel
+// stream trades memory for speed — leave Parallel off when the memory
+// bound matters. A live stream consumes the world's identifier state, so
+// whether it completes, is canceled, or is abandoned by breaking out
+// early, a later Crawl/Analyze/Iterations rebuilds the world and
+// re-crawls from scratch — deterministically, as a fresh study would.
+func (s *Study) Iterations(ctx context.Context) iter.Seq2[*Iteration, error] {
+	return func(yield func(*Iteration, error) bool) {
+		if s.dataset != nil {
+			for _, it := range s.dataset.Iterations {
+				if err := ctx.Err(); err != nil {
+					yield(nil, wrapCanceled(err))
+					return
+				}
+				if !yield(it, nil) {
+					return
+				}
+			}
+			return
+		}
+		for it, err := range s.newCrawler().Iterations(ctx) {
+			if err != nil {
+				yield(nil, wrapCanceled(err))
+				return
+			}
+			if s.cfg.Sink != nil {
+				s.cfg.Sink(it)
+			}
+			if !yield(it, nil) {
+				return
+			}
+		}
+	}
+}
+
+// Analyze runs the §4 analyses and caches the report. It is AnalyzeWith
+// with default options: the embedded filter lists and entity list.
+func (s *Study) Analyze(ctx context.Context) (*Report, error) {
+	return s.AnalyzeWith(ctx, AnalysisOptions{})
 }
 
 // AnalyzeWith runs the §4 analyses with explicit dependencies — a
-// shared filter engine, an alternative entity list — crawling first if
-// needed. The report is cached: the first Analyze/AnalyzeWith call's
-// options win, later calls return the cached report unchanged.
-func (s *Study) AnalyzeWith(opts AnalysisOptions) (*Report, error) {
-	if s.report == nil {
-		ds, err := s.Crawl()
+// shared filter engine, an alternative entity list. The analysis is an
+// incremental fold over Iterations: with a cached dataset it folds
+// that; otherwise it folds a live crawl without materialising a dataset
+// at all (call Crawl first if you want both). The report is cached;
+// calling again with the same options (compared by identity — see
+// ErrReportCached) returns it, while different options return an error
+// wrapping ErrReportCached rather than a report the new options never
+// touched.
+func (s *Study) AnalyzeWith(ctx context.Context, opts AnalysisOptions) (*Report, error) {
+	if s.report != nil {
+		if opts != s.reportOpts {
+			return nil, fmt.Errorf("%w (use a fresh Study or AnalyzeDataset)", ErrReportCached)
+		}
+		return s.report, nil
+	}
+	acc := analysis.NewAccumulator(opts)
+	for it, err := range s.Iterations(ctx) {
 		if err != nil {
 			return nil, err
 		}
-		s.report = analysis.AnalyzeWith(ds, opts)
+		acc.Add(it)
 	}
+	s.report = acc.Report()
+	s.reportOpts = opts
 	return s.report, nil
 }
 
@@ -212,9 +380,10 @@ func (s *Study) AnalyzeWith(opts AnalysisOptions) (*Report, error) {
 // consumption. A sweep expands a scenario matrix (seeds × storage
 // modes × filter annotation × stealth × engine subsets) into concrete
 // studies, runs them on a bounded worker pool, and aggregates the key
-// §4 metrics across seeds (mean, stddev, min/max, 95% CI). Datasets
-// are streamed through analysis and discarded: a sweep retains
-// O(parallelism) datasets, never O(cells).
+// §4 metrics across seeds (mean, stddev, min/max, 95% CI). Every
+// cell's crawl is streamed one iteration at a time through an
+// incremental analysis fold: a sweep retains O(parallelism)
+// iterations, never a dataset and never O(cells) of anything.
 type (
 	// SweepMatrix declares the scenario matrix.
 	SweepMatrix = sweep.Matrix
@@ -232,10 +401,13 @@ type (
 // Sweep expands the matrix and executes every cell on a bounded worker
 // pool. Each cell runs the exact Study pipeline for its configuration,
 // so any cell's report is byte-identical to running that study
-// standalone. The returned error joins all cell failures; the result
-// is complete either way.
-func Sweep(m SweepMatrix, opts SweepOptions) (*SweepResult, error) {
-	return sweep.Run(m, opts)
+// standalone. Canceling ctx aborts in-flight cells within one crawl
+// iteration and marks unstarted cells canceled; the returned error
+// joins all cell failures (wrapping ErrCanceled when the sweep was
+// canceled), and the result is complete either way.
+func Sweep(ctx context.Context, m SweepMatrix, opts SweepOptions) (*SweepResult, error) {
+	res, err := sweep.Run(ctx, m, opts)
+	return res, wrapCanceled(err)
 }
 
 // SweepPreset returns a named scenario matrix ("paper-baseline",
@@ -245,6 +417,20 @@ func SweepPreset(name string) (SweepMatrix, error) { return sweep.Preset(name) }
 // ParseSweepMatrix parses the -matrix grammar, e.g.
 // "storage=flat,partitioned;filter=on,off;engines=bing+google,all".
 func ParseSweepMatrix(s string) (SweepMatrix, error) { return sweep.ParseMatrix(s) }
+
+// Accumulator is the incremental §4 analysis: feed it iterations with
+// Add — typically straight off Study.Iterations — and materialise the
+// report with Report, at any point and as often as needed. The fold
+// over a crawl's stream produces a report byte-identical to
+// Analyze/AnalyzeDataset over the equivalent dataset, while retaining
+// compressed aggregate state instead of the iterations themselves.
+type Accumulator = analysis.Accumulator
+
+// NewAccumulator returns an empty incremental analysis (zero-value
+// options select the embedded filter lists and entity list).
+func NewAccumulator(opts AnalysisOptions) *Accumulator {
+	return analysis.NewAccumulator(opts)
+}
 
 // AnalyzeDataset analyses a previously saved dataset.
 func AnalyzeDataset(ds *Dataset) *Report { return analysis.Analyze(ds) }

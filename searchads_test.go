@@ -1,6 +1,7 @@
 package searchads_test
 
 import (
+	"context"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -9,12 +10,13 @@ import (
 )
 
 func TestStudyEndToEnd(t *testing.T) {
+	ctx := context.Background()
 	study := searchads.NewStudy(searchads.Config{
 		Seed:             314,
 		Engines:          []string{searchads.Google, searchads.Qwant},
 		QueriesPerEngine: 15,
 	})
-	ds, err := study.Crawl()
+	ds, err := study.Crawl(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -22,14 +24,14 @@ func TestStudyEndToEnd(t *testing.T) {
 		t.Fatalf("iterations = %d", len(ds.Iterations))
 	}
 	// Crawl is cached: a second call returns the same dataset.
-	if ds2, _ := study.Crawl(); ds2 != ds {
+	if ds2, _ := study.Crawl(ctx); ds2 != ds {
 		t.Fatal("Crawl not cached")
 	}
-	report, err := study.Analyze()
+	report, err := study.Analyze(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if r2, _ := study.Analyze(); r2 != report {
+	if r2, _ := study.Analyze(ctx); r2 != report {
 		t.Fatal("Analyze not cached")
 	}
 	if report.During["google"].NavTrackingFraction != 1.0 {
@@ -42,12 +44,13 @@ func TestStudyEndToEnd(t *testing.T) {
 }
 
 func TestDatasetRoundTripThroughFacade(t *testing.T) {
+	ctx := context.Background()
 	study := searchads.NewStudy(searchads.Config{
 		Seed:             315,
 		Engines:          []string{searchads.Bing},
 		QueriesPerEngine: 5,
 	})
-	ds, err := study.Crawl()
+	ds, err := study.Crawl(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,8 +75,9 @@ func TestStudiesAreReproducible(t *testing.T) {
 		Engines:          []string{searchads.DuckDuckGo},
 		QueriesPerEngine: 8,
 	}
-	a, errA := searchads.NewStudy(cfg).Crawl()
-	b, errB := searchads.NewStudy(cfg).Crawl()
+	ctx := context.Background()
+	a, errA := searchads.NewStudy(cfg).Crawl(ctx)
+	b, errB := searchads.NewStudy(cfg).Crawl(ctx)
 	if errA != nil || errB != nil {
 		t.Fatal(errA, errB)
 	}
@@ -91,7 +95,7 @@ func TestCrawlUnknownEngineErrors(t *testing.T) {
 		Seed:             3,
 		Engines:          []string{"gogle"},
 		QueriesPerEngine: 2,
-	}).Crawl()
+	}).Crawl(context.Background())
 	if err == nil {
 		t.Fatal("unknown engine did not error")
 	}
@@ -124,26 +128,34 @@ func TestFacadeComponents(t *testing.T) {
 	}
 }
 
-// TestSinkStreamsIterations: Config.Sink observes every iteration as it
-// completes, for sequential and parallel crawls alike, without changing
-// the dataset.
+// TestSinkStreamsIterations: Config.Sink — now a thin adapter over the
+// Iterations stream — observes every iteration, in deterministic
+// dataset order, for sequential and parallel crawls alike, without
+// changing the dataset.
 func TestSinkStreamsIterations(t *testing.T) {
+	ctx := context.Background()
 	for _, parallel := range []bool{false, true} {
-		var streamed int
+		var streamed []string
 		study := searchads.NewStudy(searchads.Config{
 			Seed:             91,
 			Engines:          []string{searchads.Bing, searchads.Qwant},
 			QueriesPerEngine: 4,
 			Parallel:         parallel,
-			Sink:             func(it *searchads.Iteration) { streamed++ },
+			Sink:             func(it *searchads.Iteration) { streamed = append(streamed, it.Instance) },
 		})
-		ds, err := study.Crawl()
+		ds, err := study.Crawl(ctx)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if streamed != len(ds.Iterations) || streamed != 8 {
+		if len(streamed) != len(ds.Iterations) || len(streamed) != 8 {
 			t.Fatalf("parallel=%v: sink saw %d iterations, dataset has %d",
-				parallel, streamed, len(ds.Iterations))
+				parallel, len(streamed), len(ds.Iterations))
+		}
+		for i, it := range ds.Iterations {
+			if streamed[i] != it.Instance {
+				t.Fatalf("parallel=%v: sink order diverges at %d: %s != %s",
+					parallel, i, streamed[i], it.Instance)
+			}
 		}
 	}
 }
@@ -152,11 +164,12 @@ func TestSinkStreamsIterations(t *testing.T) {
 // same report as Analyze, and a shared filter engine must be usable.
 func TestAnalyzeWithMatchesAnalyze(t *testing.T) {
 	cfg := searchads.Config{Seed: 92, Engines: []string{searchads.Google}, QueriesPerEngine: 5}
-	plain, err := searchads.NewStudy(cfg).Analyze()
+	ctx := context.Background()
+	plain, err := searchads.NewStudy(cfg).Analyze(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
-	shared, err := searchads.NewStudy(cfg).AnalyzeWith(searchads.AnalysisOptions{
+	shared, err := searchads.NewStudy(cfg).AnalyzeWith(ctx, searchads.AnalysisOptions{
 		Filter:   searchads.DefaultFilterEngine(),
 		Entities: searchads.DefaultEntities(),
 	})
@@ -168,11 +181,11 @@ func TestAnalyzeWithMatchesAnalyze(t *testing.T) {
 	}
 	// Caching: the first call's options win.
 	s := searchads.NewStudy(cfg)
-	r1, err := s.AnalyzeWith(searchads.AnalysisOptions{})
+	r1, err := s.AnalyzeWith(ctx, searchads.AnalysisOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if r2, _ := s.Analyze(); r2 != r1 {
+	if r2, _ := s.Analyze(ctx); r2 != r1 {
 		t.Fatal("AnalyzeWith result not cached")
 	}
 }

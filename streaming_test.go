@@ -1,0 +1,278 @@
+package searchads_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+
+	"searchads"
+)
+
+// TestAccumulatorByteIdenticalToAnalyze is the v2 acceptance check: the
+// incremental fold over Study.Iterations produces a report identical —
+// rendered and JSON forms, byte for byte — to the batch AnalyzeWith
+// over the same config's dataset, for sequential and Parallel crawls
+// alike.
+func TestAccumulatorByteIdenticalToAnalyze(t *testing.T) {
+	ctx := context.Background()
+	for _, parallel := range []bool{false, true} {
+		cfg := searchads.Config{
+			Seed:             2024,
+			Engines:          []string{searchads.Google, searchads.DuckDuckGo},
+			QueriesPerEngine: 8,
+			Parallel:         parallel,
+		}
+		batch, err := searchads.NewStudy(cfg).Analyze(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		acc := searchads.NewAccumulator(searchads.AnalysisOptions{})
+		for it, err := range searchads.NewStudy(cfg).Iterations(ctx) {
+			if err != nil {
+				t.Fatal(err)
+			}
+			acc.Add(it)
+		}
+		streamed := acc.Report()
+
+		if !bytes.Equal([]byte(batch.Render()), []byte(streamed.Render())) {
+			t.Fatalf("parallel=%v: streamed report render differs from batch", parallel)
+		}
+		j1, err := batch.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		j2, err := streamed.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(j1, j2) {
+			t.Fatalf("parallel=%v: streamed report JSON differs from batch", parallel)
+		}
+	}
+}
+
+// TestIterationsReplaysCachedDataset: after Crawl, the stream replays
+// the cached dataset (same pointers, dataset order) instead of
+// re-crawling.
+func TestIterationsReplaysCachedDataset(t *testing.T) {
+	ctx := context.Background()
+	study := searchads.NewStudy(searchads.Config{
+		Seed: 515, Engines: []string{searchads.Qwant}, QueriesPerEngine: 4,
+	})
+	ds, err := study.Crawl(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i := 0
+	for it, err := range study.Iterations(ctx) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		if it != ds.Iterations[i] {
+			t.Fatalf("replayed iteration %d is not the cached one", i)
+		}
+		i++
+	}
+	if i != len(ds.Iterations) {
+		t.Fatalf("replay yielded %d of %d iterations", i, len(ds.Iterations))
+	}
+}
+
+// TestNewDatasetPlusStreamMatchesCrawl: a dataset assembled by hand —
+// Study.NewDataset shell plus every streamed iteration — serializes
+// byte-identically to the one Crawl caches (the cmd/crawl path).
+func TestNewDatasetPlusStreamMatchesCrawl(t *testing.T) {
+	ctx := context.Background()
+	cfg := searchads.Config{Seed: 661, Engines: []string{searchads.Bing}, QueriesPerEngine: 3}
+
+	streamed := searchads.NewStudy(cfg)
+	ds := streamed.NewDataset()
+	for it, err := range streamed.Iterations(ctx) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		ds.Iterations = append(ds.Iterations, it)
+	}
+	crawled, err := searchads.NewStudy(cfg).Crawl(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1 := filepath.Join(t.TempDir(), "streamed.json")
+	p2 := filepath.Join(t.TempDir(), "crawled.json")
+	if err := ds.Save(p1); err != nil {
+		t.Fatal(err)
+	}
+	if err := crawled.Save(p2); err != nil {
+		t.Fatal(err)
+	}
+	b1, err := os.ReadFile(p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := os.ReadFile(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("hand-assembled streamed dataset differs from Crawl's")
+	}
+}
+
+// TestStudyCancelFirstN: canceling a study's stream after n iterations
+// yields exactly the first n deterministic iterations, the terminal
+// error matches both ErrCanceled and context.Canceled, and the study
+// recovers — the next Crawl rebuilds the world and produces the exact
+// fresh-study dataset.
+func TestStudyCancelFirstN(t *testing.T) {
+	cfg := searchads.Config{
+		Seed: 3030, Engines: []string{searchads.Bing, searchads.StartPage}, QueriesPerEngine: 5,
+	}
+	full, err := searchads.NewStudy(cfg).Crawl(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const n = 6
+	study := searchads.NewStudy(cfg)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var got []*searchads.Iteration
+	var streamErr error
+	for it, err := range study.Iterations(ctx) {
+		if err != nil {
+			streamErr = err
+			break
+		}
+		got = append(got, it)
+		if len(got) == n {
+			cancel()
+		}
+	}
+	if streamErr == nil || !errors.Is(streamErr, searchads.ErrCanceled) || !errors.Is(streamErr, context.Canceled) {
+		t.Fatalf("stream ended with %v, want ErrCanceled wrapping context.Canceled", streamErr)
+	}
+	if len(got) != n {
+		t.Fatalf("canceled stream yielded %d iterations, want %d", len(got), n)
+	}
+	for i := range got {
+		if got[i].Instance != full.Iterations[i].Instance || got[i].FinalURL != full.Iterations[i].FinalURL {
+			t.Fatalf("canceled stream diverges from the deterministic crawl at %d", i)
+		}
+	}
+
+	// The partially-consumed world is rebuilt: a later Crawl on the
+	// same study is byte-identical to a fresh one.
+	ds, err := study.Crawl(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Iterations) != len(full.Iterations) {
+		t.Fatalf("recovered crawl has %d iterations, want %d", len(ds.Iterations), len(full.Iterations))
+	}
+	for i := range ds.Iterations {
+		if ds.Iterations[i].FinalURL != full.Iterations[i].FinalURL {
+			t.Fatalf("recovered crawl diverges from a fresh study at %d", i)
+		}
+	}
+}
+
+// TestCrawlCancelNoLeak: Study.Crawl under a canceled context returns
+// promptly with ErrCanceled, caches nothing, and leaks no goroutines.
+func TestCrawlCancelNoLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	study := searchads.NewStudy(searchads.Config{
+		Seed: 88, QueriesPerEngine: 10, Parallel: true,
+	})
+	if ds, err := study.Crawl(ctx); ds != nil || !errors.Is(err, searchads.ErrCanceled) {
+		t.Fatalf("Crawl under canceled ctx = (%v, %v)", ds, err)
+	}
+	// A fresh context must succeed afterwards.
+	ds, err := study.Crawl(context.Background())
+	if err != nil || len(ds.Iterations) != 50 {
+		t.Fatalf("recovery crawl = (%d iterations, %v)", len(ds.Iterations), err)
+	}
+	leakFree := false
+	for i := 0; i < 50; i++ {
+		if runtime.NumGoroutine() <= before {
+			leakFree = true
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !leakFree {
+		t.Fatalf("goroutines %d > baseline %d after canceled Crawl", runtime.NumGoroutine(), before)
+	}
+}
+
+// TestAnalyzeWithDifferentOptionsErrors: the second AnalyzeWith with
+// different options must fail typed (ErrReportCached), not silently
+// return a report computed with the first call's options.
+func TestAnalyzeWithDifferentOptionsErrors(t *testing.T) {
+	ctx := context.Background()
+	study := searchads.NewStudy(searchads.Config{
+		Seed: 92, Engines: []string{searchads.Google}, QueriesPerEngine: 3,
+	})
+	if _, err := study.Analyze(ctx); err != nil {
+		t.Fatal(err)
+	}
+	_, err := study.AnalyzeWith(ctx, searchads.AnalysisOptions{Filter: searchads.DefaultFilterEngine()})
+	if !errors.Is(err, searchads.ErrReportCached) {
+		t.Fatalf("AnalyzeWith(different options) = %v, want ErrReportCached", err)
+	}
+	// Same options still hit the cache.
+	r1, err := study.Analyze(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2, err := study.AnalyzeWith(ctx, searchads.AnalysisOptions{}); err != nil || r2 != r1 {
+		t.Fatalf("AnalyzeWith(same options) = (%p, %v), want cached %p", r2, err, r1)
+	}
+}
+
+// TestSentinelErrors: unknown engines surface through errors.Is at
+// every entry point.
+func TestSentinelErrors(t *testing.T) {
+	ctx := context.Background()
+	cfg := searchads.Config{Seed: 5, Engines: []string{"gogle"}, QueriesPerEngine: 2}
+	if _, err := searchads.NewStudy(cfg).Crawl(ctx); !errors.Is(err, searchads.ErrUnknownEngine) {
+		t.Fatalf("Crawl = %v, want ErrUnknownEngine", err)
+	}
+	if _, err := searchads.NewStudy(cfg).Analyze(ctx); !errors.Is(err, searchads.ErrUnknownEngine) {
+		t.Fatalf("Analyze = %v, want ErrUnknownEngine", err)
+	}
+	var streamErr error
+	for _, err := range searchads.NewStudy(cfg).Iterations(ctx) {
+		if err != nil {
+			streamErr = err
+			break
+		}
+	}
+	if !errors.Is(streamErr, searchads.ErrUnknownEngine) {
+		t.Fatalf("Iterations = %v, want ErrUnknownEngine", streamErr)
+	}
+	m := searchads.SweepMatrix{EngineSets: [][]string{{"gogle"}}, QueriesPerEngine: 2}
+	if _, err := searchads.Sweep(ctx, m, searchads.SweepOptions{}); !errors.Is(err, searchads.ErrUnknownEngine) {
+		t.Fatalf("Sweep = %v, want ErrUnknownEngine through the joined cell errors", err)
+	}
+}
+
+// TestSweepCanceledWrapsErrCanceled: the facade tags a canceled sweep
+// with ErrCanceled on top of context.Canceled.
+func TestSweepCanceledWrapsErrCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	m := searchads.SweepMatrix{Seeds: []int64{1, 2}, EngineSets: [][]string{{"bing"}}, QueriesPerEngine: 2}
+	_, err := searchads.Sweep(ctx, m, searchads.SweepOptions{Parallel: 1})
+	if !errors.Is(err, searchads.ErrCanceled) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled Sweep = %v, want ErrCanceled wrapping context.Canceled", err)
+	}
+}

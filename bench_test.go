@@ -664,6 +664,34 @@ func BenchmarkAccumulator(b *testing.B) {
 	}
 }
 
+// BenchmarkAccumulatorMerge measures the sharded analysis fold: the
+// bench dataset partitioned into contiguous shards folded on their own
+// goroutines and combined with Accumulator.Merge — the path Parallel
+// studies and sweep cells with AnalysisShards take. shards=1 is the
+// sequential fold (merge-free reference); higher shard counts show the
+// multi-core scaling headroom (flat on a single-core container, where
+// the numbers bound the sharding overhead instead). Reports are
+// byte-identical across shard counts by construction (test-asserted),
+// so this measures pure scheduling + merge cost. CI emits ns/op and
+// allocs/op into BENCH_accumulator_merge.json.
+func BenchmarkAccumulatorMerge(b *testing.B) {
+	ds, _ := benchSetup(b)
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				r, err := searchads.AnalyzeDatasetSharded(context.Background(), ds, shards)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if r.Funnel.TotalTokens == 0 {
+					b.Fatal("empty funnel")
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkWorldBuild measures world construction alone (all engines,
 // pools, trackers, redirectors).
 func BenchmarkWorldBuild(b *testing.B) {

@@ -5,7 +5,9 @@
 //
 //	report -in dataset.json            # analyse a saved dataset
 //	report -seed 1 -queries 100        # run a fresh study end to end
+//	report -in dataset.json -shards 8  # sharded fold across 8 cores
 //	report -in dataset.json -experiments > EXPERIMENTS.md
+//	report -seed 1 -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
 import (
@@ -20,30 +22,52 @@ import (
 
 	"searchads"
 	"searchads/internal/analysis"
+	"searchads/internal/profiling"
+)
+
+var (
+	in          = flag.String("in", "", "dataset JSON to analyse (empty = run a fresh study)")
+	seed        = flag.Int64("seed", 20221001, "world seed for a fresh study")
+	queries     = flag.Int("queries", 500, "queries per engine for a fresh study")
+	engines     = flag.String("engines", "", "comma-separated engines for a fresh study")
+	shards      = flag.Int("shards", 0, "analysis shards for -in datasets (0/1 = sequential fold; reports are byte-identical either way)")
+	experiments = flag.Bool("experiments", false, "emit EXPERIMENTS.md (paper vs measured) instead of the report")
+	asJSON      = flag.Bool("json", false, "emit the report as JSON")
+	cpuprofile  = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	memprofile  = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 )
 
 func main() {
-	var (
-		in          = flag.String("in", "", "dataset JSON to analyse (empty = run a fresh study)")
-		seed        = flag.Int64("seed", 20221001, "world seed for a fresh study")
-		queries     = flag.Int("queries", 500, "queries per engine for a fresh study")
-		engines     = flag.String("engines", "", "comma-separated engines for a fresh study")
-		experiments = flag.Bool("experiments", false, "emit EXPERIMENTS.md (paper vs measured) instead of the report")
-		asJSON      = flag.Bool("json", false, "emit the report as JSON")
-	)
 	flag.Parse()
+	os.Exit(run())
+}
+
+func run() int {
+	stopProfiles, err := profiling.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "report:", err)
+		return 1
+	}
+	defer stopProfiles()
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
 
 	var report *searchads.Report
 	if *in != "" {
 		ds, err := searchads.LoadDataset(*in)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "report:", err)
-			os.Exit(1)
+			return 1
 		}
-		report = searchads.AnalyzeDataset(ds)
+		if report, err = searchads.AnalyzeDatasetSharded(ctx, ds, *shards); err != nil {
+			fmt.Fprintln(os.Stderr, "report:", err)
+			if errors.Is(err, searchads.ErrCanceled) {
+				return 130
+			}
+			return 1
+		}
 	} else {
-		ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
-		defer stop()
 		cfg := searchads.Config{Seed: *seed, QueriesPerEngine: *queries}
 		if *engines != "" {
 			cfg.Engines = strings.Split(*engines, ",")
@@ -55,25 +79,26 @@ func main() {
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "report:", err)
 			if errors.Is(err, searchads.ErrCanceled) {
-				os.Exit(130)
+				return 130
 			}
-			os.Exit(1)
+			return 1
 		}
 	}
 
 	if *experiments {
 		fmt.Print(analysis.RenderExperiments(report.Compare()))
-		return
+		return 0
 	}
 	if *asJSON {
 		data, err := report.JSON()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "report:", err)
-			os.Exit(1)
+			return 1
 		}
 		os.Stdout.Write(data)
 		fmt.Println()
-		return
+		return 0
 	}
 	fmt.Print(report.Render())
+	return 0
 }

@@ -3,13 +3,16 @@
 // (mean, stddev, min/max, 95% CI per engine). Each cell's crawl is
 // folded one iteration at a time through the incremental analysis, so
 // memory stays O(-parallel) iterations however many cells the matrix
-// expands to — no cell ever holds a dataset.
+// expands to — no cell ever holds a dataset. With -analysis-shards the
+// per-cell fold itself is sharded and merged (byte-identical reports),
+// for machines with more cores than cells.
 //
 // Usage:
 //
 //	sweep -preset paper-baseline -seeds 10
 //	sweep -matrix 'storage=flat,partitioned;filter=on,off' -seeds 5 -queries 80
 //	sweep -preset adblock-user -seeds 10 -parallel 4 -out sweep.json
+//	sweep -preset paper-baseline -cpuprofile cpu.pprof -memprofile mem.pprof
 //
 // The machine-readable JSON goes to stdout (or -out); the human table
 // and progress go to stderr. The exit status is non-zero if any cell
@@ -29,32 +32,47 @@ import (
 	"syscall"
 
 	"searchads"
+	"searchads/internal/profiling"
+)
+
+var (
+	preset     = flag.String("preset", "", "named scenario matrix (paper-baseline, adblock-user, cookieless-web, storage-ablation, stealth-ablation)")
+	matrix     = flag.String("matrix", "", "matrix grammar, e.g. 'storage=flat,partitioned;filter=on,off;engines=bing+google,all'")
+	seeds      = flag.Int("seeds", 0, "number of seeds to sweep (seeds seed-base..seed-base+N-1; 0 = the matrix's own seeds, default 1)")
+	seedBase   = flag.Int64("seed-base", 1, "first seed when -seeds is set")
+	queries    = flag.Int("queries", 50, "queries per engine per cell (yields to the matrix's queries= key unless given explicitly)")
+	parallel   = flag.Int("parallel", 0, "cells in flight at once (0 = GOMAXPROCS); also the peak dataset-retention bound")
+	shards     = flag.Int("analysis-shards", 0, "per-cell analysis shards (0/1 = sequential fold; cell reports are byte-identical either way)")
+	out        = flag.String("out", "", "write the JSON result to this file (default: stdout)")
+	quiet      = flag.Bool("quiet", false, "suppress the progress and table output on stderr")
+	cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	memprofile = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 )
 
 func main() {
-	var (
-		preset   = flag.String("preset", "", "named scenario matrix (paper-baseline, adblock-user, cookieless-web, storage-ablation, stealth-ablation)")
-		matrix   = flag.String("matrix", "", "matrix grammar, e.g. 'storage=flat,partitioned;filter=on,off;engines=bing+google,all'")
-		seeds    = flag.Int("seeds", 0, "number of seeds to sweep (seeds seed-base..seed-base+N-1; 0 = the matrix's own seeds, default 1)")
-		seedBase = flag.Int64("seed-base", 1, "first seed when -seeds is set")
-		queries  = flag.Int("queries", 50, "queries per engine per cell (yields to the matrix's queries= key unless given explicitly)")
-		parallel = flag.Int("parallel", 0, "cells in flight at once (0 = GOMAXPROCS); also the peak dataset-retention bound")
-		out      = flag.String("out", "", "write the JSON result to this file (default: stdout)")
-		quiet    = flag.Bool("quiet", false, "suppress the progress and table output on stderr")
-	)
 	flag.Parse()
+	os.Exit(run())
+}
+
+func run() int {
+	stopProfiles, err := profiling.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		return 1
+	}
+	defer stopProfiles()
 
 	m := searchads.SweepMatrix{}
 	if *preset != "" {
 		var err error
 		if m, err = searchads.SweepPreset(*preset); err != nil {
-			fail(err)
+			return fail(err)
 		}
 	}
 	if *matrix != "" {
 		over, err := searchads.ParseSweepMatrix(*matrix)
 		if err != nil {
-			fail(err)
+			return fail(err)
 		}
 		m = m.Overlay(over)
 	}
@@ -76,7 +94,7 @@ func main() {
 		m.QueriesPerEngine = *queries
 	}
 
-	opts := searchads.SweepOptions{Parallel: *parallel}
+	opts := searchads.SweepOptions{Parallel: *parallel, AnalysisShards: *shards}
 	if !*quiet {
 		opts.OnCellDone = func(done, total int, c searchads.SweepCell, err error) {
 			status := "ok"
@@ -93,11 +111,11 @@ func main() {
 
 	data, err := res.JSON()
 	if err != nil {
-		fail(err)
+		return fail(err)
 	}
 	if *out != "" {
 		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
-			fail(err)
+			return fail(err)
 		}
 	} else {
 		os.Stdout.Write(data)
@@ -110,17 +128,18 @@ func main() {
 		if errors.Is(sweepErr, searchads.ErrCanceled) {
 			fmt.Fprintf(os.Stderr, "sweep: canceled with %d cell(s) unfinished; partial results above\n",
 				res.CellErrors)
-			os.Exit(130)
+			return 130
 		}
 		fmt.Fprintf(os.Stderr, "sweep: %d cell(s) failed:\n%s\n",
 			res.CellErrors, indent(sweepErr.Error()))
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
-func fail(err error) {
+func fail(err error) int {
 	fmt.Fprintln(os.Stderr, "sweep:", err)
-	os.Exit(1)
+	return 1
 }
 
 func indent(s string) string {

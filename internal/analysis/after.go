@@ -1,32 +1,11 @@
 package analysis
 
-import (
-	"net/url"
-	"strings"
-
-	"searchads/internal/crawler"
-	"searchads/internal/urlx"
-)
+import "strings"
 
 // knownClickIDParams are the click identifiers Table 6 reports by name.
 var knownClickIDParams = map[string]bool{
 	"msclkid": true,
 	"gclid":   true,
-}
-
-// finalURLParams returns the destination URL's query parameters.
-func finalURLParams(raw string) map[string]string {
-	out := map[string]string{}
-	u, err := url.Parse(raw)
-	if err != nil {
-		return out
-	}
-	for k, vs := range u.Query() {
-		if len(vs) > 0 {
-			out[k] = vs[0]
-		}
-	}
-	return out
 }
 
 // isAdTrackingParam recognises the affiliate/attribution parameter
@@ -37,28 +16,6 @@ func isAdTrackingParam(key string) bool {
 	switch strings.ToLower(key) {
 	case "irclickid", "ransiteid", "wbraid", "dclid", "ef_id", "s_kwcid", "awc", "vmcid":
 		return true
-	}
-	return false
-}
-
-// persistedOnSite reports whether value appears in the destination
-// site's first-party cookies or localStorage ("We cross-reference values
-// obtained from destination pages' first-party storage ... with the
-// query parameters these pages receive", §4.3.2).
-func persistedOnSite(it *crawler.Iteration, destSite, value string) bool {
-	if value == "" {
-		return false
-	}
-	for _, c := range it.Cookies {
-		if urlx.RegistrableDomain(c.Domain) == destSite && c.Value == value {
-			return true
-		}
-	}
-	for _, s := range it.LocalStorage {
-		if u, err := url.Parse(s.Origin); err == nil &&
-			urlx.RegistrableDomain(u.Host) == destSite && s.Value == value {
-			return true
-		}
 	}
 	return false
 }

@@ -1,6 +1,10 @@
 package analysis
 
 import (
+	"context"
+	"errors"
+	"sync"
+
 	"searchads/internal/crawler"
 	"searchads/internal/entities"
 	"searchads/internal/filterlist"
@@ -133,6 +137,28 @@ type Options struct {
 	Entities *entities.List
 }
 
+// withDefaults fills nil dependencies with the memoised embedded
+// defaults. Because the defaults are process-wide singletons, any two
+// zero-value Options normalise to identical pointers — which is what
+// lets independently created default accumulators Merge.
+func (o Options) withDefaults() Options {
+	if o.Filter == nil {
+		o.Filter = filterlist.DefaultEngine()
+	}
+	if o.Entities == nil {
+		o.Entities = entities.Default()
+	}
+	return o
+}
+
+// ErrOptionsMismatch reports an Accumulator.Merge whose two sides were
+// built with different Options. Options compare by identity (the Filter
+// and Entities pointers), like the facade's ErrReportCached: build all
+// shard accumulators from one Options value (zero-value Options share
+// the embedded defaults) rather than constructing fresh engines per
+// shard.
+var ErrOptionsMismatch = errors.New("analysis: cannot merge accumulators built with different options")
+
 // Analyze runs the full §4 pipeline over a dataset.
 func Analyze(ds *crawler.Dataset) *Report { return AnalyzeWith(ds, Options{}) }
 
@@ -146,6 +172,55 @@ func AnalyzeWith(ds *crawler.Dataset, opts Options) *Report {
 		acc.Add(it)
 	}
 	return acc.Report()
+}
+
+// AnalyzeSharded is AnalyzeWith with the fold partitioned into
+// contiguous shards executed on their own goroutines and merged — the
+// multi-core form of the analysis. The report is byte-identical to
+// AnalyzeWith for every shard count (rendered and JSON forms alike):
+// Accumulator.Merge reconstructs the sequential fold's state exactly.
+// Cancelling ctx stops every shard within one iteration and returns
+// ctx's error (matching the per-iteration cancellation granularity of
+// the streaming fold).
+func AnalyzeSharded(ctx context.Context, ds *crawler.Dataset, opts Options, shards int) (*Report, error) {
+	n := len(ds.Iterations)
+	if shards > n {
+		shards = n
+	}
+	if shards <= 1 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return AnalyzeWith(ds, opts), nil
+	}
+	opts = opts.withDefaults()
+	accs := make([]*Accumulator, shards)
+	var wg sync.WaitGroup
+	for k := 0; k < shards; k++ {
+		start := k * n / shards
+		end := (k + 1) * n / shards
+		accs[k] = NewAccumulator(opts)
+		wg.Add(1)
+		go func(acc *Accumulator, start, end int) {
+			defer wg.Done()
+			for i := start; i < end; i++ {
+				if ctx.Err() != nil {
+					return
+				}
+				acc.AddAt(ds.Iterations[i], i)
+			}
+		}(accs[k], start, end)
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	for k := 1; k < shards; k++ {
+		if err := accs[0].Merge(accs[k]); err != nil {
+			return nil, err
+		}
+	}
+	return accs[0].Report(), nil
 }
 
 // IsUserID exposes the classifier verdict for a value.

@@ -1,12 +1,10 @@
 package analysis
 
 import (
-	"net/url"
-	"sort"
-
 	"searchads/internal/adtech"
 	"searchads/internal/crawler"
 	"searchads/internal/tokens"
+	"searchads/internal/urlx"
 )
 
 // Observations flattens a dataset into the token observations the §3.2
@@ -73,7 +71,8 @@ func iterationObservations(it *crawler.Iteration) []tokens.Observation {
 
 // collectURLParams extracts (key, value, host) triples from a URL's
 // query string, recursing into nested next-hop URLs so parameters at
-// every chain depth are observed.
+// every chain depth are observed. Pairs are emitted in query order; the
+// classifier is order-invariant over the sighting multiset.
 func collectURLParams(raw string) [][3]string {
 	var out [][3]string
 	seen := 0
@@ -83,24 +82,17 @@ func collectURLParams(raw string) [][3]string {
 		if raw == "" || seen > 12 {
 			return
 		}
-		u, err := url.Parse(raw)
-		if err != nil {
+		host, rawq, ok := splitHostQuery(raw)
+		if !ok {
 			return
 		}
-		q := u.Query()
-		keys := make([]string, 0, len(q))
-		for k := range q {
-			keys = append(keys, k)
-		}
-		sort.Strings(keys)
-		for _, k := range keys {
-			for _, v := range q[k] {
-				out = append(out, [3]string{k, v, u.Host})
-				if k == adtech.NextParam {
-					walk(v)
-				}
+		urlx.QueryPairs(rawq, func(k, v string) bool {
+			out = append(out, [3]string{k, v, host})
+			if k == adtech.NextParam {
+				walk(v)
 			}
-		}
+			return true
+		})
 	}
 	walk(raw)
 	return out

@@ -1,6 +1,23 @@
 // Package analysis implements §4 of the paper over a crawl dataset: the
 // before/during/after-click privacy measurements and the renderers that
 // regenerate every table and figure of the evaluation.
+//
+// The engine is the Accumulator, an incremental fold over the crawl's
+// iteration stream built on a parse-once / intern-once discipline:
+// every URL is split into host, path, and query a single time per
+// sighting (urlx.SplitURL + urlx.QueryPairs, with url.Parse only as the
+// fallback for unusual shapes), every distinct string is assigned a
+// dense uint32 id in an interning table shared with the §3.2 token
+// classifier, and all retained aggregate state — distinct sets,
+// counters, grouped candidate multisets — is keyed by those ids. The
+// per-value classifier heuristics are memoised by id, so each distinct
+// token is classified once across the whole fold.
+//
+// Accumulators compose: Merge combines shard accumulators into the
+// exact state of a sequential fold (AddAt tags iterations with their
+// stream position so first-seen engine order survives any partition),
+// which is what AnalyzeSharded, Parallel studies, and sweep cells use
+// to scale the analysis across cores with byte-identical reports.
 package analysis
 
 import (
@@ -30,6 +47,36 @@ func displayHost(host string) string {
 	return strings.TrimPrefix(strings.ToLower(urlx.Hostname(host)), "www.")
 }
 
+// hopBase anchors relative hop URLs, hoisted out of the per-hop loop.
+var hopBase = urlx.MustParse("https://x.example/")
+
+// resolveHopHost extracts a navigation hop's host: the allocation-free
+// split for the common absolute shape, link resolution against hopBase
+// otherwise.
+func resolveHopHost(raw string) (string, bool) {
+	if host, _, _, ok := urlx.SplitURL(raw); ok {
+		return host, true
+	}
+	u, err := urlx.Resolve(hopBase, raw)
+	if err != nil {
+		return "", false
+	}
+	return u.Host, true
+}
+
+// add appends one hop host to the path, collapsing same-site runs.
+func (p *Path) add(host string) {
+	site := urlx.RegistrableDomain(host)
+	if site == "" {
+		return
+	}
+	if len(p.Sites) > 0 && p.Sites[len(p.Sites)-1] == site {
+		return // collapse same-site runs
+	}
+	p.Sites = append(p.Sites, site)
+	p.Hosts = append(p.Hosts, displayHost(host))
+}
+
 // PathOf reconstructs the navigation path of one iteration. The engine's
 // SERP is the origin; every 30x hop (validated via its Location header,
 // as §3.2 prescribes) contributes a site; the final hop is the
@@ -41,24 +88,13 @@ func PathOf(it *crawler.Iteration) Path {
 		origin = urlx.RegistrableDomain(it.EngineHost)
 	}
 	p.OriginSite = origin
-	add := func(host string) {
-		site := urlx.RegistrableDomain(host)
-		if site == "" {
-			return
-		}
-		if len(p.Sites) > 0 && p.Sites[len(p.Sites)-1] == site {
-			return // collapse same-site runs
-		}
-		p.Sites = append(p.Sites, site)
-		p.Hosts = append(p.Hosts, displayHost(host))
-	}
-	add(origin)
+	p.add(origin)
 	for _, h := range it.Hops {
-		u, err := urlx.Resolve(urlx.MustParse("https://x.example/"), h.URL)
-		if err != nil {
+		host, ok := resolveHopHost(h.URL)
+		if !ok {
 			continue
 		}
-		add(u.Host)
+		p.add(host)
 	}
 	return p
 }

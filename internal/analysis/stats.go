@@ -40,11 +40,12 @@ func NewCDF(counts []int) CDF {
 	return cdf
 }
 
-// cdfFromHist builds the CDF of a count histogram (value → occurrences,
-// n = total observations). It reproduces NewCDF bit for bit: the per-bin
-// mass is an exact integer in float64 either way, and the cumulative sum
-// runs in the same index order.
-func cdfFromHist(hist map[int]int, n int) CDF {
+// cdfFromSlice builds the CDF of a dense histogram slice (index =
+// value, entry = occurrences, n = total observations); bit-identical to
+// NewCDF over the expanded multiset: the per-bin mass is an exact
+// integer in float64 either way, and the cumulative sum runs in the
+// same index order.
+func cdfFromSlice(hist []int, n int) CDF {
 	if n == 0 {
 		return CDF{}
 	}
@@ -56,10 +57,9 @@ func cdfFromHist(hist map[int]int, n int) CDF {
 	}
 	cdf := CDF{P: make([]float64, maxV+1), N: n}
 	for v, c := range hist {
-		if v < 0 {
-			v = 0
+		if c > 0 {
+			cdf.P[v] += float64(c)
 		}
-		cdf.P[v] += float64(c)
 	}
 	cum := 0.0
 	for k := range cdf.P {
@@ -67,6 +67,32 @@ func cdfFromHist(hist map[int]int, n int) CDF {
 		cdf.P[k] = cum / float64(n)
 	}
 	return cdf
+}
+
+// medianFromSlice is medianFromHist over a dense histogram slice,
+// identical to Median over the expanded multiset.
+func medianFromSlice(hist []int, n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	at := func(i int) float64 {
+		seen, last := 0, 0
+		for v, c := range hist {
+			if c == 0 {
+				continue
+			}
+			last = v
+			seen += c
+			if i < seen {
+				return float64(v)
+			}
+		}
+		return float64(last)
+	}
+	if n%2 == 1 {
+		return at(n / 2)
+	}
+	return (at(n/2-1) + at(n/2)) / 2
 }
 
 // medianFromHist returns the median of a count histogram (value →

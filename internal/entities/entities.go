@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"searchads/internal/urlx"
 )
@@ -124,9 +125,22 @@ func ParseDisconnectJSON(data []byte) (*List, error) {
 	return l, nil
 }
 
+var (
+	defaultOnce sync.Once
+	defaultList *List
+)
+
 // Default returns the embedded entity list covering the simulated web.
-// The organisation inventory matches the paper's Tables 3 and 5.
+// The organisation inventory matches the paper's Tables 3 and 5. The
+// list is built once per process and shared — it is read-only after
+// construction, and default-configured analysis accumulators compare it
+// by identity when merging.
 func Default() *List {
+	defaultOnce.Do(func() { defaultList = buildDefault() })
+	return defaultList
+}
+
+func buildDefault() *List {
 	l := New()
 	l.Add("Google",
 		"google.com", "googleadservices.com", "doubleclick.net",

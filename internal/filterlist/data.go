@@ -3,6 +3,7 @@ package filterlist
 import (
 	"fmt"
 	"strings"
+	"sync"
 )
 
 // EasyListData is the embedded ad-blocking list: the simulated-web
@@ -80,13 +81,27 @@ const EasyPrivacyData = `[Adblock Plus 2.0]
 @@||google-analytics.com/analytics.js$script,domain=optout-demo.example
 `
 
-// DefaultEngine compiles the embedded lists into an engine, mirroring the
-// paper's combined EasyList+EasyPrivacy configuration.
+var (
+	defaultOnce   sync.Once
+	defaultEngine *Engine
+)
+
+// DefaultEngine returns the engine compiled from the embedded lists,
+// mirroring the paper's combined EasyList+EasyPrivacy configuration.
+// The engine is compiled once per process and shared: it is read-only
+// after its index builds, so every consumer — parallel crawls, sweep
+// cells, shard accumulators — may match against the same instance, and
+// default-configured analysis accumulators share it by identity (which
+// is what their Merge compatibility check compares). Callers that want
+// a private engine to AddList onto must build one with NewEngine.
 func DefaultEngine() *Engine {
-	e := NewEngine()
-	e.AddList("easylist", EasyListData)
-	e.AddList("easyprivacy", EasyPrivacyData)
-	return e
+	defaultOnce.Do(func() {
+		e := NewEngine()
+		e.AddList("easylist", EasyListData)
+		e.AddList("easyprivacy", EasyPrivacyData)
+		defaultEngine = e
+	})
+	return defaultEngine
 }
 
 // GenerateSyntheticList produces a large list of n domain-anchored rules

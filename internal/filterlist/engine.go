@@ -204,10 +204,18 @@ type Verdict struct {
 // across the batch. It is the API the crawler and the analysis pipeline
 // use on recorded request streams, and is safe to call concurrently.
 func (e *Engine) MatchBatch(reqs []RequestInfo) []Verdict {
+	return e.MatchBatchInto(reqs, make([]Verdict, 0, len(reqs)))
+}
+
+// MatchBatchInto is MatchBatch appending into a caller-provided verdict
+// buffer (typically out[:0] of the previous call), for folds that match
+// stage after stage and must not allocate a verdict slice per stage. It
+// returns the appended buffer.
+func (e *Engine) MatchBatchInto(reqs []RequestInfo, out []Verdict) []Verdict {
 	e.ensureBuilt()
-	out := make([]Verdict, len(reqs))
 	for i := range reqs {
-		out[i].Rule, out[i].Blocked = e.matchBuilt(&reqs[i])
+		rule, blocked := e.matchBuilt(&reqs[i])
+		out = append(out, Verdict{Rule: rule, Blocked: blocked})
 	}
 	return out
 }

@@ -1,5 +1,7 @@
 package filterlist
 
+import "sort"
+
 // Token index, the core trick of production Adblock engines (adblock-rs,
 // uBlock Origin): instead of evaluating every rule against every
 // request, each rule is bucketed under the 64-bit hash of one literal
@@ -187,11 +189,66 @@ func buildIndex(rules []*Rule) *index {
 		h := hashes[i][best]
 		idx.buckets[h] = append(idx.buckets[h], r)
 	}
+	for _, bucket := range idx.buckets {
+		sortBucket(bucket)
+	}
+	for _, bucket := range idx.hostBuckets {
+		sortBucket(bucket)
+	}
+	sortBucket(idx.tokenless)
+	sortBucket(idx.hostAll)
 	idx.sizeBloom(len(idx.buckets))
 	for h := range idx.buckets {
 		idx.bloomAdd(h)
 	}
 	return idx
+}
+
+// sortBucket orders a bucket's rules cheapest-reject first: when a
+// token hit puts several candidate rules in play, the ones whose
+// mismatch is detected with the least work (option bitmask tests,
+// tightly anchored patterns, few wildcard hops) are evaluated before
+// the ones that scan many URL offsets — so a request that does match
+// tends to confirm on a cheap rule and skip the expensive tail, and a
+// request that doesn't pays the expensive evaluations last (or, with
+// short-circuiting impossible, at least no more often than before).
+// The sort is stable over list insertion order, keeping the index
+// deterministic; verdicts are order-independent, though which specific
+// rule Match reports for multi-rule buckets may change.
+func sortBucket(rules []*Rule) {
+	if len(rules) < 2 {
+		return
+	}
+	sort.SliceStable(rules, func(i, j int) bool {
+		return ruleCost(rules[i]) < ruleCost(rules[j])
+	})
+}
+
+// ruleCost estimates the work of evaluating the rule against a
+// non-matching request, the common case for every candidate scan.
+func ruleCost(r *Rule) int {
+	cost := 0
+	switch r.pat.anchor {
+	case anchorStart:
+		cost += 1 // single candidate offset
+	case anchorDomain:
+		cost += 4 // one offset per host label
+	default:
+		cost += 16 // substring pattern: every URL offset
+	}
+	cost += 4 * (len(r.pat.segs) - 1) // wildcard hops backtrack
+	for _, seg := range r.pat.segs {
+		cost += len(seg) / 8
+	}
+	// Option predicates reject before any pattern byte is touched.
+	if r.typed {
+		cost -= 2
+	}
+	if r.party != partyAny {
+		cost -= 2
+	}
+	cost += len(r.includeDomains) + len(r.excludeDomains)
+	return cost
 }
 
 // find slides over the URL's tokens and evaluates only the rules in the

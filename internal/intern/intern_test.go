@@ -1,0 +1,53 @@
+package intern
+
+import "testing"
+
+func TestTable(t *testing.T) {
+	tab := New()
+	a := tab.ID("alpha")
+	b := tab.ID("beta")
+	if a == b {
+		t.Fatalf("distinct strings share id %d", a)
+	}
+	if got := tab.ID("alpha"); got != a {
+		t.Fatalf("re-intern changed id: %d vs %d", got, a)
+	}
+	if tab.Str(a) != "alpha" || tab.Str(b) != "beta" {
+		t.Fatalf("round-trip broken: %q %q", tab.Str(a), tab.Str(b))
+	}
+	if tab.Len() != 2 {
+		t.Fatalf("len = %d, want 2", tab.Len())
+	}
+	if got := tab.Lookup("gamma"); got != None {
+		t.Fatalf("Lookup(unknown) = %d, want None", got)
+	}
+	if got := tab.Lookup("beta"); got != b {
+		t.Fatalf("Lookup(beta) = %d, want %d", got, b)
+	}
+}
+
+func TestIDBytes(t *testing.T) {
+	tab := New()
+	id := tab.IDBytes([]byte("key\x00parts"))
+	if got := tab.ID("key\x00parts"); got != id {
+		t.Fatalf("IDBytes and ID disagree: %d vs %d", got, id)
+	}
+	buf := []byte("mutable")
+	id2 := tab.IDBytes(buf)
+	buf[0] = 'X' // the table must have copied, not aliased
+	if tab.Str(id2) != "mutable" {
+		t.Fatalf("table aliased caller scratch: %q", tab.Str(id2))
+	}
+	if got := tab.IDBytes([]byte("mutable")); got != id2 {
+		t.Fatalf("IDBytes lookup after mutation = %d, want %d", got, id2)
+	}
+}
+
+func TestIDsAreDense(t *testing.T) {
+	tab := New()
+	for i, s := range []string{"a", "b", "c", "d"} {
+		if id := tab.ID(s); id != uint32(i) {
+			t.Fatalf("id for %q = %d, want %d", s, id, i)
+		}
+	}
+}

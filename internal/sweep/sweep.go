@@ -18,9 +18,18 @@ import (
 type Options struct {
 	// Parallel bounds the number of cells in flight at once
 	// (0 = GOMAXPROCS). Each in-flight cell holds at most one crawl
-	// iteration at a time, so this is also the peak
-	// iteration-retention bound.
+	// iteration at a time (2·AnalysisShards+1 when intra-cell sharding
+	// is on), so this also bounds peak iteration retention.
 	Parallel int
+	// AnalysisShards, when > 1, splits each cell's analysis fold across
+	// that many shard accumulators fed round-robin from the crawl
+	// stream and merged before the report (analysis.Accumulator.Merge).
+	// Cell reports are byte-identical to the sequential fold. Useful
+	// when the machine has more cores than the matrix has cells; with
+	// it, a cell may retain up to 2·AnalysisShards+1 iterations at once
+	// (one buffered per shard channel, one folding per shard, one in
+	// the consumer's hand).
+	AnalysisShards int
 	// Filter is the filter engine shared by every cell — crawl-time
 	// annotation for FilterAnnotate cells and the analysis side of all
 	// cells (nil = the embedded EasyList+EasyPrivacy default). The
@@ -236,8 +245,8 @@ func (r *runner) crawlAndAnalyze(ctx context.Context, c Cell, cr *CellResult) (*
 	if c.FilterAnnotate {
 		crawlFilter = r.filter
 	}
-	acc := analysis.NewAccumulator(analysis.Options{Filter: r.filter, Entities: r.ents})
-	for it, err := range crawler.New(crawler.Config{
+	opts := analysis.Options{Filter: r.filter, Entities: r.ents}
+	stream := crawler.New(crawler.Config{
 		World:       world,
 		Engines:     c.Engines,
 		Iterations:  c.Iterations,
@@ -245,8 +254,33 @@ func (r *runner) crawlAndAnalyze(ctx context.Context, c Cell, cr *CellResult) (*
 		NoStealth:   c.NoStealth,
 		SkipRevisit: c.SkipRevisit,
 		Filter:      crawlFilter,
-	}).Iterations(ctx) {
+	}).Iterations(ctx)
+
+	shards := r.opts.AnalysisShards
+	if shards <= 1 {
+		acc := analysis.NewAccumulator(opts)
+		for it, err := range stream {
+			if err != nil {
+				return nil, err
+			}
+			r.trackIteration(+1)
+			cr.Iterations++
+			if it.Error != "" {
+				cr.IterationErrors++
+			}
+			acc.Add(it)
+			r.trackIteration(-1)
+		}
+		return r.finishCell(c, acc.Report())
+	}
+
+	// Sharded cell fold: iterations stream round-robin into per-shard
+	// accumulators (tagged with their stream position), which merge into
+	// the exact sequential fold once the crawl drains.
+	sharder := analysis.NewStreamSharder(opts, shards, func() { r.trackIteration(-1) })
+	for it, err := range stream {
 		if err != nil {
+			sharder.Abort()
 			return nil, err
 		}
 		r.trackIteration(+1)
@@ -254,10 +288,17 @@ func (r *runner) crawlAndAnalyze(ctx context.Context, c Cell, cr *CellResult) (*
 		if it.Error != "" {
 			cr.IterationErrors++
 		}
-		acc.Add(it)
-		r.trackIteration(-1)
+		sharder.Add(it)
 	}
-	rep := acc.Report()
+	rep, err := sharder.Finish()
+	if err != nil {
+		return nil, err
+	}
+	return r.finishCell(c, rep)
+}
+
+// finishCell delivers the cell's report to the observer hook.
+func (r *runner) finishCell(c Cell, rep *analysis.Report) (*analysis.Report, error) {
 	if r.opts.OnReport != nil {
 		r.mu.Lock()
 		r.opts.OnReport(c, rep)

@@ -1,6 +1,10 @@
 package tokens
 
-import "sort"
+import (
+	"sort"
+
+	"searchads/internal/intern"
+)
 
 // Source says where a token was observed.
 type Source string
@@ -63,10 +67,19 @@ type Result struct {
 	ByReason map[Reason]int
 	// reasons maps each value to its (first) classification.
 	reasons map[string]Reason
+	// uidByID marks user-identifier verdicts by intern id in the
+	// accumulator's table — the allocation-free lookup id-keyed
+	// consumers (the analysis fold) use instead of string map probes.
+	uidByID bitset
 }
 
 // IsUserID reports whether value was classified as a user identifier.
 func (r *Result) IsUserID(value string) bool { return r.UserIDs[value] }
+
+// UserIDAt reports the verdict for an intern id issued by the table the
+// producing accumulator observed through (see Accumulator.Table). Ids
+// the table had not issued when Result was called are not user IDs.
+func (r *Result) UserIDAt(id uint32) bool { return r.uidByID.has(id) }
 
 // ReasonFor returns the classification of a value ("" if never seen).
 func (r *Result) ReasonFor(value string) Reason { return r.reasons[value] }
@@ -95,46 +108,74 @@ func (c *Classifier) Classify(obs []Observation) *Result {
 	return acc.Result()
 }
 
-// valueCtx tracks one token value's sightings (filter i).
-type valueCtx struct {
-	instances map[string]bool
+// valueState tracks one token value's sightings (filter i). Values are
+// overwhelmingly seen inside a single browser instance, so the state is
+// the first instance plus a became-cross-instance flag — not a set.
+type valueState struct {
+	firstInstance uint32
+	multi         bool
 }
 
-// adCtx groups filter-(ii) contexts: per (instance, key), the set of
-// values seen across different ad URLs of one results page.
-type adCtx struct {
-	byAdIndex map[int]string
-	distinct  map[string]bool
+// adState groups filter-(ii) contexts: per (instance, key), the
+// distinct ad indexes and distinct values seen across the ad URLs of
+// one results page. Both slices stay tiny (one SERP's ads), so linear
+// dedup beats a map.
+type adState struct {
+	adIdx []int32
+	vals  []uint32
 }
 
-// sessCtx groups filter-(iii) contexts: per (instance, key, host,
-// source), base-visit vs revisit values.
-type sessCtx struct {
-	base, revisit map[string]bool
+// sessKey identifies a filter-(iii) context: (instance, key, host,
+// source), all interned.
+type sessKey struct {
+	inst, key, host, src uint32
+}
+
+// sessState holds a session context's distinct base-visit and revisit
+// values.
+type sessState struct {
+	base, revisit []uint32
 }
 
 // Accumulator is the incremental form of the §3.2 pipeline: feed it
 // observations one sighting (or one crawl iteration) at a time via
-// Observe, then call Result to run the filters. Its state is the
-// classifier's grouping indexes — O(unique tokens), never the
+// Observe, then call Result to run the filters. Every string is
+// interned into a shared Table on first sight, so retained state is
+// flat integer-keyed structures — O(unique tokens), never the
 // observation stream itself — which is what lets streaming consumers
 // classify a crawl without retaining the dataset. Observation order
-// does not affect the Result.
+// does not affect the Result, and two accumulators over a partition of
+// the same stream Merge into the state of the unpartitioned fold.
 type Accumulator struct {
 	cfg      Classifier
-	values   map[string]*valueCtx
-	adKeys   map[[2]string]*adCtx
-	sessKeys map[[4]string]*sessCtx
+	tab      *intern.Table
+	values   map[uint32]valueState
+	adKeys   map[uint64]*adState
+	sessKeys map[sessKey]*sessState
+	// heur memoises the per-value heuristic verdict (filters iv + the
+	// manual pass), which depends on nothing but the value bytes: a
+	// stream whose Result is materialised repeatedly classifies each
+	// distinct value once, not once per Result.
+	heur map[uint32]Reason
 }
 
 // NewAccumulator returns an empty accumulator for this classifier's
-// configuration.
+// configuration, interning into its own table.
 func (c *Classifier) NewAccumulator() *Accumulator {
+	return c.NewAccumulatorTable(intern.New())
+}
+
+// NewAccumulatorTable returns an empty accumulator interning into tab —
+// the form used by callers (the §4 analysis fold) that key their own
+// aggregate state by the same ids and read verdicts via Result.UserIDAt.
+func (c *Classifier) NewAccumulatorTable(tab *intern.Table) *Accumulator {
 	return &Accumulator{
 		cfg:      *c,
-		values:   make(map[string]*valueCtx),
-		adKeys:   make(map[[2]string]*adCtx),
-		sessKeys: make(map[[4]string]*sessCtx),
+		tab:      tab,
+		values:   make(map[uint32]valueState),
+		adKeys:   make(map[uint64]*adState),
+		sessKeys: make(map[sessKey]*sessState),
+		heur:     make(map[uint32]Reason),
 	}
 }
 
@@ -142,75 +183,160 @@ func (c *Classifier) NewAccumulator() *Accumulator {
 // (manual pass enabled), the incremental counterpart of Classify.
 func NewAccumulator() *Accumulator { return (&Classifier{}).NewAccumulator() }
 
+// NewAccumulatorTable returns a default-pipeline accumulator interning
+// into tab.
+func NewAccumulatorTable(tab *intern.Table) *Accumulator {
+	return (&Classifier{}).NewAccumulatorTable(tab)
+}
+
+// Table exposes the accumulator's intern table so callers can pre-intern
+// strings and use ObserveIDs on the hot path.
+func (a *Accumulator) Table() *intern.Table { return a.tab }
+
 // Observe folds one sighting into the accumulator.
 func (a *Accumulator) Observe(o Observation) {
 	if o.Value == "" {
 		return
 	}
-	v := a.values[o.Value]
-	if v == nil {
-		v = &valueCtx{instances: make(map[string]bool)}
-		a.values[o.Value] = v
-	}
-	v.instances[o.Instance] = true
+	a.ObserveIDs(
+		a.tab.ID(o.Key), a.tab.ID(o.Value), a.tab.ID(o.Host),
+		a.tab.ID(o.Instance), a.tab.ID(string(o.Source)),
+		o.AdIndex, o.Revisit)
+}
 
-	if o.AdIndex >= 0 {
-		k := [2]string{o.Instance, o.Key}
+// ObserveIDs is Observe with every string already interned in Table().
+// The caller must not pass the id of the empty value (Observe's skip);
+// hot paths check for "" before interning anything.
+func (a *Accumulator) ObserveIDs(key, val, host, inst, src uint32, adIndex int, revisit bool) {
+	if v, ok := a.values[val]; !ok {
+		a.values[val] = valueState{firstInstance: inst}
+	} else if !v.multi && v.firstInstance != inst {
+		v.multi = true
+		a.values[val] = v
+	}
+
+	if adIndex >= 0 {
+		k := uint64(inst)<<32 | uint64(key)
 		ad := a.adKeys[k]
 		if ad == nil {
-			ad = &adCtx{byAdIndex: make(map[int]string), distinct: make(map[string]bool)}
+			ad = &adState{}
 			a.adKeys[k] = ad
 		}
-		ad.byAdIndex[o.AdIndex] = o.Value
-		ad.distinct[o.Value] = true
+		ad.adIdx = appendDistinct32(ad.adIdx, int32(adIndex))
+		ad.vals = appendDistinct(ad.vals, val)
 	}
 
-	sk := [4]string{o.Instance, o.Key, o.Host, string(o.Source)}
+	sk := sessKey{inst: inst, key: key, host: host, src: src}
 	s := a.sessKeys[sk]
 	if s == nil {
-		s = &sessCtx{base: make(map[string]bool), revisit: make(map[string]bool)}
+		s = &sessState{}
 		a.sessKeys[sk] = s
 	}
-	if o.Revisit {
-		s.revisit[o.Value] = true
+	if revisit {
+		s.revisit = appendDistinct(s.revisit, val)
 	} else {
-		s.base[o.Value] = true
+		s.base = appendDistinct(s.base, val)
+	}
+}
+
+// Merge folds another accumulator's state into a. The two may intern
+// through different tables (shards build their own); ids are reconciled
+// by string. Merging any shard partition of an observation stream
+// yields the state — and therefore the Result — of the unpartitioned
+// fold. b is left unchanged.
+func (a *Accumulator) Merge(b *Accumulator) {
+	if b == nil {
+		return
+	}
+	sameTab := a.tab == b.tab
+	remap := func(id uint32) uint32 {
+		if sameTab {
+			return id
+		}
+		return a.tab.ID(b.tab.Str(id))
+	}
+	for id, bv := range b.values {
+		nid, inst := remap(id), remap(bv.firstInstance)
+		if av, ok := a.values[nid]; ok {
+			if !av.multi && (bv.multi || av.firstInstance != inst) {
+				av.multi = true
+				a.values[nid] = av
+			}
+		} else {
+			a.values[nid] = valueState{firstInstance: inst, multi: bv.multi}
+		}
+	}
+	for k, bad := range b.adKeys {
+		nk := uint64(remap(uint32(k>>32)))<<32 | uint64(remap(uint32(k)))
+		ad := a.adKeys[nk]
+		if ad == nil {
+			ad = &adState{}
+			a.adKeys[nk] = ad
+		}
+		for _, ai := range bad.adIdx {
+			ad.adIdx = appendDistinct32(ad.adIdx, ai)
+		}
+		for _, v := range bad.vals {
+			ad.vals = appendDistinct(ad.vals, remap(v))
+		}
+	}
+	for k, bs := range b.sessKeys {
+		nk := sessKey{inst: remap(k.inst), key: remap(k.key), host: remap(k.host), src: remap(k.src)}
+		s := a.sessKeys[nk]
+		if s == nil {
+			s = &sessState{}
+			a.sessKeys[nk] = s
+		}
+		for _, v := range bs.base {
+			s.base = appendDistinct(s.base, remap(v))
+		}
+		for _, v := range bs.revisit {
+			s.revisit = appendDistinct(s.revisit, remap(v))
+		}
+	}
+	if a.cfg == b.cfg {
+		for id, r := range b.heur {
+			a.heur[remap(id)] = r
+		}
 	}
 }
 
 // Result runs filters (i)–(iv) and the manual pass over everything
-// observed so far. It does not mutate the accumulator: observing more
-// and asking again yields the classification of the larger stream.
+// observed so far. It does not mutate the accumulator (beyond the pure
+// per-value heuristic memo): observing more and asking again yields the
+// classification of the larger stream.
 func (a *Accumulator) Result() *Result {
+	n := a.tab.Len()
 	// Filter (ii): keys whose values differ across ad URLs on the same
 	// page mark all their values as ad identifiers.
-	adValues := make(map[string]bool)
+	adValues := newBitset(n)
 	for _, ad := range a.adKeys {
-		if len(ad.distinct) > 1 && len(ad.byAdIndex) > 1 {
-			for v := range ad.distinct {
-				adValues[v] = true
+		if len(ad.vals) > 1 && len(ad.adIdx) > 1 {
+			for _, v := range ad.vals {
+				adValues.set(v)
 			}
 		}
 	}
 	// Filter (iii): keys whose value changed between base visit and the
 	// next-day revisit mark those values as session identifiers.
-	sessValues := make(map[string]bool)
+	sessValues := newBitset(n)
 	for _, s := range a.sessKeys {
 		if len(s.base) == 0 || len(s.revisit) == 0 {
 			continue
 		}
 		changed := false
-		for v := range s.base {
-			if !s.revisit[v] {
+		for _, v := range s.base {
+			if !contains(s.revisit, v) {
 				changed = true
+				break
 			}
 		}
 		if changed {
-			for v := range s.base {
-				sessValues[v] = true
+			for _, v := range s.base {
+				sessValues.set(v)
 			}
-			for v := range s.revisit {
-				sessValues[v] = true
+			for _, v := range s.revisit {
+				sessValues.set(v)
 			}
 		}
 	}
@@ -219,37 +345,109 @@ func (a *Accumulator) Result() *Result {
 		TotalTokens: len(a.values),
 		UserIDs:     make(map[string]bool),
 		ByReason:    make(map[Reason]int),
-		reasons:     make(map[string]Reason),
+		reasons:     make(map[string]Reason, len(a.values)),
+		uidByID:     newBitset(n),
 	}
 	// Deterministic iteration order for stable funnel counts.
-	ordered := make([]string, 0, len(a.values))
-	for v := range a.values {
-		ordered = append(ordered, v)
+	ordered := make([]uint32, 0, len(a.values))
+	for id := range a.values {
+		ordered = append(ordered, id)
 	}
-	sort.Strings(ordered)
+	sort.Slice(ordered, func(i, j int) bool {
+		return a.tab.Str(ordered[i]) < a.tab.Str(ordered[j])
+	})
 
-	for _, val := range ordered {
-		ctx := a.values[val]
+	for _, id := range ordered {
+		val := a.tab.Str(id)
 		var reason Reason
 		switch {
-		case len(ctx.instances) > 1:
+		case a.values[id].multi:
 			reason = ReasonCrossInstance
-		case adValues[val]:
+		case adValues.has(id):
 			reason = ReasonAdIdentifier
-		case sessValues[val]:
+		case sessValues.has(id):
 			reason = ReasonSessionID
-		case len(val) < MinIDLength || LooksLikeTimestamp(val) ||
-			LooksLikeURL(val) || IsEnglishWords(val) || LooksLikePhrase(val):
-			reason = ReasonHeuristics
-		case !a.cfg.SkipManualPass && (LooksLikeCoordinates(val) ||
-			LooksLikeAcronym(val) || isWordCombination(val)):
-			reason = ReasonManualPass
 		default:
-			reason = ReasonUserID
-			res.UserIDs[val] = true
+			reason = a.heuristicReason(id, val)
+			if reason == ReasonUserID {
+				res.UserIDs[val] = true
+				res.uidByID.set(id)
+			}
 		}
 		res.reasons[val] = reason
 		res.ByReason[reason]++
 	}
 	return res
+}
+
+// heuristicReason classifies one value through filter (iv) and the
+// manual pass, memoised by intern id: the verdict is a pure function of
+// the value bytes, so it is computed once per distinct value however
+// many times Result runs.
+func (a *Accumulator) heuristicReason(id uint32, val string) Reason {
+	if r, ok := a.heur[id]; ok {
+		return r
+	}
+	var r Reason
+	switch {
+	case len(val) < MinIDLength || LooksLikeTimestamp(val) ||
+		LooksLikeURL(val) || IsEnglishWords(val) || LooksLikePhrase(val):
+		r = ReasonHeuristics
+	case !a.cfg.SkipManualPass && (LooksLikeCoordinates(val) ||
+		LooksLikeAcronym(val) || isWordCombination(val)):
+		r = ReasonManualPass
+	default:
+		r = ReasonUserID
+	}
+	a.heur[id] = r
+	return r
+}
+
+// PassesHeuristicsID reports whether the interned value survives the
+// per-value filters under the accumulator's configuration — filter (iv)
+// plus the manual pass, i.e. PassesValueHeuristics for the default
+// pipeline — memoised so each distinct value is judged once across the
+// whole fold however many sightings ask.
+func (a *Accumulator) PassesHeuristicsID(id uint32) bool {
+	return a.heuristicReason(id, a.tab.Str(id)) == ReasonUserID
+}
+
+// appendDistinct appends v if absent. The slices it maintains are one
+// SERP's or one session context's distinct values — single digits — so
+// the linear probe is cheaper than any map.
+func appendDistinct(s []uint32, v uint32) []uint32 {
+	if contains(s, v) {
+		return s
+	}
+	return append(s, v)
+}
+
+func appendDistinct32(s []int32, v int32) []int32 {
+	for _, x := range s {
+		if x == v {
+			return s
+		}
+	}
+	return append(s, v)
+}
+
+func contains(s []uint32, v uint32) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// bitset is a dense id set sized to the intern table.
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+func (b bitset) set(i uint32) { b[i>>6] |= 1 << (i & 63) }
+
+func (b bitset) has(i uint32) bool {
+	w := int(i >> 6)
+	return w < len(b) && b[w]&(1<<(i&63)) != 0
 }

@@ -12,6 +12,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+	"unicode"
+	"unicode/utf8"
 )
 
 // StudyWindow bounds timestamp detection: the paper discards "values
@@ -24,7 +26,13 @@ var (
 // LooksLikeTimestamp reports whether v parses as a Unix timestamp in
 // seconds or milliseconds falling inside the study window.
 func LooksLikeTimestamp(v string) bool {
-	n, err := strconv.ParseInt(strings.TrimSpace(v), 10, 64)
+	s := strings.TrimSpace(v)
+	// Reject non-numeric shapes before ParseInt: its syntax errors
+	// allocate, and almost no candidate value is a pure integer.
+	if !integerShape(s) {
+		return false
+	}
+	n, err := strconv.ParseInt(s, 10, 64)
 	if err != nil {
 		return false
 	}
@@ -37,15 +45,44 @@ func LooksLikeTimestamp(v string) bool {
 	return false
 }
 
+// integerShape reports whether s is an optionally signed digit run —
+// the only shape strconv.ParseInt can accept.
+func integerShape(s string) bool {
+	if s == "" {
+		return false
+	}
+	if s[0] == '+' || s[0] == '-' {
+		s = s[1:]
+	}
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		if s[i] < '0' || s[i] > '9' {
+			return false
+		}
+	}
+	return true
+}
+
 // LooksLikeURL reports whether v is (or decodes to) a URL.
 func LooksLikeURL(v string) bool {
 	s := v
-	if dec, err := url.QueryUnescape(v); err == nil {
-		s = dec
+	// QueryUnescape is the identity unless the value carries '%' or '+';
+	// skip its allocation for the overwhelming majority that don't.
+	if strings.ContainsAny(v, "%+") {
+		if dec, err := url.QueryUnescape(v); err == nil {
+			s = dec
+		}
 	}
 	if strings.HasPrefix(s, "http://") || strings.HasPrefix(s, "https://") ||
 		strings.HasPrefix(s, "//") || strings.HasPrefix(s, "www.") {
 		return true
+	}
+	// u.Host can only be non-empty when an authority follows the scheme,
+	// so "://" is a prerequisite — and a far cheaper one than url.Parse.
+	if !strings.Contains(s, "://") {
+		return false
 	}
 	u, err := url.Parse(s)
 	return err == nil && u.Scheme != "" && u.Host != ""
@@ -58,69 +95,108 @@ const wordSeparators = " -_.,+/:"
 // words (filter iv discards "tokens that constitute one or more English
 // words"; the paper used PyEnchant, we use the embedded wordlist).
 func IsEnglishWords(v string) bool {
-	parts := splitWords(v)
-	if len(parts) == 0 {
-		return false
+	n := 0
+	ok := eachWordPart(v, false, func(p string) bool {
+		n++
+		return IsDictionaryWord(p)
+	})
+	return ok && n > 0
+}
+
+// isWordSep reports whether b is one of the word separators. They are
+// all ASCII, so a byte test suffices.
+func isWordSep(b byte) bool { return b < 0x80 && strings.IndexByte(wordSeparators, b) >= 0 }
+
+// eachWordPart splits v on the word separators — and, when camel is
+// true, additionally at lower→upper case boundaries — calling fn for
+// every non-empty part. It returns false as soon as fn does. This is
+// splitWords/splitCamel without materialising the lowered string or the
+// parts slice; IsDictionaryWord folds case itself.
+func eachWordPart(v string, camel bool, fn func(part string) bool) bool {
+	start := -1
+	prevLower := false
+	for i := 0; i < len(v); i++ {
+		b := v[i]
+		if isWordSep(b) {
+			if start >= 0 {
+				if !fn(v[start:i]) {
+					return false
+				}
+				start = -1
+			}
+			prevLower = false
+			continue
+		}
+		if camel && prevLower && b >= 'A' && b <= 'Z' {
+			if start >= 0 && !fn(v[start:i]) {
+				return false
+			}
+			start = i
+		}
+		if start < 0 {
+			start = i
+		}
+		prevLower = b >= 'a' && b <= 'z'
 	}
-	for _, p := range parts {
-		if !IsDictionaryWord(p) {
+	if start >= 0 {
+		return fn(v[start:])
+	}
+	return true
+}
+
+// LooksLikePhrase reports whether v is a whitespace-separated run of
+// two or more purely ASCII-alphanumeric words — natural-language text
+// (search queries, titles) regardless of dictionary coverage.
+// Identifiers never contain spaces. Equivalent to splitting with
+// strings.Fields (Unicode whitespace included) and checking every part,
+// without building the parts slice.
+func LooksLikePhrase(v string) bool {
+	parts := 0
+	inPart := false
+	for i := 0; i < len(v); {
+		b := v[i]
+		switch {
+		case b == ' ' || b == '\t' || b == '\n' || b == '\v' || b == '\f' || b == '\r':
+			inPart = false
+			i++
+		case (b >= 'a' && b <= 'z') || (b >= 'A' && b <= 'Z') || (b >= '0' && b <= '9'):
+			if !inPart {
+				inPart = true
+				parts++
+			}
+			i++
+		case b >= 0x80:
+			// Non-ASCII: only Unicode whitespace separates parts (as
+			// strings.Fields would); any other rune disqualifies v.
+			r, size := utf8.DecodeRuneInString(v[i:])
+			if !unicode.IsSpace(r) {
+				return false
+			}
+			inPart = false
+			i += size
+		default:
 			return false
 		}
 	}
-	return true
-}
-
-func splitWords(v string) []string {
-	f := strings.FieldsFunc(strings.ToLower(v), func(r rune) bool {
-		return strings.ContainsRune(wordSeparators, r)
-	})
-	var out []string
-	for _, p := range f {
-		if p != "" {
-			out = append(out, p)
-		}
-	}
-	return out
-}
-
-// LooksLikePhrase reports whether v is a space-separated run of two or
-// more purely alphabetic words — natural-language text (search queries,
-// titles) regardless of dictionary coverage. Identifiers never contain
-// spaces.
-func LooksLikePhrase(v string) bool {
-	parts := strings.Fields(v)
-	if len(parts) < 2 {
-		return false
-	}
-	for _, p := range parts {
-		for _, r := range p {
-			isAlpha := (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z')
-			isDigit := r >= '0' && r <= '9'
-			if !isAlpha && !isDigit {
-				return false
-			}
-		}
-	}
-	return true
+	return parts >= 2
 }
 
 // LooksLikeCoordinates reports whether v looks like a lat,lon pair, one
 // of the false-positive classes removed in the paper's manual pass.
 func LooksLikeCoordinates(v string) bool {
-	parts := strings.Split(v, ",")
-	if len(parts) != 2 {
+	i := strings.IndexByte(v, ',')
+	if i < 0 || strings.IndexByte(v[i+1:], ',') >= 0 {
 		return false
 	}
-	for _, p := range parts {
-		f, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
-		if err != nil || !strings.Contains(p, ".") {
-			return false
-		}
-		if f < -180 || f > 180 {
-			return false
-		}
+	return coordinatePart(v[:i]) && coordinatePart(v[i+1:])
+}
+
+func coordinatePart(p string) bool {
+	if !strings.Contains(p, ".") {
+		return false
 	}
-	return true
+	f, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+	return err == nil && f >= -180 && f <= 180
 }
 
 // LooksLikeAcronym reports whether v is a short all-caps letter run (the
@@ -190,29 +266,10 @@ func PassesValueHeuristics(v string) bool {
 // isWordCombination detects camelCase or separator-joined runs of
 // dictionary words ("userSettingsPanel", "dark-mode-enabled").
 func isWordCombination(v string) bool {
-	parts := splitWords(splitCamel(v))
-	if len(parts) < 2 {
-		return false
-	}
-	for _, p := range parts {
-		if len(p) < 2 || !IsDictionaryWord(p) {
-			return false
-		}
-	}
-	return true
-}
-
-// splitCamel inserts separators at lower→upper case boundaries.
-func splitCamel(v string) string {
-	var b strings.Builder
-	for i, r := range v {
-		if i > 0 && r >= 'A' && r <= 'Z' {
-			prev := v[i-1]
-			if prev >= 'a' && prev <= 'z' {
-				b.WriteByte(' ')
-			}
-		}
-		b.WriteRune(r)
-	}
-	return b.String()
+	n := 0
+	ok := eachWordPart(v, true, func(p string) bool {
+		n++
+		return len(p) >= 2 && IsDictionaryWord(p)
+	})
+	return ok && n >= 2
 }

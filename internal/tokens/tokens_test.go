@@ -307,3 +307,19 @@ func TestHeuristicsLengthProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestLooksLikePhraseUnicodeWhitespace(t *testing.T) {
+	// Non-breaking-space-separated words split like strings.Fields
+	// splits them: still a phrase.
+	if !LooksLikePhrase("foo bar") {
+		t.Fatal("NBSP-separated words must read as a phrase")
+	}
+	if !LooksLikePhrase("running shoes sale") || !LooksLikePhrase("top 10 deals") {
+		t.Fatal("plain phrases must pass")
+	}
+	for _, v := range []string{"foo©bar baz", "id-12345 x", "single", ""} {
+		if LooksLikePhrase(v) {
+			t.Fatalf("LooksLikePhrase(%q) = true, want false", v)
+		}
+	}
+}

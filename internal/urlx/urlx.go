@@ -353,6 +353,135 @@ func EncodeQuery(key, value string) string {
 	return b.String()
 }
 
+// QueryPairs iterates a raw query string's key=value pairs in order,
+// with exactly net/url.ParseQuery's splitting and unescaping semantics:
+// pairs split on '&', pairs containing ';' or failing to unescape are
+// skipped, empty segments are skipped, and a pair without '=' yields an
+// empty value. Unescaping allocates only for keys or values that are
+// actually escaped. Iteration stops early when fn returns false.
+//
+// It is the zero-materialisation counterpart of url.Values for the
+// analysis hot path, which walks every recorded URL's parameters once
+// per crawl iteration and must not build a map per URL.
+func QueryPairs(rawQuery string, fn func(key, value string) bool) {
+	q := rawQuery
+	for q != "" {
+		var pair string
+		if i := strings.IndexByte(q, '&'); i >= 0 {
+			pair, q = q[:i], q[i+1:]
+		} else {
+			pair, q = q, ""
+		}
+		if pair == "" || strings.IndexByte(pair, ';') >= 0 {
+			continue
+		}
+		k, v := pair, ""
+		if i := strings.IndexByte(pair, '='); i >= 0 {
+			k, v = pair[:i], pair[i+1:]
+		}
+		if strings.ContainsAny(k, "%+") {
+			dec, err := url.QueryUnescape(k)
+			if err != nil {
+				continue
+			}
+			k = dec
+		}
+		if strings.ContainsAny(v, "%+") {
+			dec, err := url.QueryUnescape(v)
+			if err != nil {
+				continue
+			}
+			v = dec
+		}
+		if !fn(k, v) {
+			return
+		}
+	}
+}
+
+// splitHostByte reports whether b may appear in SplitURL's fast-path
+// authority: the hostname/port alphabet whose parse net/url accepts
+// verbatim. Anything else (userinfo '@', IPv6 brackets, spaces,
+// %-escapes) forces the url.Parse fallback.
+func splitHostByte(b byte) bool {
+	switch {
+	case b >= 'a' && b <= 'z', b >= 'A' && b <= 'Z', b >= '0' && b <= '9':
+		return true
+	case b == '.' || b == '-' || b == '_' || b == ':':
+		return true
+	}
+	return false
+}
+
+// SplitURL splits an absolute URL into host, path, and raw query
+// without allocating, for the shape the overwhelming majority of
+// recorded request URLs take: "scheme://host[:port]/path[?query]" with
+// a plain hostname and no %-escapes in the path. ok reports whether the
+// fast split is faithful to url.Parse (host matching u.Host, path
+// matching the decoded u.Path, query matching u.RawQuery); when it is
+// false the caller must fall back to url.Parse.
+func SplitURL(raw string) (host, path, query string, ok bool) {
+	// Validate the scheme ([a-zA-Z][a-zA-Z0-9+.-]*://), like url.Parse.
+	if len(raw) == 0 || !isSchemeAlpha(raw[0]) {
+		return "", "", "", false
+	}
+	i := 1
+	for i < len(raw) && isSchemeTail(raw[i]) {
+		i++
+	}
+	if i+3 > len(raw) || raw[i] != ':' || raw[i+1] != '/' || raw[i+2] != '/' {
+		return "", "", "", false
+	}
+	i += 3
+	hostStart := i
+	colon := -1
+	for i < len(raw) {
+		b := raw[i]
+		if b == '/' || b == '?' || b == '#' {
+			break
+		}
+		if !splitHostByte(b) {
+			return "", "", "", false
+		}
+		if colon >= 0 && (b < '0' || b > '9') {
+			return "", "", "", false // url.Parse rejects non-numeric ports
+		}
+		if b == ':' {
+			if colon >= 0 {
+				return "", "", "", false
+			}
+			colon = i
+		}
+		i++
+	}
+	host = raw[hostStart:i]
+	pathStart := i
+	for i < len(raw) && raw[i] != '?' && raw[i] != '#' {
+		if raw[i] == '%' {
+			return "", "", "", false // escaped path: url.Parse would decode
+		}
+		i++
+	}
+	path = raw[pathStart:i]
+	if i < len(raw) && raw[i] == '?' {
+		i++
+		queryStart := i
+		for i < len(raw) && raw[i] != '#' {
+			i++
+		}
+		query = raw[queryStart:i]
+	}
+	return host, path, query, true
+}
+
+func isSchemeAlpha(b byte) bool {
+	return b >= 'a' && b <= 'z' || b >= 'A' && b <= 'Z'
+}
+
+func isSchemeTail(b byte) bool {
+	return isSchemeAlpha(b) || b >= '0' && b <= '9' || b == '+' || b == '-' || b == '.'
+}
+
 // CopyURL deep-copies a URL (including User info, which the simulator never
 // uses but which keeps the helper general).
 func CopyURL(u *url.URL) *url.URL {

@@ -33,6 +33,28 @@
 // vs partitioned cookie storage, stealth, recorder capture
 // probability). Identical Configs produce byte-identical datasets and
 // iteration streams, sequential or Parallel alike.
+//
+// # Sharded analysis (v2.1 migration note)
+//
+// The analysis fold shards across cores. Nothing changes for existing
+// callers — reports stay byte-identical — but three new levers exist:
+//
+//   - Config.Parallel now parallelises Analyze/AnalyzeWith too: the
+//     fold runs one shard Accumulator per core (round-robin over a live
+//     stream, contiguous ranges over a cached dataset) and merges them.
+//   - AnalyzeDatasetSharded(ds, shards) is the explicit dataset form.
+//   - Hand-rolled consumers shard with the Accumulator primitives:
+//     give each worker its own NewAccumulator(opts) built from one
+//     shared AnalysisOptions value, call acc.AddAt(it, seq) with the
+//     iteration's overall stream position instead of Add, and fold the
+//     shards together with acc.Merge — any partition of the stream
+//     merges into the byte-exact sequential report. Merge requires the
+//     shards to share options by identity (zero-value options share the
+//     embedded defaults, which are process-wide singletons as of v2.1);
+//     mismatches fail with ErrOptionsMismatch.
+//
+// Sweeps gain SweepOptions.AnalysisShards for the same per-cell split
+// when the machine has more cores than the matrix has cells.
 package searchads
 
 import (
@@ -40,6 +62,7 @@ import (
 	"errors"
 	"fmt"
 	"iter"
+	"runtime"
 
 	"searchads/internal/analysis"
 	"searchads/internal/crawler"
@@ -65,10 +88,19 @@ var (
 	// cached report is not silently returned as if the new options had
 	// been honored. Options compare by identity (the Filter and
 	// Entities pointers), deliberately conservative: a freshly built
-	// DefaultFilterEngine() is not recognised as "the same" as the nil
-	// default — reuse the same instances (or zero values) for repeat
-	// calls, or analyze a fresh Study / AnalyzeDataset instead.
+	// engine is not recognised as "the same" as the nil default — reuse
+	// the same instances (or zero values) for repeat calls, or analyze
+	// a fresh Study / AnalyzeDataset instead. (DefaultFilterEngine and
+	// DefaultEntities return process-wide singletons, so the embedded
+	// defaults do compare equal to themselves.)
 	ErrReportCached = errors.New("searchads: report already cached with different options")
+
+	// ErrOptionsMismatch reports an Accumulator.Merge whose two sides
+	// were built with different AnalysisOptions (same identity
+	// comparison as ErrReportCached). Build every shard accumulator
+	// from one options value; zero-value options share the embedded
+	// defaults.
+	ErrOptionsMismatch = analysis.ErrOptionsMismatch
 )
 
 // wrapCanceled tags context-abort errors with ErrCanceled so callers
@@ -357,6 +389,13 @@ func (s *Study) Analyze(ctx context.Context) (*Report, error) {
 // ErrReportCached) returns it, while different options return an error
 // wrapping ErrReportCached rather than a report the new options never
 // touched.
+//
+// When the study is Parallel, the fold itself is sharded across
+// GOMAXPROCS accumulators — a cached dataset in contiguous ranges, a
+// live stream round-robin as iterations arrive — and the shards merged
+// (Accumulator.Merge), so analysis scales with cores the way the crawl
+// does. The report is byte-identical to the sequential fold whatever
+// the shard count.
 func (s *Study) AnalyzeWith(ctx context.Context, opts AnalysisOptions) (*Report, error) {
 	if s.report != nil {
 		if opts != s.reportOpts {
@@ -364,16 +403,57 @@ func (s *Study) AnalyzeWith(ctx context.Context, opts AnalysisOptions) (*Report,
 		}
 		return s.report, nil
 	}
-	acc := analysis.NewAccumulator(opts)
-	for it, err := range s.Iterations(ctx) {
-		if err != nil {
-			return nil, err
+	var report *Report
+	var err error
+	if shards := s.analysisShards(); shards > 1 {
+		report, err = s.analyzeSharded(ctx, opts, shards)
+	} else {
+		acc := analysis.NewAccumulator(opts)
+		for it, iterErr := range s.Iterations(ctx) {
+			if iterErr != nil {
+				return nil, iterErr
+			}
+			acc.Add(it)
 		}
-		acc.Add(it)
+		report = acc.Report()
 	}
-	s.report = acc.Report()
+	if err != nil {
+		return nil, err
+	}
+	s.report = report
 	s.reportOpts = opts
 	return s.report, nil
+}
+
+// analysisShards picks the fold's shard count: one per core for
+// Parallel studies, sequential otherwise.
+func (s *Study) analysisShards() int {
+	if !s.cfg.Parallel {
+		return 1
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// analyzeSharded folds the study across a pool of shard accumulators
+// and merges them. A cached dataset folds in contiguous ranges
+// (analysis.AnalyzeSharded); a live stream distributes iterations
+// round-robin through an analysis.StreamSharder, so the merged report
+// is byte-identical to the sequential fold either way while retaining
+// at most one in-flight iteration per shard.
+func (s *Study) analyzeSharded(ctx context.Context, opts AnalysisOptions, shards int) (*Report, error) {
+	if s.dataset != nil {
+		rep, err := analysis.AnalyzeSharded(ctx, s.dataset, opts, shards)
+		return rep, wrapCanceled(err)
+	}
+	sharder := analysis.NewStreamSharder(opts, shards, nil)
+	for it, err := range s.Iterations(ctx) {
+		if err != nil {
+			sharder.Abort()
+			return nil, err
+		}
+		sharder.Add(it)
+	}
+	return sharder.Finish()
 }
 
 // Sweep types, re-exported for matrix construction and result
@@ -434,6 +514,18 @@ func NewAccumulator(opts AnalysisOptions) *Accumulator {
 
 // AnalyzeDataset analyses a previously saved dataset.
 func AnalyzeDataset(ds *Dataset) *Report { return analysis.Analyze(ds) }
+
+// AnalyzeDatasetSharded analyses a dataset with the fold partitioned
+// into contiguous shards folded in parallel and merged — the multi-core
+// form of AnalyzeDataset. The report is byte-identical to the
+// sequential fold for every shard count; shards <= 1 (or a dataset
+// smaller than the shard count) degrades to the sequential fold.
+// Cancelling ctx aborts within one iteration per shard; the error
+// wraps ErrCanceled and ctx.Err().
+func AnalyzeDatasetSharded(ctx context.Context, ds *Dataset, shards int) (*Report, error) {
+	rep, err := analysis.AnalyzeSharded(ctx, ds, analysis.Options{}, shards)
+	return rep, wrapCanceled(err)
+}
 
 // LoadDataset reads a dataset saved with Dataset.Save.
 func LoadDataset(path string) (*Dataset, error) { return crawler.Load(path) }

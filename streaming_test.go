@@ -58,6 +58,116 @@ func TestAccumulatorByteIdenticalToAnalyze(t *testing.T) {
 	}
 }
 
+// TestAnalyzeShardedByteIdenticalToSequential drives the Parallel
+// analysis fold — live-stream round-robin sharding and cached-dataset
+// contiguous sharding alike — and asserts both reports byte-identical
+// to the sequential fold. GOMAXPROCS is raised so the sharded path
+// engages even on single-core CI.
+func TestAnalyzeShardedByteIdenticalToSequential(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	ctx := context.Background()
+	cfg := searchads.Config{
+		Seed:             77,
+		Engines:          []string{searchads.Bing, searchads.Qwant},
+		QueriesPerEngine: 6,
+	}
+	seq, err := searchads.NewStudy(cfg).Analyze(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRendered, wantJSON := seq.Render(), mustJSON(t, seq)
+
+	par := cfg
+	par.Parallel = true
+
+	// Live crawl: the fold shards round-robin off the stream, no
+	// dataset is materialised.
+	live, err := searchads.NewStudy(par).Analyze(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if live.Render() != wantRendered || !bytes.Equal(mustJSON(t, live), wantJSON) {
+		t.Fatal("live sharded report differs from sequential")
+	}
+
+	// Cached dataset: the fold shards in contiguous ranges.
+	study := searchads.NewStudy(par)
+	if _, err := study.Crawl(ctx); err != nil {
+		t.Fatal(err)
+	}
+	cached, err := study.Analyze(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached.Render() != wantRendered || !bytes.Equal(mustJSON(t, cached), wantJSON) {
+		t.Fatal("cached-dataset sharded report differs from sequential")
+	}
+
+	// The explicit dataset entry point agrees too.
+	ds, err := searchads.NewStudy(cfg).Crawl(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := searchads.AnalyzeDatasetSharded(ctx, ds, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sharded.Render() != wantRendered || !bytes.Equal(mustJSON(t, sharded), wantJSON) {
+		t.Fatal("AnalyzeDatasetSharded report differs from sequential")
+	}
+}
+
+func mustJSON(t *testing.T, r *searchads.Report) []byte {
+	t.Helper()
+	j, err := r.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return j
+}
+
+// TestSweepAnalysisShardsByteIdentical: a sweep with intra-cell
+// analysis sharding produces the same result JSON as the sequential
+// per-cell fold.
+func TestSweepAnalysisShardsByteIdentical(t *testing.T) {
+	ctx := context.Background()
+	m := searchads.SweepMatrix{
+		Seeds:            []int64{1, 2},
+		EngineSets:       [][]string{{searchads.Bing, searchads.DuckDuckGo}},
+		QueriesPerEngine: 4,
+	}
+	filter := searchads.DefaultFilterEngine()
+	plain, err := searchads.Sweep(ctx, m, searchads.SweepOptions{Parallel: 1, Filter: filter})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := searchads.Sweep(ctx, m, searchads.SweepOptions{Parallel: 1, AnalysisShards: 3, Filter: filter})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j1, err := plain.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := sharded.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Peak retention may legitimately differ (a sharded cell holds up to
+	// 2·AnalysisShards+1 iterations: one buffered per shard channel, one
+	// folding per shard, one in the consumer's hand); everything else
+	// must not.
+	if sharded.PeakRetainedIterations > sharded.Parallelism*(2*3+1) {
+		t.Fatalf("sharded peak retention %d exceeds parallelism*(2*shards+1)", sharded.PeakRetainedIterations)
+	}
+	plain.PeakRetainedIterations, sharded.PeakRetainedIterations = 0, 0
+	j1b, _ := plain.JSON()
+	j2b, _ := sharded.JSON()
+	if !bytes.Equal(j1b, j2b) {
+		t.Fatalf("sharded sweep result differs from sequential:\n%s\n---\n%s", j1, j2)
+	}
+}
+
 // TestIterationsReplaysCachedDataset: after Crawl, the stream replays
 // the cached dataset (same pointers, dataset order) instead of
 // re-crawling.

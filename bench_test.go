@@ -612,6 +612,39 @@ func BenchmarkStudyCrawlParallel(b *testing.B) {
 	}
 }
 
+// BenchmarkStudyCrawlFaults is BenchmarkStudyCrawl with the chaos
+// layer in the loop: the same 5-engine, 200-iteration world crawled
+// under a bot-hostile fault plan. rate=0 exercises the disarmed path —
+// the plan resolves to zero and injection must cost nothing, which CI
+// gates at <3% ns/op over BenchmarkStudyCrawl — and rate=0.05 measures
+// a degraded crawl with retries and typed failures. CI emits both into
+// BENCH_chaos.json.
+func BenchmarkStudyCrawlFaults(b *testing.B) {
+	for _, rate := range []float64{0, 0.05} {
+		b.Run(fmt.Sprintf("rate=%g", rate), func(b *testing.B) {
+			rates, err := netsim.ProfileRates(netsim.ProfileBotHostile, rate)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				w := websim.NewWorld(websim.Config{
+					Seed:             1009,
+					QueriesPerEngine: 40,
+					Faults:           netsim.FaultPlan{Rates: rates},
+				})
+				ds, err := crawler.New(crawler.Config{World: w}).Run(context.Background())
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(ds.Iterations) != 200 {
+					b.Fatalf("iterations = %d", len(ds.Iterations))
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkSweep measures the sweep engine on a small matrix: 4 seeds
 // × 2 storage modes (8 cells) of a 2-engine, 8-query study, crawled,
 // analyzed, and aggregated with streaming dataset discard. CI emits

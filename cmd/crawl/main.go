@@ -8,6 +8,12 @@
 //
 //	crawl -out dataset.json [-seed 1] [-engines bing,google] [-queries 500]
 //	      [-iterations 0] [-partitioned] [-no-stealth] [-skip-revisit]
+//	      [-faults off|flaky-edge|bot-hostile|brownout] [-fault-rate 0.05]
+//
+// Injected faults degrade iterations, never the process: fault-failed
+// iterations are recorded (with typed error classes) and counted in the
+// summary, and the exit status stays zero unless a non-fault error —
+// bad config, cancellation, an unwritable output — occurs.
 package main
 
 import (
@@ -17,6 +23,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"sort"
 	"strings"
 	"syscall"
 
@@ -35,6 +42,8 @@ func main() {
 		skipRevisit = flag.Bool("skip-revisit", false, "skip the next-day profile revisit")
 		parallel    = flag.Bool("parallel", false, "crawl iterations on a worker pool (byte-identical to sequential)")
 		refSmuggle  = flag.Bool("referrer-smuggling", false, "enable the referrer-based UID-smuggling service")
+		faults      = flag.String("faults", "off", "fault-injection profile: "+strings.Join(searchads.FaultProfiles(), ", "))
+		faultRate   = flag.Float64("fault-rate", 0, "overall per-request fault-injection rate in [0, 1]")
 		quiet       = flag.Bool("quiet", false, "suppress progress output")
 	)
 	flag.Parse()
@@ -50,6 +59,8 @@ func main() {
 		SkipRevisit:       *skipRevisit,
 		Parallel:          *parallel,
 		ReferrerSmuggling: *refSmuggle,
+		FaultProfile:      *faults,
+		FaultRate:         *faultRate,
 	}
 	if *engines != "" {
 		cfg.Engines = strings.Split(*engines, ",")
@@ -83,13 +94,31 @@ func main() {
 	}
 	if !*quiet {
 		errs := 0
+		classes := make(map[string]int)
 		for _, it := range ds.Iterations {
 			if it.Error != "" {
 				errs++
+				cls := it.ErrorClass
+				if cls == "" {
+					cls = "other"
+				}
+				classes[cls]++
 			}
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s: %d iterations (%d errors) across %d engines\n",
 			*out, len(ds.Iterations), errs, len(ds.Engines()))
+		if len(classes) > 0 {
+			names := make([]string, 0, len(classes))
+			for cls := range classes {
+				names = append(names, cls)
+			}
+			sort.Strings(names)
+			parts := make([]string, 0, len(names))
+			for _, cls := range names {
+				parts = append(parts, fmt.Sprintf("%s=%d", cls, classes[cls]))
+			}
+			fmt.Fprintf(os.Stderr, "failed iterations by class: %s\n", strings.Join(parts, " "))
+		}
 	}
 	if streamErr != nil {
 		fmt.Fprintf(os.Stderr, "crawl: canceled after %d iterations; partial dataset kept: %v\n",

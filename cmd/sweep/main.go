@@ -13,6 +13,12 @@
 //	sweep -matrix 'storage=flat,partitioned;filter=on,off' -seeds 5 -queries 80
 //	sweep -preset adblock-user -seeds 10 -parallel 4 -out sweep.json
 //	sweep -preset paper-baseline -cpuprofile cpu.pprof -memprofile mem.pprof
+//	sweep -faults bot-hostile -fault-rate 0.05 -seeds 2
+//	sweep -matrix 'faults=bot-hostile;fault-rate=0,0.05,0.2' -seeds 2
+//
+// Injected faults degrade iterations inside their cells (counted per
+// error class in each cell result), never the cells themselves: only
+// non-fault errors — bad config, cancellation — exit non-zero.
 //
 // The machine-readable JSON goes to stdout (or -out); the human table
 // and progress go to stderr. The exit status is non-zero if any cell
@@ -36,13 +42,15 @@ import (
 )
 
 var (
-	preset     = flag.String("preset", "", "named scenario matrix (paper-baseline, adblock-user, cookieless-web, storage-ablation, stealth-ablation)")
+	preset     = flag.String("preset", "", "named scenario matrix (paper-baseline, adblock-user, cookieless-web, storage-ablation, stealth-ablation, chaos-robustness)")
 	matrix     = flag.String("matrix", "", "matrix grammar, e.g. 'storage=flat,partitioned;filter=on,off;engines=bing+google,all'")
 	seeds      = flag.Int("seeds", 0, "number of seeds to sweep (seeds seed-base..seed-base+N-1; 0 = the matrix's own seeds, default 1)")
 	seedBase   = flag.Int64("seed-base", 1, "first seed when -seeds is set")
 	queries    = flag.Int("queries", 50, "queries per engine per cell (yields to the matrix's queries= key unless given explicitly)")
 	parallel   = flag.Int("parallel", 0, "cells in flight at once (0 = GOMAXPROCS); also the peak dataset-retention bound")
 	shards     = flag.Int("analysis-shards", 0, "per-cell analysis shards (0/1 = sequential fold; cell reports are byte-identical either way)")
+	faults     = flag.String("faults", "", "fault-injection profile(s), comma-separated: off, flaky-edge, bot-hostile, brownout (overrides the matrix's faults= key)")
+	faultRate  = flag.String("fault-rate", "", "fault-injection rate(s) in [0, 1], comma-separated (overrides the matrix's fault-rate= key)")
 	out        = flag.String("out", "", "write the JSON result to this file (default: stdout)")
 	quiet      = flag.Bool("quiet", false, "suppress the progress and table output on stderr")
 	cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
@@ -81,6 +89,22 @@ func run() int {
 		for i := range m.Seeds {
 			m.Seeds[i] = *seedBase + int64(i)
 		}
+	}
+	// The fault flags reuse the matrix grammar so the values validate
+	// one way ("faults=bot-hostile" ≡ -faults bot-hostile).
+	if *faults != "" {
+		over, err := searchads.ParseSweepMatrix("faults=" + *faults)
+		if err != nil {
+			return fail(err)
+		}
+		m.FaultProfiles = over.FaultProfiles
+	}
+	if *faultRate != "" {
+		over, err := searchads.ParseSweepMatrix("fault-rate=" + *faultRate)
+		if err != nil {
+			return fail(err)
+		}
+		m.FaultRates = over.FaultRates
 	}
 	// The -queries default must not clobber a queries= value from the
 	// matrix grammar or a preset; only an explicitly passed flag wins.

@@ -141,6 +141,18 @@ func (a *Accumulator) AddAt(it *crawler.Iteration, seq int) {
 	a.addBefore(e, it)
 	a.addCoverage(e, it)
 	a.addTraffic(e, it)
+	if it.Error != "" {
+		// Failure attribution precedes the FinalURL early-out: failed
+		// iterations are exactly the ones that never settle.
+		cls := it.ErrorClass
+		if cls == "" {
+			cls = string(crawler.ClassifyErrorString(it.Error))
+		}
+		if cls == "" {
+			cls = "other"
+		}
+		e.failures[cls]++
+	}
 	if it.FinalURL == "" {
 		return
 	}
@@ -216,6 +228,11 @@ type engineAcc struct {
 
 	// Traffic.
 	requests, thirdParty, clickBlocked int
+
+	// Failure attribution (chaos layer): iteration error-class counts,
+	// keyed by crawler.ErrorClass value ("other" for unclassifiable
+	// legacy strings). Summed under Merge like every other counter.
+	failures map[string]int
 }
 
 // beaconAcc folds one post-click endpoint (§4.2.1). The UID-cookie
@@ -260,6 +277,7 @@ func newEngineAcc(site string, firstSeen int) *engineAcc {
 		entityCounts:          make(map[uint32]int),
 		referrerCands:         make(map[string]*idGroup),
 		ratioHist:             make(map[float64]int),
+		failures:              make(map[string]int),
 	}
 }
 

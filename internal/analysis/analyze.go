@@ -33,6 +33,11 @@ type Report struct {
 	// filter-list-blocked fractions over all crawl stages); the sweep
 	// engine's blocked-request and third-party-rate metrics read it.
 	Traffic map[string]TrafficStats
+	// Failures attributes crawl loss: engine → error class → failed
+	// iteration count (see crawler.ErrorClass). Populated only when the
+	// crawl recorded failures, so fault-free reports keep their exact
+	// pre-chaos-layer shape, JSON bytes included.
+	Failures map[string]map[string]int `json:",omitempty"`
 
 	// EngineOrder lists engines in table order.
 	EngineOrder []string

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"strings"
 
+	"searchads/internal/crawler"
 	"searchads/internal/tokens"
 )
 
@@ -203,7 +204,58 @@ func (r *Report) Render() string {
 	} {
 		fmt.Fprintf(&b, "  %-28s %d\n", reason, r.Funnel.ByReason[reason])
 	}
+
+	// Failure attribution appears only when the crawl recorded failures,
+	// so fault-free renders stay byte-identical to the pre-chaos layout.
+	if len(r.Failures) > 0 {
+		b.WriteString("\n== Crawl loss: failed iterations by error class ==\n")
+		classes := failureClassOrder(r.Failures)
+		fmt.Fprintf(&b, "%-12s", "engine")
+		for _, cls := range classes {
+			fmt.Fprintf(&b, " %13s", cls)
+		}
+		b.WriteString("\n")
+		for _, e := range engines {
+			if len(r.Failures[e]) == 0 {
+				continue
+			}
+			fmt.Fprintf(&b, "%-12s", e)
+			for _, cls := range classes {
+				fmt.Fprintf(&b, " %13d", r.Failures[e][cls])
+			}
+			b.WriteString("\n")
+		}
+	}
 	return b.String()
+}
+
+// failureClassOrder lists the error classes present in the failure
+// table, in the taxonomy's canonical order ("other" last).
+func failureClassOrder(failures map[string]map[string]int) []string {
+	present := map[string]bool{}
+	for _, fc := range failures {
+		for cls := range fc {
+			present[cls] = true
+		}
+	}
+	var out []string
+	for _, cls := range crawler.ErrorClasses() {
+		if present[string(cls)] {
+			out = append(out, string(cls))
+			delete(present, string(cls))
+		}
+	}
+	if present["other"] {
+		out = append(out, "other")
+		delete(present, "other")
+	}
+	// Anything else (future classes) sorts alphabetically at the end.
+	var rest []string
+	for cls := range present {
+		rest = append(rest, cls)
+	}
+	sort.Strings(rest)
+	return append(out, rest...)
 }
 
 // renderCDFs prints per-engine CDF rows for k = 0..5.

@@ -45,6 +45,16 @@ func (a *Accumulator) Report() *Report {
 			ThirdParty: e.thirdParty,
 			Blocked:    e.serpTracker + e.clickBlocked + e.destBlocked,
 		}
+		if len(e.failures) > 0 {
+			if r.Failures == nil {
+				r.Failures = make(map[string]map[string]int)
+			}
+			fc := make(map[string]int, len(e.failures))
+			for cls, c := range e.failures {
+				fc[cls] = c
+			}
+			r.Failures[name] = fc
+		}
 	}
 	return r
 }
@@ -235,6 +245,9 @@ func (a *Accumulator) Merge(b *Accumulator) error {
 
 func (a *Accumulator) mergeEngine(dst, src *engineAcc, remap func(uint32) uint32) {
 	dst.queries += src.queries
+	for cls, c := range src.failures {
+		dst.failures[cls] += c
+	}
 	for id := range src.dests {
 		dst.dests[remap(id)] = struct{}{}
 	}

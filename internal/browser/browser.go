@@ -82,6 +82,10 @@ type Options struct {
 	// Client labels this browser profile on every request it sends (see
 	// netsim.Request.Client); the crawler passes its iteration instance.
 	Client string
+	// Retry bounds document-navigation retries against injected faults
+	// (zero fields take the defaults — 3 attempts, 500ms base backoff
+	// capped at 8s, all on the browser's virtual clock).
+	Retry RetryPolicy
 }
 
 // Hop is one step of a navigation chain, as reconstructed by the paper's
@@ -99,6 +103,13 @@ type Hop struct {
 	Mechanism string
 	// SetCookieNames lists cookies set by this hop's response.
 	SetCookieNames []string
+	// Retries counts the extra attempts the retry policy spent on this
+	// hop (0 when the first attempt settled it).
+	Retries int
+	// FaultClass classifies the failure when this hop ended the
+	// navigation: injected faults carry their class, and an organic
+	// resolution failure classifies as dns. "" for successful hops.
+	FaultClass netsim.FaultClass
 }
 
 // NavResult is the outcome of a top-level navigation.
@@ -161,6 +172,7 @@ func New(net *netsim.Network, opts Options) *Browser {
 	if opts.Seed == (detrand.Source{}) {
 		opts.Seed = detrand.New(1)
 	}
+	opts.Retry = opts.Retry.withDefaults()
 	baseHeader := make(http.Header, 3)
 	baseHeader.Set("User-Agent", opts.Fingerprint.UserAgent)
 	if opts.Fingerprint.Headless {
@@ -281,11 +293,19 @@ func (b *Browser) navigate(rawURL, mechanism, referrer string) (*NavResult, erro
 			Initiator:  mechanism,
 			Referrer:   referrer,
 		}
-		resp, err := b.send(req, true)
+		resp, retries, err := b.sendDocument(req)
 		if err != nil {
+			// Record the failing hop so the dataset can attribute the
+			// loss: which URL, how it failed, how hard the browser tried.
+			h := Hop{URL: u.String(), Mechanism: mechanism, Retries: retries,
+				FaultClass: errorClassOf(resp, err)}
+			if resp != nil {
+				h.Status = resp.Status
+			}
+			res.Hops = append(res.Hops, h)
 			return res, err
 		}
-		h := Hop{URL: u.String(), Status: resp.Status, Mechanism: mechanism}
+		h := Hop{URL: u.String(), Status: resp.Status, Mechanism: mechanism, Retries: retries}
 		for _, c := range resp.SetCookies {
 			h.SetCookieNames = append(h.SetCookieNames, c.Name)
 		}

@@ -64,6 +64,11 @@ type Config struct {
 	// engine's index is read-only after build, so one engine is safely
 	// shared across Parallel engine goroutines.
 	Filter *filterlist.Engine
+	// Retry is the browsers' document-navigation retry policy against
+	// injected faults (zero fields = the browser defaults). Backoff
+	// runs on each browser's private virtual clock, so the policy is
+	// deterministic and free when the world injects no faults.
+	Retry browser.RetryPolicy
 }
 
 // Crawler runs the measurement pipeline.
@@ -382,6 +387,7 @@ func (c *Crawler) runIteration(engine *serp.Engine, query string, index int, vis
 		CaptureProb: c.cfg.CaptureProb,
 		Fingerprint: fp,
 		Seed:        w.Seed.Derive("browser", it.Instance),
+		Retry:       c.cfg.Retry,
 		// The instance label keys every origin server's identifier
 		// stream for this iteration's requests.
 		Client: it.Instance,
@@ -390,10 +396,12 @@ func (c *Crawler) runIteration(engine *serp.Engine, query string, index int, vis
 	// Stage 1 — before the click: main page, then the results page.
 	if _, err := b.Navigate("https://" + engine.Spec.Host + "/"); err != nil {
 		it.Error = fmt.Sprintf("home: %v", err)
+		it.ErrorClass = string(ClassifyError(err))
 		return it
 	}
 	if _, err := b.Navigate(engine.SearchURL(query)); err != nil {
 		it.Error = fmt.Sprintf("serp: %v", err)
+		it.ErrorClass = string(ClassifyError(err))
 		return it
 	}
 	it.SERPRequests = recordRequests(b.CrawlerRequests())
@@ -410,6 +418,7 @@ func (c *Crawler) runIteration(engine *serp.Engine, query string, index int, vis
 	}
 	if len(ads) == 0 {
 		it.Error = "no ads displayed"
+		it.ErrorClass = string(ClassNoAds)
 		it.CrawlerRequestCount = len(b.CrawlerRequests())
 		it.ExtensionRequestCount = len(b.ExtensionRequests())
 		return it
@@ -425,19 +434,18 @@ func (c *Crawler) runIteration(engine *serp.Engine, query string, index int, vis
 	res, err := b.Click(ads[choice])
 	if err != nil {
 		it.Error = fmt.Sprintf("click: %v", err)
+		it.ErrorClass = string(ClassifyError(err))
+		if res != nil {
+			// Keep the partial chain: the hop records carry the fault
+			// class and retry count, attributing exactly where and how
+			// the navigation was lost.
+			it.Hops = hopRecords(res.Hops)
+		}
 		it.CrawlerRequestCount = len(b.CrawlerRequests())
 		it.ExtensionRequestCount = len(b.ExtensionRequests())
 		return it
 	}
-	for _, h := range res.Hops {
-		it.Hops = append(it.Hops, HopRecord{
-			URL:            h.URL,
-			Status:         h.Status,
-			Location:       h.Location,
-			Mechanism:      h.Mechanism,
-			SetCookieNames: h.SetCookieNames,
-		})
-	}
+	it.Hops = hopRecords(res.Hops)
 	if res.FinalURL != nil {
 		it.FinalURL = res.FinalURL.String()
 	}
@@ -528,6 +536,26 @@ func chooseAd(ads []AdRecord, visited map[string]bool) int {
 		}
 	}
 	return 0
+}
+
+// hopRecords converts a navigation chain to dataset form.
+func hopRecords(hops []browser.Hop) []HopRecord {
+	if len(hops) == 0 {
+		return nil
+	}
+	out := make([]HopRecord, 0, len(hops))
+	for _, h := range hops {
+		out = append(out, HopRecord{
+			URL:            h.URL,
+			Status:         h.Status,
+			Location:       h.Location,
+			Mechanism:      h.Mechanism,
+			SetCookieNames: h.SetCookieNames,
+			Retries:        h.Retries,
+			FaultClass:     string(h.FaultClass),
+		})
+	}
+	return out
 }
 
 func recordRequests(reqs []*netsim.Request) []RequestRecord {

@@ -58,6 +58,12 @@ type HopRecord struct {
 	Location       string   `json:"location,omitempty"`
 	Mechanism      string   `json:"mechanism"`
 	SetCookieNames []string `json:"set_cookie_names,omitempty"`
+	// Retries counts extra attempts the browser's retry policy spent on
+	// this hop (0 when the first attempt settled it).
+	Retries int `json:"retries,omitempty"`
+	// FaultClass classifies the failure when this hop ended the chain
+	// ("" for successful hops) — per-hop loss attribution.
+	FaultClass string `json:"fault_class,omitempty"`
 }
 
 // AdRecord describes one displayed ad.
@@ -141,12 +147,25 @@ type Iteration struct {
 	ClickTrackerCount int `json:"click_tracker_count,omitempty"`
 	DestTrackerCount  int `json:"dest_tracker_count,omitempty"`
 
-	// Error records a failed iteration ("" on success).
-	Error string `json:"error,omitempty"`
+	// Error records a failed iteration ("" on success) — the free-form
+	// display string. ErrorClass is the typed form consumers branch on
+	// (see ErrorClass; derived from legacy strings on Load).
+	Error      string `json:"error,omitempty"`
+	ErrorClass string `json:"error_class,omitempty"`
 }
+
+// DatasetVersion is the current dataset schema revision. Version 2
+// added typed error classes and per-hop retry/fault records.
+const DatasetVersion = 2
 
 // Dataset is a complete crawl output.
 type Dataset struct {
+	// Version is the schema revision the dataset was saved with. Save
+	// stamps it only when version-2 fields are actually present, so a
+	// dataset without failures keeps the version-1 byte shape and
+	// fault-free crawls stay byte-identical to earlier releases; Load
+	// upgrades older files in place (see migrate).
+	Version     int       `json:"version,omitempty"`
 	Seed        int64     `json:"seed"`
 	StorageMode string    `json:"storage_mode"`
 	CreatedAt   time.Time `json:"created_at"`
@@ -181,6 +200,7 @@ func (d *Dataset) Engines() []string {
 
 // Save writes the dataset as JSON.
 func (d *Dataset) Save(path string) error {
+	d.stampVersion()
 	data, err := json.MarshalIndent(d, "", " ")
 	if err != nil {
 		return fmt.Errorf("crawler: marshal dataset: %w", err)
@@ -201,5 +221,43 @@ func Load(path string) (*Dataset, error) {
 	if err := json.Unmarshal(data, &d); err != nil {
 		return nil, fmt.Errorf("crawler: parse dataset: %w", err)
 	}
+	d.migrate()
 	return &d, nil
+}
+
+// stampVersion marks the dataset with the current schema revision when
+// any iteration carries version-2 fields. Datasets without them keep
+// the version-1 shape (no version key), which is what preserves
+// byte-identity for fault-free crawls.
+func (d *Dataset) stampVersion() {
+	if d.Version != 0 {
+		return
+	}
+	for _, it := range d.Iterations {
+		if it.ErrorClass != "" {
+			d.Version = DatasetVersion
+			return
+		}
+		for _, h := range it.Hops {
+			if h.Retries != 0 || h.FaultClass != "" {
+				d.Version = DatasetVersion
+				return
+			}
+		}
+	}
+}
+
+// migrate upgrades datasets saved before version 2 in place: typed
+// error classes are derived from the legacy display strings. The
+// Version field itself is left untouched so a load/save round trip of
+// an unaffected file stays byte-stable.
+func (d *Dataset) migrate() {
+	if d.Version >= DatasetVersion {
+		return
+	}
+	for _, it := range d.Iterations {
+		if it.Error != "" && it.ErrorClass == "" {
+			it.ErrorClass = string(ClassifyErrorString(it.Error))
+		}
+	}
 }

@@ -1,0 +1,92 @@
+package crawler
+
+import (
+	"errors"
+	"strings"
+
+	"searchads/internal/browser"
+	"searchads/internal/netsim"
+)
+
+// ErrorClass is the typed failure taxonomy for crawl iterations. The
+// display string (Iteration.Error) stays free-form for humans; the
+// class is what tests assert on and what the analysis failure counters
+// aggregate by, so loss attribution never depends on substring
+// matching against error prose.
+type ErrorClass string
+
+// The taxonomy. The first seven mirror netsim's injected fault classes
+// (organic failures with the same observable outcome — a dead host, an
+// origin's own 403 — classify identically); the last two are
+// crawl-level outcomes no network fault produces.
+const (
+	ClassDNS          ErrorClass = "dns"
+	ClassTLS          ErrorClass = "tls"
+	ClassTimeout      ErrorClass = "timeout"
+	ClassHTTP403      ErrorClass = "http_403"
+	ClassHTTP429      ErrorClass = "http_429"
+	ClassHTTP5xx      ErrorClass = "http_5xx"
+	ClassBotwall      ErrorClass = "botwall"
+	ClassRedirectLoop ErrorClass = "redirect_loop"
+	ClassNoAds        ErrorClass = "no_ads"
+)
+
+// ErrorClasses lists the taxonomy in canonical (render) order.
+func ErrorClasses() []ErrorClass {
+	return []ErrorClass{
+		ClassDNS, ClassTLS, ClassTimeout,
+		ClassHTTP403, ClassHTTP429, ClassHTTP5xx,
+		ClassBotwall, ClassRedirectLoop, ClassNoAds,
+	}
+}
+
+// ClassifyError maps a navigation error to its class ("" for nil or
+// unclassifiable errors).
+func ClassifyError(err error) ErrorClass {
+	if err == nil {
+		return ""
+	}
+	if fe, ok := netsim.AsFault(err); ok {
+		return ErrorClass(fe.Class)
+	}
+	var fre *browser.FaultResponseError
+	if errors.As(err, &fre) {
+		return ErrorClass(fre.Class)
+	}
+	if errors.Is(err, netsim.ErrNoSuchHost) {
+		return ClassDNS
+	}
+	if errors.Is(err, browser.ErrTooManyRedirects) {
+		return ClassRedirectLoop
+	}
+	return ""
+}
+
+// ClassifyErrorString recovers a class from a legacy display string —
+// the Load-path migration for datasets saved before the typed taxonomy
+// existed ("" when the string matches nothing known).
+func ClassifyErrorString(s string) ErrorClass {
+	switch {
+	case s == "":
+		return ""
+	case strings.Contains(s, "no ads displayed"):
+		return ClassNoAds
+	case strings.Contains(s, "no such host"), strings.Contains(s, "injected dns fault"):
+		return ClassDNS
+	case strings.Contains(s, "too many redirects"):
+		return ClassRedirectLoop
+	case strings.Contains(s, "injected tls fault"):
+		return ClassTLS
+	case strings.Contains(s, "injected timeout fault"):
+		return ClassTimeout
+	case strings.Contains(s, "botwall fault"):
+		return ClassBotwall
+	case strings.Contains(s, "http_403 fault"):
+		return ClassHTTP403
+	case strings.Contains(s, "http_429 fault"):
+		return ClassHTTP429
+	case strings.Contains(s, "http_5xx fault"):
+		return ClassHTTP5xx
+	}
+	return ""
+}

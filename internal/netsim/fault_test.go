@@ -1,0 +1,222 @@
+package netsim
+
+import (
+	"net/http"
+	"strconv"
+	"testing"
+	"time"
+
+	"searchads/internal/urlx"
+)
+
+func faultyNetwork(t *testing.T, plan FaultPlan) *Network {
+	t.Helper()
+	n := NewNetwork()
+	n.HandleSite("shop.example", echoHandler("ok"))
+	n.InstallFaults(plan)
+	return n
+}
+
+// drive replays a fixed request schedule against the network and
+// returns the observed outcome per request: the fault class, or "" when
+// the request went through clean.
+func drive(t *testing.T, n *Network, clients []string, perClient int) []string {
+	t.Helper()
+	var out []string
+	for i := 0; i < perClient; i++ {
+		for _, c := range clients {
+			req := &Request{
+				URL:    urlx.MustParse("https://www.shop.example/p/" + strconv.Itoa(i)),
+				Client: c,
+			}
+			resp, err := n.RoundTrip(req)
+			switch {
+			case err != nil:
+				fe, ok := AsFault(err)
+				if !ok {
+					t.Fatalf("non-fault error: %v", err)
+				}
+				out = append(out, string(fe.Class))
+			case resp.Fault != "":
+				out = append(out, string(resp.Fault))
+			default:
+				out = append(out, "")
+			}
+		}
+	}
+	return out
+}
+
+// TestFaultInjectionDeterministic: the same plan over the same
+// per-client request schedule yields the same fault sequence — even
+// when clients are interleaved differently, because decisions key on
+// (client, per-client serial), not arrival order.
+func TestFaultInjectionDeterministic(t *testing.T) {
+	plan := FaultPlan{Seed: 99, Rates: FaultRates{Timeout: 0.2, HTTP429: 0.2, Botwall: 0.1}}
+	clients := []string{"bing-0", "bing-1", "google-0"}
+
+	a := drive(t, faultyNetwork(t, plan), clients, 40)
+	b := drive(t, faultyNetwork(t, plan), clients, 40)
+	var faults int
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("request %d: fault %q vs %q across identical runs", i, a[i], b[i])
+		}
+		if a[i] != "" {
+			faults++
+		}
+	}
+	if faults == 0 {
+		t.Fatal("plan injected nothing over 120 requests at total rate 0.5")
+	}
+
+	// A different seed must produce a different sequence.
+	other := plan
+	other.Seed = 100
+	c := drive(t, faultyNetwork(t, other), clients, 40)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seed change did not change the fault sequence")
+	}
+}
+
+// TestFaultZeroPlanDisarmed: installing a zero plan is a strict no-op.
+func TestFaultZeroPlanDisarmed(t *testing.T) {
+	n := faultyNetwork(t, FaultPlan{Seed: 7})
+	if n.FaultsArmed() {
+		t.Fatal("zero plan armed the injector")
+	}
+	for _, cls := range drive(t, n, []string{"c"}, 50) {
+		if cls != "" {
+			t.Fatalf("zero plan injected %q", cls)
+		}
+	}
+}
+
+// TestFaultResponseShapes: response-stage faults carry the right status
+// and headers; connection-stage faults surface as FaultError.
+func TestFaultResponseShapes(t *testing.T) {
+	cases := []struct {
+		class      FaultClass
+		wantErr    bool
+		wantStatus int
+	}{
+		{FaultDNS, true, 0},
+		{FaultTLS, true, 0},
+		{FaultTimeout, true, 0},
+		{FaultHTTP403, false, http.StatusForbidden},
+		{FaultHTTP429, false, http.StatusTooManyRequests},
+		{FaultHTTP5xx, false, http.StatusServiceUnavailable},
+		{FaultBotwall, false, http.StatusForbidden},
+	}
+	for _, tc := range cases {
+		rates := FaultRates{}
+		switch tc.class {
+		case FaultDNS:
+			rates.DNS = 1
+		case FaultTLS:
+			rates.TLS = 1
+		case FaultTimeout:
+			rates.Timeout = 1
+		case FaultHTTP403:
+			rates.HTTP403 = 1
+		case FaultHTTP429:
+			rates.HTTP429 = 1
+		case FaultHTTP5xx:
+			rates.HTTP5xx = 1
+		case FaultBotwall:
+			rates.Botwall = 1
+		}
+		n := faultyNetwork(t, FaultPlan{Seed: 1, Rates: rates})
+		resp, err := n.RoundTrip(&Request{URL: urlx.MustParse("https://www.shop.example/"), Client: "c"})
+		if tc.wantErr {
+			fe, ok := AsFault(err)
+			if !ok || fe.Class != tc.class {
+				t.Fatalf("%s: err = %v, want injected %s fault", tc.class, err, tc.class)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("%s: unexpected error %v", tc.class, err)
+		}
+		if resp.Status != tc.wantStatus || resp.Fault != tc.class {
+			t.Fatalf("%s: status=%d fault=%q, want status=%d fault=%q",
+				tc.class, resp.Status, resp.Fault, tc.wantStatus, tc.class)
+		}
+		if tc.class == FaultHTTP429 {
+			if ra := resp.RetryAfterSeconds(); ra != defaultRetryAfter {
+				t.Fatalf("429 Retry-After = %v, want %v", ra, defaultRetryAfter)
+			}
+		}
+	}
+}
+
+// TestFaultSiteRateOverride: SiteRates pins a site to its own mix,
+// overriding the global rates entirely for that registrable domain.
+func TestFaultSiteRateOverride(t *testing.T) {
+	n := NewNetwork()
+	n.HandleSite("shop.example", echoHandler("ok"))
+	n.HandleSite("cdn.example", echoHandler("ok"))
+	n.InstallFaults(FaultPlan{
+		Seed:      3,
+		Rates:     FaultRates{HTTP5xx: 1},
+		SiteRates: map[string]FaultRates{"cdn.example": {}},
+	})
+	if resp, err := n.RoundTrip(&Request{URL: urlx.MustParse("https://a.cdn.example/x"), Client: "c"}); err != nil || resp.Fault != "" {
+		t.Fatalf("overridden site still faulted: resp=%+v err=%v", resp, err)
+	}
+	if resp, err := n.RoundTrip(&Request{URL: urlx.MustParse("https://www.shop.example/x"), Client: "c"}); err != nil || resp.Fault != FaultHTTP5xx {
+		t.Fatalf("global rate did not apply: resp=%+v err=%v", resp, err)
+	}
+}
+
+// TestProfileRates: the named profiles scale with the overall rate and
+// reject out-of-range inputs.
+func TestProfileRates(t *testing.T) {
+	for _, p := range []string{ProfileOff, ProfileFlakyEdge, ProfileBotHostile, ProfileBrownout} {
+		r, err := ProfileRates(p, 0.2)
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		if p == ProfileOff {
+			if !r.IsZero() {
+				t.Fatalf("off profile rates = %+v", r)
+			}
+			continue
+		}
+		if got := r.Total(); got < 0.2-1e-9 || got > 0.2+1e-9 {
+			t.Fatalf("%s: total = %g, want 0.2", p, got)
+		}
+	}
+	if _, err := ProfileRates("hurricane", 0.1); err == nil {
+		t.Fatal("unknown profile accepted")
+	}
+	if _, err := ProfileRates(ProfileBrownout, -0.1); err == nil {
+		t.Fatal("negative rate accepted")
+	}
+	if _, err := ProfileRates(ProfileBrownout, 1.1); err == nil {
+		t.Fatal("rate > 1 accepted")
+	}
+}
+
+// TestRetryAfterSecondsParsing covers the header round trip.
+func TestRetryAfterSecondsParsing(t *testing.T) {
+	resp := NewResponse(http.StatusTooManyRequests)
+	if got := resp.RetryAfterSeconds(); got != 0 {
+		t.Fatalf("absent header parsed as %v", got)
+	}
+	resp.SetHeader("Retry-After", "45")
+	if got := resp.RetryAfterSeconds(); got != 45*time.Second {
+		t.Fatalf("Retry-After 45 parsed as %v", got)
+	}
+	resp.SetHeader("Retry-After", "soon")
+	if got := resp.RetryAfterSeconds(); got != 0 {
+		t.Fatalf("garbage header parsed as %v", got)
+	}
+}

@@ -9,6 +9,23 @@
 // exactly the way Chromium issues them through the real network stack, and
 // all of the paper's observations (redirect chains, Set-Cookie headers,
 // query parameters) are properties of this traffic.
+//
+// # Fault injection
+//
+// The live web is adversarial — DNS failures, TLS errors, timeouts,
+// 403/429 rate limiting, 5xx brownouts, and bot walls all degrade a
+// crawl — and a Network can reproduce that deterministically: install
+// a FaultPlan with InstallFaults and RoundTrip injects seeded failures
+// before a request reaches its origin handler. Decisions derive from
+// detrand keyed by (plan seed, Request.Client, per-client serial), so
+// the same seed produces the same faults and Parallel crawls fault
+// byte-identically to sequential ones. Connection-stage faults (dns,
+// tls, timeout) return a *FaultError; response-stage faults (http_403,
+// http_429 with Retry-After, http_5xx, botwall interstitials) return a
+// *Response carrying the in-memory Fault marker, which is how an
+// injected 403 stays distinguishable from an origin's organic one. A
+// zero plan is a strict no-op: behaviour and every serialized byte
+// match a network with no plan installed. See fault.go.
 package netsim
 
 import (
@@ -170,6 +187,12 @@ type Response struct {
 	// Script is the behaviour delivered by a script response; the browser
 	// executes it in the context of the including page.
 	Script ScriptProgram
+
+	// Fault marks a response that was injected by the network's fault
+	// stage rather than served by the origin ("" for organic responses,
+	// including organic 4xx/5xx). In-memory only — never serialized —
+	// so a zero FaultPlan leaves datasets byte-identical.
+	Fault FaultClass
 }
 
 // NewResponse returns an empty response with the given status. The
@@ -253,6 +276,9 @@ type Network struct {
 	// keepWire is atomic so the (almost always disabled) wire log costs
 	// RoundTrip one load instead of a mutex round trip per exchange.
 	keepWire atomic.Bool
+	// faults is the armed fault-injection state (nil = off), a pointer
+	// load per exchange for the same reason as keepWire.
+	faults atomic.Pointer[faultState]
 }
 
 // NewNetwork returns an empty network whose clock starts at the study
@@ -365,7 +391,18 @@ func (n *Network) RoundTrip(req *Request) (*Response, error) {
 		req.Time = n.clock.Now()
 		n.clock.Advance(latencyPerExchange)
 	}
-	resp := handler.Serve(req)
+	var resp *Response
+	if fs := n.faults.Load(); fs != nil {
+		injected, err := fs.inject(req)
+		if err != nil {
+			// Connection-stage fault: no response ever reached the wire.
+			return nil, err
+		}
+		resp = injected
+	}
+	if resp == nil {
+		resp = handler.Serve(req)
+	}
 	if resp == nil {
 		resp = NewResponse(http.StatusNoContent)
 	}

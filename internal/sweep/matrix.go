@@ -1,7 +1,7 @@
 // Package sweep orchestrates families of studies: it expands a
 // declarative scenario matrix (seeds × storage modes × filter
-// annotation × stealth × engine subsets) into concrete study
-// configurations, executes every cell on a bounded, cancellable worker
+// annotation × stealth × engine subsets × fault profiles × fault
+// rates) into concrete study configurations, executes every cell on a bounded, cancellable worker
 // pool — each cell is the deterministic crawl-and-analyze pipeline
 // behind searchads.Study, so any cell reproduces byte-identically in
 // isolation — and folds each cell's crawl one iteration at a time
@@ -19,6 +19,7 @@ import (
 	"strconv"
 	"strings"
 
+	"searchads/internal/netsim"
 	"searchads/internal/storage"
 )
 
@@ -44,6 +45,14 @@ type Matrix struct {
 	// EngineSets lists engine subsets to crawl; a nil or empty set
 	// means all five engines (default: one all-engines set).
 	EngineSets [][]string
+	// FaultProfiles lists netsim fault profiles to sweep (default:
+	// "off"). See netsim.ProfileRates for the named class mixes.
+	FaultProfiles []string
+	// FaultRates lists overall per-request fault-injection rates to
+	// sweep (default: 0). Crossed with FaultProfiles like any other
+	// dimension, so a sweep quantifies metric bias versus injection
+	// rate directly.
+	FaultRates []float64
 	// QueriesPerEngine sizes each cell's query corpus (0 = the
 	// library default, 500 — the paper's scale).
 	QueriesPerEngine int
@@ -64,6 +73,8 @@ type Cell struct {
 	Storage          storage.Mode
 	FilterAnnotate   bool
 	NoStealth        bool
+	FaultProfile     string
+	FaultRate        float64
 	QueriesPerEngine int
 	Iterations       int
 	SkipRevisit      bool
@@ -86,6 +97,12 @@ func (m Matrix) withDefaults() Matrix {
 	if len(m.EngineSets) == 0 {
 		m.EngineSets = [][]string{nil}
 	}
+	if len(m.FaultProfiles) == 0 {
+		m.FaultProfiles = []string{"off"}
+	}
+	if len(m.FaultRates) == 0 {
+		m.FaultRates = []float64{0}
+	}
 	return m
 }
 
@@ -99,19 +116,25 @@ func (m Matrix) Expand() []Cell {
 		for _, filter := range m.FilterAnnotate {
 			for _, stealth := range m.Stealth {
 				for _, set := range m.EngineSets {
-					scenario := scenarioName(st, filter, stealth, set)
-					for _, seed := range m.Seeds {
-						cells = append(cells, Cell{
-							Scenario:         scenario,
-							Seed:             seed,
-							Engines:          set,
-							Storage:          st,
-							FilterAnnotate:   filter,
-							NoStealth:        !stealth,
-							QueriesPerEngine: m.QueriesPerEngine,
-							Iterations:       m.Iterations,
-							SkipRevisit:      m.SkipRevisit,
-						})
+					for _, profile := range m.FaultProfiles {
+						for _, rate := range m.FaultRates {
+							scenario := scenarioName(st, filter, stealth, set, profile, rate)
+							for _, seed := range m.Seeds {
+								cells = append(cells, Cell{
+									Scenario:         scenario,
+									Seed:             seed,
+									Engines:          set,
+									Storage:          st,
+									FilterAnnotate:   filter,
+									NoStealth:        !stealth,
+									FaultProfile:     profile,
+									FaultRate:        rate,
+									QueriesPerEngine: m.QueriesPerEngine,
+									Iterations:       m.Iterations,
+									SkipRevisit:      m.SkipRevisit,
+								})
+							}
+						}
 					}
 				}
 			}
@@ -133,9 +156,16 @@ func (m Matrix) Scenarios() []string {
 	return names
 }
 
-func scenarioName(st storage.Mode, filter, stealth bool, set []string) string {
-	return fmt.Sprintf("storage=%s,filter=%s,stealth=%s,engines=%s",
+func scenarioName(st storage.Mode, filter, stealth bool, set []string, profile string, rate float64) string {
+	name := fmt.Sprintf("storage=%s,filter=%s,stealth=%s,engines=%s",
 		st, onOff(filter), onOff(stealth), engineSetLabel(set))
+	// The fault segment appears only when the fault dimensions leave
+	// their defaults, so matrices that never mention faults keep their
+	// exact pre-chaos scenario names.
+	if profile != "off" && profile != "" || rate != 0 {
+		name += fmt.Sprintf(",faults=%s@%s", profile, strconv.FormatFloat(rate, 'g', -1, 64))
+	}
+	return name
 }
 
 func onOff(b bool) string {
@@ -170,6 +200,12 @@ func (m Matrix) Overlay(o Matrix) Matrix {
 	if len(o.EngineSets) > 0 {
 		m.EngineSets = o.EngineSets
 	}
+	if len(o.FaultProfiles) > 0 {
+		m.FaultProfiles = o.FaultProfiles
+	}
+	if len(o.FaultRates) > 0 {
+		m.FaultRates = o.FaultRates
+	}
 	if o.QueriesPerEngine != 0 {
 		m.QueriesPerEngine = o.QueriesPerEngine
 	}
@@ -190,6 +226,8 @@ func (m Matrix) Overlay(o Matrix) Matrix {
 //	filter=off,on          crawl-time filter annotation
 //	stealth=on,off         stealth fingerprint
 //	engines=all,bing+google  engine subsets ('+' joins a subset)
+//	faults=off,bot-hostile fault profiles (see netsim.ProfileRates)
+//	fault-rate=0,0.05,0.2  fault-injection rates
 //	queries=80             queries per engine (single value)
 //	iterations=40          iteration cap per engine (single value)
 //
@@ -267,6 +305,23 @@ func ParseMatrix(s string) (Matrix, error) {
 				}
 				m.EngineSets = append(m.EngineSets, set)
 			}
+		case "faults":
+			for _, p := range parts {
+				// Validate eagerly so a typo fails at parse time, not
+				// per cell mid-sweep (any rate works for validation).
+				if _, err := netsim.ProfileRates(strings.ToLower(p), 0); err != nil {
+					return m, fmt.Errorf("sweep: %w", err)
+				}
+				m.FaultProfiles = append(m.FaultProfiles, strings.ToLower(p))
+			}
+		case "fault-rate", "fault_rate":
+			for _, p := range parts {
+				f, err := strconv.ParseFloat(p, 64)
+				if err != nil || f < 0 || f > 1 {
+					return m, fmt.Errorf("sweep: bad fault rate %q (want a value in [0, 1])", p)
+				}
+				m.FaultRates = append(m.FaultRates, f)
+			}
 		case "queries":
 			n, err := singleInt(parts)
 			if err != nil {
@@ -280,7 +335,7 @@ func ParseMatrix(s string) (Matrix, error) {
 			}
 			m.Iterations = n
 		default:
-			return m, fmt.Errorf("sweep: unknown matrix key %q (want seeds, storage, filter, stealth, engines, queries, or iterations)", key)
+			return m, fmt.Errorf("sweep: unknown matrix key %q (want seeds, storage, filter, stealth, engines, faults, fault-rate, queries, or iterations)", key)
 		}
 	}
 	return m, nil
@@ -333,6 +388,13 @@ var presets = map[string]Matrix{
 	// stealth-ablation contrasts the stealth and naive-headless
 	// fingerprints (§3.1: without stealth the engines serve no ads).
 	"stealth-ablation": {Stealth: []bool{true, false}},
+	// chaos-robustness quantifies metric bias under adversarial-web
+	// failure injection: the bot-hostile profile (bot walls, 403, 429)
+	// swept across injection rates, rate 0 as the control.
+	"chaos-robustness": {
+		FaultProfiles: []string{"bot-hostile"},
+		FaultRates:    []float64{0, 0.05, 0.1, 0.2},
+	},
 }
 
 // Preset returns a named scenario matrix.

@@ -11,6 +11,7 @@ import (
 	"searchads/internal/crawler"
 	"searchads/internal/entities"
 	"searchads/internal/filterlist"
+	"searchads/internal/netsim"
 	"searchads/internal/websim"
 )
 
@@ -63,6 +64,11 @@ type CellResult struct {
 	// stealth-off cells) — observed as the cell's stream goes by.
 	Iterations      int `json:"iterations"`
 	IterationErrors int `json:"iteration_errors"`
+	// FailureClasses attributes the errored iterations by typed error
+	// class, summed across the cell's engines (absent when the cell
+	// recorded no failures — fault-free sweep output keeps its exact
+	// pre-chaos shape).
+	FailureClasses map[string]int `json:"failure_classes,omitempty"`
 	// Err is the cell-level failure ("" on success; canceled cells
 	// carry the context error). Errored cells are excluded from
 	// aggregation and make Run return an error.
@@ -214,6 +220,14 @@ func (r *runner) runCell(ctx context.Context, i int) {
 			for _, e := range rep.EngineOrder {
 				cr.Metrics[e] = rep.EngineMetrics(e)
 			}
+			for _, fc := range rep.Failures {
+				if cr.FailureClasses == nil {
+					cr.FailureClasses = make(map[string]int)
+				}
+				for cls, n := range fc {
+					cr.FailureClasses[cls] += n
+				}
+			}
 		}
 	}
 	if err != nil {
@@ -236,11 +250,19 @@ func (r *runner) runCell(ctx context.Context, i int) {
 // holds it, folded, and dropped — which is what keeps sweep memory
 // O(parallelism · iteration) instead of O(parallelism · dataset).
 func (r *runner) crawlAndAnalyze(ctx context.Context, c Cell, cr *CellResult) (*analysis.Report, error) {
-	world := websim.NewWorld(websim.Config{
+	wcfg := websim.Config{
 		Seed:             c.Seed,
 		Engines:          c.Engines,
 		QueriesPerEngine: c.QueriesPerEngine,
-	})
+	}
+	if c.FaultRate > 0 {
+		rates, err := netsim.ProfileRates(c.FaultProfile, c.FaultRate)
+		if err != nil {
+			return nil, err
+		}
+		wcfg.Faults = netsim.FaultPlan{Rates: rates}
+	}
+	world := websim.NewWorld(wcfg)
 	var crawlFilter *filterlist.Engine
 	if c.FilterAnnotate {
 		crawlFilter = r.filter

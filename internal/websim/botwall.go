@@ -1,0 +1,30 @@
+package websim
+
+import (
+	"net/http"
+
+	"searchads/internal/netsim"
+)
+
+// botwallInterstitial builds the bot-wall/CAPTCHA challenge page the
+// fault layer serves in place of the origin's document — the
+// "checking your browser" interstitial CDNs and anti-bot vendors put
+// in front of suspected crawlers. It is a real page (the browser
+// settles on it, loads nothing, and finds no ads), served with 403 the
+// way Cloudflare-style challenges are, and carries no identifiers or
+// resources so it perturbs nothing beyond the blocked navigation.
+func botwallInterstitial(req *netsim.Request) *netsim.Response {
+	page := &netsim.Page{
+		Title: "Attention Required",
+		Root: netsim.NewElement("div", "id", "challenge-form"),
+	}
+	page.Root.Children = []*netsim.Element{
+		{Tag: "h1", Text: "Checking your browser before accessing " + req.URL.Host},
+		{Tag: "p", Text: "Please complete the security check to continue."},
+		netsim.NewElement("div", "class", "captcha-widget", "data-sitekey", "challenge"),
+	}
+	resp := netsim.NewResponse(http.StatusForbidden)
+	resp.Page = page
+	resp.Body = page.Title
+	return resp
+}

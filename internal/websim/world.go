@@ -34,6 +34,12 @@ type Config struct {
 	// to every engine's stack distribution — the §5 extension: UIDs
 	// passed through document.referrer instead of query parameters.
 	EnableReferrerSmuggling bool
+	// Faults arms the network's deterministic failure injection (see
+	// netsim.FaultPlan). The zero plan injects nothing and leaves the
+	// world byte-identical to one built without it. A zero plan Seed
+	// defaults to the world seed, and the botwall interstitial defaults
+	// to websim's CAPTCHA challenge page.
+	Faults netsim.FaultPlan
 }
 
 func (c Config) withDefaults() Config {
@@ -255,6 +261,18 @@ func NewWorld(cfg Config) *World {
 	// 6. Query corpora for the crawled engines.
 	for _, name := range cfg.Engines {
 		w.Queries[name] = workload.Generate(workload.Mixed, seed.Derive("queries", name), cfg.QueriesPerEngine)
+	}
+
+	// 7. Chaos layer: arm deterministic fault injection when configured.
+	if !cfg.Faults.IsZero() {
+		plan := cfg.Faults
+		if plan.Seed == 0 {
+			plan.Seed = cfg.Seed
+		}
+		if plan.Interstitial == nil {
+			plan.Interstitial = botwallInterstitial
+		}
+		w.Net.InstallFaults(plan)
 	}
 	return w
 }

@@ -207,6 +207,16 @@ type Config struct {
 	// the world (the paper's §5 limitation, implemented as an
 	// extension; Report.After[*].ReferrerUID measures it).
 	ReferrerSmuggling bool
+	// FaultProfile names the chaos layer's failure mix — "off" (or ""),
+	// "flaky-edge", "bot-hostile", or "brownout" (see FaultProfiles).
+	// An unknown name fails the first Crawl/Iterations/Analyze call.
+	FaultProfile string
+	// FaultRate is the overall per-request fault-injection probability
+	// the profile's mix distributes, in [0, 1]. 0 disarms injection
+	// entirely: datasets and reports are byte-identical to a study that
+	// never mentioned faults. Faults are seeded from Seed, so equal
+	// configs fail identically — sequential or Parallel.
+	FaultRate float64
 	// Parallel crawls iterations on a worker pool spanning all cores.
 	// The dataset is byte-identical to a sequential crawl of the same
 	// Config: identifier streams derive from (engine, iteration) labels
@@ -228,6 +238,7 @@ type Config struct {
 // Study owns one world and the artifacts derived from it.
 type Study struct {
 	cfg     Config
+	cfgErr  error // invalid config (e.g. unknown fault profile), surfaced on first use
 	world   *World
 	crawled bool // a live crawl has touched (or partially touched) the world
 	dataset *Dataset
@@ -240,18 +251,33 @@ type Study struct {
 
 // NewStudy builds the simulated web for the given config.
 func NewStudy(cfg Config) *Study {
-	return &Study{cfg: cfg, world: buildWorld(cfg)}
+	w, err := buildWorld(cfg)
+	return &Study{cfg: cfg, world: w, cfgErr: err}
 }
 
-func buildWorld(cfg Config) *World {
-	return websim.NewWorld(websim.Config{
+func buildWorld(cfg Config) (*World, error) {
+	wcfg := websim.Config{
 		Seed:                    cfg.Seed,
 		Engines:                 cfg.Engines,
 		QueriesPerEngine:        cfg.QueriesPerEngine,
 		Calibrations:            cfg.Calibrations,
 		EnableReferrerSmuggling: cfg.ReferrerSmuggling,
-	})
+	}
+	if cfg.FaultProfile != "" || cfg.FaultRate != 0 {
+		rates, err := netsim.ProfileRates(cfg.FaultProfile, cfg.FaultRate)
+		if err != nil {
+			// Build the world anyway (zero faults) so the study object
+			// stays usable for inspection; the stashed error surfaces
+			// from every crawl entry point.
+			return websim.NewWorld(wcfg), err
+		}
+		wcfg.Faults = netsim.FaultPlan{Rates: rates}
+	}
+	return websim.NewWorld(wcfg), nil
 }
+
+// FaultProfiles lists the chaos layer's named fault profiles.
+func FaultProfiles() []string { return netsim.FaultProfileNames() }
 
 // World exposes the underlying simulated web (e.g. to serve it over
 // net/http via netsim.HTTPBridge). Starting a crawl after a previous
@@ -265,7 +291,9 @@ func (s *Study) World() *World { return s.world }
 // rebuilding from the config restores the exact fresh-study state.
 func (s *Study) freshWorld() *World {
 	if s.crawled {
-		s.world = buildWorld(s.cfg)
+		// cfgErr cannot appear here: entry points refuse to crawl a
+		// study whose config never validated.
+		s.world, _ = buildWorld(s.cfg)
 		s.crawled = false
 	}
 	return s.world
@@ -306,6 +334,9 @@ func (s *Study) NewDataset() *Dataset {
 // and an error wrapping ErrCanceled (and ctx.Err()) if ctx is canceled
 // mid-crawl; nothing is cached then, and the next call starts afresh.
 func (s *Study) Crawl(ctx context.Context) (*Dataset, error) {
+	if s.cfgErr != nil {
+		return nil, s.cfgErr
+	}
 	if s.dataset != nil {
 		return s.dataset, nil
 	}
@@ -347,6 +378,10 @@ func (s *Study) Crawl(ctx context.Context) (*Dataset, error) {
 // re-crawls from scratch — deterministically, as a fresh study would.
 func (s *Study) Iterations(ctx context.Context) iter.Seq2[*Iteration, error] {
 	return func(yield func(*Iteration, error) bool) {
+		if s.cfgErr != nil {
+			yield(nil, s.cfgErr)
+			return
+		}
 		if s.dataset != nil {
 			for _, it := range s.dataset.Iterations {
 				if err := ctx.Err(); err != nil {

@@ -9,6 +9,7 @@ package searchads_test
 import (
 	"context"
 	"fmt"
+	"path/filepath"
 	"sync"
 	"testing"
 
@@ -634,6 +635,36 @@ func BenchmarkStudyCrawlFaults(b *testing.B) {
 					Faults:           netsim.FaultPlan{Rates: rates},
 				})
 				ds, err := crawler.New(crawler.Config{World: w}).Run(context.Background())
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(ds.Iterations) != 200 {
+					b.Fatalf("iterations = %d", len(ds.Iterations))
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkStudyCrawlCheckpoint is BenchmarkStudyCrawl through the
+// facade with crash-safe checkpointing in the loop. off runs the same
+// 5-engine, 200-iteration study with checkpointing disabled — CI gates
+// it at <3% ns/op over BenchmarkStudyCrawl, pinning that the resume
+// plumbing costs nothing when off. on checkpoints to a temp file at the
+// default interval (periodic atomic write + fsync, final removal) and
+// is recorded informationally in BENCH_checkpoint.json as the price of
+// crash safety.
+func BenchmarkStudyCrawlCheckpoint(b *testing.B) {
+	for _, mode := range []string{"off", "on"} {
+		b.Run(mode, func(b *testing.B) {
+			dir := b.TempDir()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				cfg := searchads.Config{Seed: 1009, QueriesPerEngine: 40}
+				if mode == "on" {
+					cfg.Checkpoint = filepath.Join(dir, "bench.ckpt")
+				}
+				ds, err := searchads.NewStudy(cfg).Crawl(context.Background())
 				if err != nil {
 					b.Fatal(err)
 				}

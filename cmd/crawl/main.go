@@ -9,11 +9,20 @@
 //	crawl -out dataset.json [-seed 1] [-engines bing,google] [-queries 500]
 //	      [-iterations 0] [-partitioned] [-no-stealth] [-skip-revisit]
 //	      [-faults off|flaky-edge|bot-hostile|brownout] [-fault-rate 0.05]
+//	      [-checkpoint run.ckpt [-resume]]
 //
 // Injected faults degrade iterations, never the process: fault-failed
 // iterations are recorded (with typed error classes) and counted in the
 // summary, and the exit status stays zero unless a non-fault error —
 // bad config, cancellation, an unwritable output — occurs.
+//
+// With -checkpoint, the crawl periodically writes a crash-safe progress
+// file; SIGINT writes a final checkpoint before exiting 130 and prints
+// the exact -resume invocation. Re-running with -resume continues from
+// the checkpoint and produces a dataset byte-identical to an
+// uninterrupted crawl. A damaged checkpoint is discarded with a warning
+// and the crawl restarts from scratch; a checkpoint from a different
+// configuration is a hard error.
 package main
 
 import (
@@ -44,9 +53,22 @@ func main() {
 		refSmuggle  = flag.Bool("referrer-smuggling", false, "enable the referrer-based UID-smuggling service")
 		faults      = flag.String("faults", "off", "fault-injection profile: "+strings.Join(searchads.FaultProfiles(), ", "))
 		faultRate   = flag.Float64("fault-rate", 0, "overall per-request fault-injection rate in [0, 1]")
+		ckpt        = flag.String("checkpoint", "", "crash-safe checkpoint file (SIGINT writes a final checkpoint before exiting)")
+		resume      = flag.Bool("resume", false, "continue from an existing -checkpoint file")
 		quiet       = flag.Bool("quiet", false, "suppress progress output")
 	)
 	flag.Parse()
+
+	if *resume && *ckpt == "" {
+		fmt.Fprintln(os.Stderr, "crawl: -resume requires -checkpoint")
+		os.Exit(1)
+	}
+	if *ckpt != "" && !*resume {
+		if _, err := os.Stat(*ckpt); err == nil {
+			fmt.Fprintf(os.Stderr, "crawl: checkpoint %s already exists; pass -resume to continue it or delete the file to start over\n", *ckpt)
+			os.Exit(1)
+		}
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
@@ -68,21 +90,36 @@ func main() {
 	if *partitioned {
 		cfg.Storage = searchads.PartitionedStorage
 	}
+	cfg.Checkpoint = *ckpt
 
 	study := searchads.NewStudy(cfg)
 	if !*quiet {
 		fmt.Fprintln(os.Stderr, "building world and crawling... (Ctrl-C cancels and keeps the partial dataset)")
 	}
-	// Assemble the dataset from the stream so a canceled crawl still
-	// leaves the iterations crawled so far on disk.
-	ds := study.NewDataset()
+	var ds *searchads.Dataset
 	var streamErr error
-	for it, err := range study.Iterations(ctx) {
-		if err != nil {
-			streamErr = err
-			break
+	if cfg.Checkpoint != "" {
+		// The checkpointed path: Resume fast-forwards past anything a
+		// previous run recorded (a missing file just starts fresh) and
+		// hands back the partial dataset on cancellation.
+		ds, streamErr = study.Resume(ctx)
+		if errors.Is(streamErr, searchads.ErrCheckpointCorrupt) {
+			fmt.Fprintf(os.Stderr, "crawl: %v\ncrawl: discarding the damaged checkpoint and restarting from scratch\n", streamErr)
+			os.Remove(cfg.Checkpoint)
+			study = searchads.NewStudy(cfg)
+			ds, streamErr = study.Resume(ctx)
 		}
-		ds.Iterations = append(ds.Iterations, it)
+	} else {
+		// Assemble the dataset from the stream so a canceled crawl still
+		// leaves the iterations crawled so far on disk.
+		ds = study.NewDataset()
+		for it, err := range study.Iterations(ctx) {
+			if err != nil {
+				streamErr = err
+				break
+			}
+			ds.Iterations = append(ds.Iterations, it)
+		}
 	}
 	if streamErr != nil && !errors.Is(streamErr, searchads.ErrCanceled) {
 		fmt.Fprintln(os.Stderr, "crawl:", streamErr)
@@ -123,6 +160,22 @@ func main() {
 	if streamErr != nil {
 		fmt.Fprintf(os.Stderr, "crawl: canceled after %d iterations; partial dataset kept: %v\n",
 			len(ds.Iterations), streamErr)
+		if cfg.Checkpoint != "" {
+			fmt.Fprintf(os.Stderr, "crawl: checkpoint written to %s\ncrawl: resume with: %s\n",
+				cfg.Checkpoint, resumeInvocation())
+		}
 		os.Exit(130)
 	}
+}
+
+// resumeInvocation reconstructs this process's exact command line with
+// -resume appended, so the cancellation message is copy-pasteable.
+func resumeInvocation() string {
+	args := append([]string(nil), os.Args...)
+	for _, a := range args[1:] {
+		if a == "-resume" || a == "--resume" {
+			return strings.Join(args, " ")
+		}
+	}
+	return strings.Join(append(args, "-resume"), " ")
 }

@@ -25,6 +25,16 @@
 // fails. Ctrl-C (SIGINT/SIGTERM) cancels in-flight cells within one
 // crawl iteration, marks queued cells canceled, still emits the
 // partial result, and exits 130.
+//
+// With -checkpoint, the sweep parks completed cells' results and
+// in-flight cells' crawled prefixes in a crash-safe progress file;
+// SIGINT writes a final checkpoint before exiting 130, and any cell
+// error or cancellation prints the exact -resume invocation to stderr.
+// Re-running with -resume skips completed cells, continues in-flight
+// ones mid-crawl, and produces cells and aggregates byte-identical to
+// an uninterrupted sweep. A damaged checkpoint is discarded with a
+// warning and the sweep restarts from scratch; a checkpoint from a
+// different matrix is a hard error.
 package main
 
 import (
@@ -52,6 +62,8 @@ var (
 	faults     = flag.String("faults", "", "fault-injection profile(s), comma-separated: off, flaky-edge, bot-hostile, brownout (overrides the matrix's faults= key)")
 	faultRate  = flag.String("fault-rate", "", "fault-injection rate(s) in [0, 1], comma-separated (overrides the matrix's fault-rate= key)")
 	out        = flag.String("out", "", "write the JSON result to this file (default: stdout)")
+	ckpt       = flag.String("checkpoint", "", "crash-safe checkpoint file (SIGINT writes a final checkpoint before exiting)")
+	resume     = flag.Bool("resume", false, "continue from an existing -checkpoint file")
 	quiet      = flag.Bool("quiet", false, "suppress the progress and table output on stderr")
 	cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	memprofile = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
@@ -118,7 +130,16 @@ func run() int {
 		m.QueriesPerEngine = *queries
 	}
 
-	opts := searchads.SweepOptions{Parallel: *parallel, AnalysisShards: *shards}
+	if *resume && *ckpt == "" {
+		return fail(errors.New("-resume requires -checkpoint"))
+	}
+	if *ckpt != "" && !*resume {
+		if _, err := os.Stat(*ckpt); err == nil {
+			return fail(fmt.Errorf("checkpoint %s already exists; pass -resume to continue it or delete the file to start over", *ckpt))
+		}
+	}
+
+	opts := searchads.SweepOptions{Parallel: *parallel, AnalysisShards: *shards, Checkpoint: *ckpt}
 	if !*quiet {
 		opts.OnCellDone = func(done, total int, c searchads.SweepCell, err error) {
 			status := "ok"
@@ -132,6 +153,19 @@ func run() int {
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 	res, sweepErr := searchads.Sweep(ctx, m, opts)
+	if res == nil {
+		// The checkpoint refused to load before any cell ran. Damage is
+		// recoverable — discard and start over; a mismatch (checkpoint
+		// from a different matrix) is a hard error.
+		if errors.Is(sweepErr, searchads.ErrCheckpointCorrupt) {
+			fmt.Fprintf(os.Stderr, "sweep: %v\nsweep: discarding the damaged checkpoint and restarting from scratch\n", sweepErr)
+			os.Remove(*ckpt)
+			res, sweepErr = searchads.Sweep(ctx, m, opts)
+		}
+		if res == nil {
+			return fail(sweepErr)
+		}
+	}
 
 	data, err := res.JSON()
 	if err != nil {
@@ -149,6 +183,10 @@ func run() int {
 		fmt.Fprint(os.Stderr, res.Render())
 	}
 	if sweepErr != nil {
+		if *ckpt != "" {
+			fmt.Fprintf(os.Stderr, "sweep: checkpoint written to %s\nsweep: resume with: %s\n",
+				*ckpt, resumeInvocation())
+		}
 		if errors.Is(sweepErr, searchads.ErrCanceled) {
 			fmt.Fprintf(os.Stderr, "sweep: canceled with %d cell(s) unfinished; partial results above\n",
 				res.CellErrors)
@@ -159,6 +197,18 @@ func run() int {
 		return 1
 	}
 	return 0
+}
+
+// resumeInvocation reconstructs this process's exact command line with
+// -resume appended, so the failure message is copy-pasteable.
+func resumeInvocation() string {
+	args := append([]string(nil), os.Args...)
+	for _, a := range args[1:] {
+		if a == "-resume" || a == "--resume" {
+			return strings.Join(args, " ")
+		}
+	}
+	return strings.Join(append(args, "-resume"), " ")
 }
 
 func fail(err error) int {

@@ -1,0 +1,51 @@
+// Package atomicfile writes files so a crash at any instant leaves
+// either the previous complete file or the new complete file — never a
+// truncated hybrid. Checkpoints and crawler datasets both write through
+// it; the kill-point crash tests exercise the guarantee directly.
+package atomicfile
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// WriteFile is the temp + fsync + rename + dir-fsync sequence: the data
+// lands in a temporary file in the destination's directory, is synced
+// and closed, and only then renamed over the destination.
+func WriteFile(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("atomicfile: create temp file: %w", err)
+	}
+	tmpName := tmp.Name()
+	// Any failure past this point removes the temp file; the destination
+	// is only ever touched by the rename.
+	fail := func(step string, err error) error {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("atomicfile: %s: %w", step, err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		return fail("write temp file", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return fail("fsync temp file", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fail("close temp file", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("atomicfile: rename into place: %w", err)
+	}
+	// Persist the rename itself. Directory fsync can legitimately fail
+	// on some filesystems; the rename is still atomic, so a failure here
+	// only weakens durability, not consistency.
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}

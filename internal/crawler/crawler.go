@@ -69,6 +69,15 @@ type Config struct {
 	// runs on each browser's private virtual clock, so the policy is
 	// deterministic and free when the world injects no faults.
 	Retry browser.RetryPolicy
+	// Resume, when set, fast-forwards the crawl past iterations an
+	// earlier run of the same configuration already recorded: each
+	// engine chain starts at its recorded cursor with the
+	// unvisited-first ad-choice state rebuilt from the recorded clicks,
+	// and the stream emits exactly the iterations the uninterrupted
+	// crawl would emit from that point on, byte for byte. The world
+	// must be fresh (untouched by any crawl) — resume re-derives, never
+	// replays. See ResumeState.
+	Resume *ResumeState
 }
 
 // Crawler runs the measurement pipeline.
@@ -117,14 +126,17 @@ func (c *Crawler) Run(ctx context.Context) (*Dataset, error) {
 }
 
 // crawlPlan is a validated crawl schedule: the resolved engines, the
-// per-engine iteration counts, and the global emission offsets.
+// per-engine iteration counts, and the global emission offsets. Under
+// resume, start marks the first iteration each chain still has to
+// crawl and base/total index only the remaining work.
 type crawlPlan struct {
 	engines []*serp.Engine
 	names   []string
 	counts  []int // iterations per engine
-	base    []int // global index of each engine's iteration 0
+	start   []int // first un-crawled iteration per engine (0 without resume)
+	base    []int // emission index of each engine's iteration start
 	visited []map[string]bool
-	total   int
+	total   int // iterations left to crawl (and emit)
 }
 
 // plan validates the config against the world and lays out the
@@ -159,6 +171,7 @@ func (c *Crawler) plan() (*crawlPlan, error) {
 		p.engines[i] = engine
 	}
 	p.counts = make([]int, len(p.engines))
+	p.start = make([]int, len(p.engines))
 	p.base = make([]int, len(p.engines))
 	p.visited = make([]map[string]bool, len(p.engines))
 	for idx := range p.engines {
@@ -167,9 +180,16 @@ func (c *Crawler) plan() (*crawlPlan, error) {
 			n = c.cfg.Iterations
 		}
 		p.counts[idx] = n
-		p.base[idx] = p.total
-		p.total += n
 		p.visited[idx] = make(map[string]bool)
+	}
+	if c.cfg.Resume != nil {
+		if err := c.cfg.Resume.validate(p); err != nil {
+			return nil, err
+		}
+	}
+	for idx := range p.engines {
+		p.base[idx] = p.total
+		p.total += p.counts[idx] - p.start[idx]
 	}
 	return p, nil
 }
@@ -227,7 +247,7 @@ func (c *Crawler) Iterations(ctx context.Context) iter.Seq2[*Iteration, error] {
 // dataset order, so every iteration is emitted the moment it finishes.
 func (c *Crawler) streamSequential(ctx context.Context, p *crawlPlan, yield func(*Iteration, error) bool) {
 	for idx := range p.engines {
-		for i := 0; i < p.counts[idx]; i++ {
+		for i := p.start[idx]; i < p.counts[idx]; i++ {
 			if err := ctx.Err(); err != nil {
 				yield(nil, err)
 				return
@@ -284,9 +304,9 @@ func (c *Crawler) streamParallel(ctx context.Context, p *crawlPlan, yield func(*
 	var chains atomic.Int32                     // engine chains still running
 	var wg sync.WaitGroup
 	for idx, n := range p.counts {
-		if n > 0 {
+		if n > p.start[idx] {
 			chains.Add(1)
-			tasks <- task{idx, 0}
+			tasks <- task{idx, p.start[idx]}
 		}
 	}
 	if chains.Load() == 0 {
@@ -306,7 +326,7 @@ func (c *Crawler) streamParallel(ctx context.Context, p *crawlPlan, yield func(*
 					}
 					it := c.runOne(p, t.idx, t.iter)
 					select {
-					case completed <- done{p.base[t.idx] + t.iter, it}:
+					case completed <- done{p.base[t.idx] + t.iter - p.start[t.idx], it}:
 					case <-pctx.Done():
 						return
 					}

@@ -14,6 +14,7 @@ import (
 	"os"
 	"time"
 
+	"searchads/internal/atomicfile"
 	"searchads/internal/filterlist"
 	"searchads/internal/netsim"
 )
@@ -198,14 +199,17 @@ func (d *Dataset) Engines() []string {
 	return names
 }
 
-// Save writes the dataset as JSON.
+// Save writes the dataset as JSON, atomically: the bytes land in a
+// temporary file that is fsynced and renamed over the destination, so a
+// SIGINT or crash mid-save leaves either the previous dataset or the
+// new one — never a truncated hybrid.
 func (d *Dataset) Save(path string) error {
 	d.stampVersion()
 	data, err := json.MarshalIndent(d, "", " ")
 	if err != nil {
 		return fmt.Errorf("crawler: marshal dataset: %w", err)
 	}
-	if err := os.WriteFile(path, data, 0o644); err != nil {
+	if err := atomicfile.WriteFile(path, data); err != nil {
 		return fmt.Errorf("crawler: write dataset: %w", err)
 	}
 	return nil

@@ -1,0 +1,166 @@
+package crawler
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"searchads/internal/websim"
+)
+
+// v1Dataset hand-writes a version-1 file (no version key, no typed
+// error classes) the way pre-chaos releases serialized it.
+func v1Dataset(t *testing.T, dir, name, errString string) string {
+	t.Helper()
+	its := `[]`
+	if errString != "" {
+		its = `[{"engine":"bing","engine_host":"www.bing.com","index":0,"instance":"bing-0000","query":"q0","clicked_ad":-1,"error":"` + errString + `"}]`
+	}
+	path := filepath.Join(dir, name)
+	data := `{"seed":7,"storage_mode":"flat","created_at":"2022-09-01T00:00:00Z","iterations":` + its + `}`
+	if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestMigrateLegacyErrorWithoutDerivableClass pins the v1→v2 edge the
+// classifier cannot bridge: a legacy error string matching no known
+// class migrates to an empty ErrorClass — never a guessed one — and
+// the file keeps its version-1 byte shape through a load/save round
+// trip (stampVersion only stamps datasets that carry v2 fields).
+func TestMigrateLegacyErrorWithoutDerivableClass(t *testing.T) {
+	dir := t.TempDir()
+	path := v1Dataset(t, dir, "v1.json", "serp: some failure mode this release never emitted")
+	ds, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ds.Iterations[0].ErrorClass; got != "" {
+		t.Fatalf("underivable legacy error migrated to class %q, want empty", got)
+	}
+	out := filepath.Join(dir, "resaved.json")
+	if err := ds.Save(out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data), `"version"`) {
+		t.Fatal("resaving an underivable v1 dataset stamped a version key")
+	}
+}
+
+// TestMigrateDerivableLegacyClasses spot-checks the classifier bridge:
+// legacy strings with a recognisable shape gain their typed class.
+func TestMigrateDerivableLegacyClasses(t *testing.T) {
+	dir := t.TempDir()
+	for legacy, want := range map[string]string{
+		"serp: injected dns fault for www.bing.com": string(ClassDNS),
+		"no ads displayed":                          string(ClassNoAds),
+		"click: too many redirects":                 string(ClassRedirectLoop),
+	} {
+		ds, err := Load(v1Dataset(t, dir, "case.json", legacy))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := ds.Iterations[0].ErrorClass; got != want {
+			t.Fatalf("legacy %q migrated to %q, want %q", legacy, got, want)
+		}
+	}
+}
+
+// TestMigrateEmptyDataset: a v1 file with zero iterations must load,
+// migrate as a no-op, and re-save without gaining a version stamp.
+func TestMigrateEmptyDataset(t *testing.T) {
+	dir := t.TempDir()
+	ds, err := Load(v1Dataset(t, dir, "empty.json", ""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Iterations) != 0 || ds.Seed != 7 {
+		t.Fatalf("empty v1 dataset loaded as %+v", ds)
+	}
+	out := filepath.Join(dir, "resaved.json")
+	if err := ds.Save(out); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := os.ReadFile(out)
+	if strings.Contains(string(data), `"version"`) {
+		t.Fatal("empty dataset gained a version stamp")
+	}
+}
+
+// TestMigrateMixedVersionInputs models a sweep fed datasets saved by
+// different releases: a v1 file bridges through the classifier while a
+// v2 file's recorded classes are trusted verbatim — migrate must not
+// reclassify them even when the display string says otherwise.
+func TestMigrateMixedVersionInputs(t *testing.T) {
+	dir := t.TempDir()
+
+	v1, err := Load(v1Dataset(t, dir, "v1.json", "serp: injected tls fault for ads.bing.com"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := v1.Iterations[0].ErrorClass; got != string(ClassTLS) {
+		t.Fatalf("v1 input migrated to %q, want %q", got, ClassTLS)
+	}
+
+	v2path := filepath.Join(dir, "v2.json")
+	v2json := `{"version":2,"seed":7,"storage_mode":"flat","created_at":"2022-09-01T00:00:00Z",` +
+		`"iterations":[{"engine":"bing","engine_host":"www.bing.com","index":0,"instance":"bing-0000",` +
+		`"query":"q0","clicked_ad":-1,"error":"serp: injected tls fault for ads.bing.com","error_class":"botwall"}]}`
+	if err := os.WriteFile(v2path, []byte(v2json), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	v2, err := Load(v2path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := v2.Iterations[0].ErrorClass; got != "botwall" {
+		t.Fatalf("v2 input reclassified to %q; recorded classes must be trusted", got)
+	}
+}
+
+// TestDatasetSaveAtomic is the truncation-crash regression test for the
+// atomic dataset writer: overwriting an existing dataset must never
+// expose a truncated hybrid (the pre-atomic os.WriteFile did exactly
+// that when killed mid-write), and failed saves must leave both the
+// destination and the directory untouched.
+func TestDatasetSaveAtomic(t *testing.T) {
+	w := websim.NewWorld(websim.Config{Seed: 58, Engines: []string{"qwant"}, QueriesPerEngine: 3})
+	ds, err := New(Config{World: w, SkipRevisit: true}).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ds.json")
+	for i := 0; i < 10; i++ {
+		if err := ds.Save(path); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Load(path); err != nil {
+			t.Fatalf("after save %d the destination does not parse: %v", i, err)
+		}
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("temp litter after saves: %d entries", len(entries))
+	}
+
+	// A save that cannot complete (directory missing) must fail without
+	// touching the destination it was aimed at.
+	bad := filepath.Join(dir, "no-such-dir", "ds.json")
+	if err := ds.Save(bad); err == nil {
+		t.Fatal("save into a missing directory succeeded")
+	}
+	if _, err := os.Stat(bad); !os.IsNotExist(err) {
+		t.Fatal("failed save left a file behind")
+	}
+}

@@ -1,0 +1,91 @@
+package crawler
+
+import "fmt"
+
+// ResumeState fast-forwards a crawl past iterations an earlier run of
+// the same configuration already recorded. It carries the two pieces of
+// cross-iteration state a crawl accumulates:
+//
+//   - Done: the per-engine cursor — how many iterations of each
+//     engine's chain have been crawled and emitted. Resumed chains
+//     start at that index.
+//   - Visited: the per-engine set of landing domains already clicked,
+//     in click order — the state behind the unvisited-first ad choice
+//     (§3.1). Without it the first resumed iteration would re-click a
+//     domain the killed run had already visited and every later click
+//     would diverge.
+//
+// Everything else an iteration observes is derived, not accumulated:
+// identifier streams are keyed by (engine, iteration) instance labels,
+// each browser profile runs a private virtual clock, and fault plans
+// draw per (client, serial) — so a fresh world that simply skips the
+// first Done[engine] iterations of each chain emits the remaining
+// iterations byte-identical to the uninterrupted crawl. That is the
+// "fast-forward the detrand state" operation: nothing is replayed, the
+// derivation keys alone reposition every stream.
+type ResumeState struct {
+	// Done maps engine name → completed iteration count.
+	Done map[string]int `json:"done"`
+	// Visited maps engine name → landing domains clicked so far.
+	Visited map[string][]string `json:"visited,omitempty"`
+}
+
+// ResumeFromIterations derives the resume state from a crawled prefix
+// in dataset order — typically the iterations a checkpoint preserved.
+func ResumeFromIterations(its []*Iteration) *ResumeState {
+	rs := &ResumeState{Done: make(map[string]int), Visited: make(map[string][]string)}
+	for _, it := range its {
+		rs.Done[it.Engine]++
+		if it.ClickedAd >= 0 && it.ClickedAd < len(it.DisplayedAds) {
+			rs.Visited[it.Engine] = append(rs.Visited[it.Engine], it.DisplayedAds[it.ClickedAd].LandingDomain)
+		}
+	}
+	return rs
+}
+
+// Remaining reports how many of total iterations are left to crawl.
+func (rs *ResumeState) Remaining(total int) int {
+	if rs == nil {
+		return total
+	}
+	done := 0
+	for _, n := range rs.Done {
+		done += n
+	}
+	if done > total {
+		return 0
+	}
+	return total - done
+}
+
+// validate checks the cursor against a laid-out plan and fills the
+// plan's start offsets and visited sets. A cursor that names an engine
+// the plan does not crawl, or that claims more iterations than the plan
+// has, reports a configuration mismatch — the checkpoint belongs to a
+// different study.
+func (rs *ResumeState) validate(p *crawlPlan) error {
+	byName := make(map[string]int, len(p.names))
+	for idx, name := range p.names {
+		byName[name] = idx
+	}
+	for name, n := range rs.Done {
+		idx, ok := byName[name]
+		if !ok {
+			return fmt.Errorf("crawler: resume cursor names engine %q the crawl does not include", name)
+		}
+		if n < 0 || n > p.counts[idx] {
+			return fmt.Errorf("crawler: resume cursor for %s (%d iterations) exceeds the plan's %d", name, n, p.counts[idx])
+		}
+		p.start[idx] = n
+	}
+	for name, domains := range rs.Visited {
+		idx, ok := byName[name]
+		if !ok {
+			return fmt.Errorf("crawler: resume visited-set names engine %q the crawl does not include", name)
+		}
+		for _, d := range domains {
+			p.visited[idx][d] = true
+		}
+	}
+	return nil
+}

@@ -45,8 +45,30 @@ type Options struct {
 	// report reintroduces O(cells) retention on its own side.
 	OnReport func(Cell, *analysis.Report)
 	// OnCellDone, when set, is called (serialized) after each cell
-	// completes — progress reporting. done counts finished cells.
+	// completes — progress reporting. done counts finished cells,
+	// including cells restored from a checkpoint.
 	OnCellDone func(done, total int, c Cell, err error)
+	// OnIteration, when set, is called (serialized) for every crawled
+	// iteration across all in-flight cells, as each is handed from the
+	// crawl stream to the analysis fold. Iterations restored from a
+	// checkpoint do not fire it — only live crawling does, which is what
+	// makes it the kill-point hook of the crash-recovery harness.
+	OnIteration func(c Cell, it *crawler.Iteration)
+	// Checkpoint, when set, names the sweep's crash-safe progress file:
+	// completed cells park their scalar results there, in-flight cells
+	// their crawled prefix, written atomically every CheckpointEvery
+	// iterations and on cancellation. A killed sweep re-Run with the
+	// same matrix skips completed cells and resumes in-flight ones
+	// mid-crawl; its Cells, Scenarios, and Metrics are byte-identical to
+	// an uninterrupted sweep's (Parallelism and PeakRetainedIterations
+	// are runtime observations and may differ). The memory bound loosens
+	// while checkpointing: in-flight cells retain their prefix, so peak
+	// retention is O(parallelism · cell size) rather than O(parallelism).
+	Checkpoint string
+	// CheckpointEvery is the checkpoint write interval in crawled
+	// iterations across the sweep (default 25). It bounds redone work
+	// after a kill, never output bytes.
+	CheckpointEvery int
 }
 
 // CellResult is the retained summary of one executed cell: scalar
@@ -146,9 +168,22 @@ func Run(ctx context.Context, m Matrix, opts Options) (*Result, error) {
 		results:  make([]CellResult, len(cells)),
 		cellErrs: make([]error, len(cells)),
 	}
+	if opts.Checkpoint != "" {
+		if err := r.initCheckpoint(); err != nil {
+			return nil, err
+		}
+		for _, done := range r.restored {
+			if done {
+				r.done++
+			}
+		}
+	}
 
 	indices := make(chan int, len(cells))
 	for i := range cells {
+		if r.restored != nil && r.restored[i] {
+			continue // completed in an earlier run; result already in place
+		}
 		indices <- i
 	}
 	close(indices)
@@ -186,6 +221,11 @@ func Run(ctx context.Context, m Matrix, opts Options) (*Result, error) {
 	if err := ctx.Err(); err != nil {
 		errs = append(errs, err)
 	}
+	if r.ckpt != nil {
+		if err := r.ckpt.finalize(res.CellErrors == 0); err != nil {
+			errs = append(errs, err)
+		}
+	}
 	return res, errors.Join(errs...)
 }
 
@@ -197,6 +237,11 @@ type runner struct {
 	cells    []Cell
 	results  []CellResult
 	cellErrs []error
+
+	// Checkpoint state (nil/empty when Options.Checkpoint is unset).
+	ckpt     *sweepCheckpointer
+	restored []bool                 // cells completed by an earlier run
+	resume   [][]*crawler.Iteration // in-flight prefixes restored per cell
 
 	mu       sync.Mutex // guards the fields below and serializes callbacks
 	retained int        // crawl iterations currently held
@@ -213,7 +258,7 @@ func (r *runner) runCell(ctx context.Context, i int) {
 	var err error
 	if err = ctx.Err(); err == nil {
 		var rep *analysis.Report
-		rep, err = r.crawlAndAnalyze(ctx, c, &cr)
+		rep, err = r.crawlAndAnalyze(ctx, i, c, &cr)
 		if err == nil {
 			cr.EngineOrder = rep.EngineOrder
 			cr.Metrics = make(map[string]map[string]float64, len(rep.EngineOrder))
@@ -233,6 +278,14 @@ func (r *runner) runCell(ctx context.Context, i int) {
 	if err != nil {
 		cr.Err = err.Error()
 		r.cellErrs[i] = err
+	} else if r.ckpt != nil {
+		// Park the scalar result before the cell is reported done: a
+		// kill after this write never re-runs the cell.
+		if ckptErr := r.ckpt.cellDone(i, cr); ckptErr != nil {
+			err = ckptErr
+			cr.Err = err.Error()
+			r.cellErrs[i] = err
+		}
 	}
 	r.results[i] = cr
 
@@ -249,7 +302,7 @@ func (r *runner) runCell(ctx context.Context, i int) {
 // Each iteration is born inside the crawler, counted while the sweep
 // holds it, folded, and dropped — which is what keeps sweep memory
 // O(parallelism · iteration) instead of O(parallelism · dataset).
-func (r *runner) crawlAndAnalyze(ctx context.Context, c Cell, cr *CellResult) (*analysis.Report, error) {
+func (r *runner) crawlAndAnalyze(ctx context.Context, i int, c Cell, cr *CellResult) (*analysis.Report, error) {
 	wcfg := websim.Config{
 		Seed:             c.Seed,
 		Engines:          c.Engines,
@@ -268,7 +321,7 @@ func (r *runner) crawlAndAnalyze(ctx context.Context, c Cell, cr *CellResult) (*
 		crawlFilter = r.filter
 	}
 	opts := analysis.Options{Filter: r.filter, Entities: r.ents}
-	stream := crawler.New(crawler.Config{
+	ccfg := crawler.Config{
 		World:       world,
 		Engines:     c.Engines,
 		Iterations:  c.Iterations,
@@ -276,19 +329,56 @@ func (r *runner) crawlAndAnalyze(ctx context.Context, c Cell, cr *CellResult) (*
 		NoStealth:   c.NoStealth,
 		SkipRevisit: c.SkipRevisit,
 		Filter:      crawlFilter,
-	}).Iterations(ctx)
+	}
+	// A checkpointed prefix fast-forwards the crawl and is re-folded
+	// below, so the cell's analysis observes the exact uninterrupted
+	// stream: prefix first, then the freshly crawled tail.
+	var prefix []*crawler.Iteration
+	if r.resume != nil {
+		prefix = r.resume[i]
+	}
+	if len(prefix) > 0 {
+		ccfg.Resume = crawler.ResumeFromIterations(prefix)
+	}
+	stream := crawler.New(ccfg).Iterations(ctx)
+
+	// observe is the per-iteration bookkeeping shared by both fold
+	// shapes. live is false for checkpoint-restored iterations: they
+	// fired the hooks and were checkpointed in their original run.
+	observe := func(it *crawler.Iteration, live bool) error {
+		cr.Iterations++
+		if it.Error != "" {
+			cr.IterationErrors++
+		}
+		if !live {
+			return nil
+		}
+		if r.opts.OnIteration != nil {
+			r.mu.Lock()
+			r.opts.OnIteration(c, it)
+			r.mu.Unlock()
+		}
+		if r.ckpt != nil {
+			return r.ckpt.appendIteration(i, it)
+		}
+		return nil
+	}
 
 	shards := r.opts.AnalysisShards
 	if shards <= 1 {
 		acc := analysis.NewAccumulator(opts)
+		for _, it := range prefix {
+			observe(it, false)
+			acc.Add(it)
+		}
 		for it, err := range stream {
 			if err != nil {
 				return nil, err
 			}
 			r.trackIteration(+1)
-			cr.Iterations++
-			if it.Error != "" {
-				cr.IterationErrors++
+			if err := observe(it, true); err != nil {
+				r.trackIteration(-1)
+				return nil, err
 			}
 			acc.Add(it)
 			r.trackIteration(-1)
@@ -300,15 +390,21 @@ func (r *runner) crawlAndAnalyze(ctx context.Context, c Cell, cr *CellResult) (*
 	// accumulators (tagged with their stream position), which merge into
 	// the exact sequential fold once the crawl drains.
 	sharder := analysis.NewStreamSharder(opts, shards, func() { r.trackIteration(-1) })
+	for _, it := range prefix {
+		observe(it, false)
+		r.trackIteration(+1) // the sharder's consumed-callback decrements
+		sharder.Add(it)
+	}
 	for it, err := range stream {
 		if err != nil {
 			sharder.Abort()
 			return nil, err
 		}
 		r.trackIteration(+1)
-		cr.Iterations++
-		if it.Error != "" {
-			cr.IterationErrors++
+		if err := observe(it, true); err != nil {
+			r.trackIteration(-1)
+			sharder.Abort()
+			return nil, err
 		}
 		sharder.Add(it)
 	}

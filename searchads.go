@@ -233,6 +233,18 @@ type Config struct {
 	// any live crawl (Crawl, Iterations, or the crawl behind Analyze)
 	// and not when a cached dataset is replayed.
 	Sink func(*Iteration)
+	// Checkpoint, when set, names the crash-safe progress file: Crawl
+	// (and Resume) periodically write the crawled prefix there, write a
+	// final checkpoint when the context is canceled, and remove the file
+	// once the dataset completes. A killed run resumed from its
+	// checkpoint (Study.Resume) produces datasets and reports
+	// byte-identical to a run that was never interrupted. Empty disables
+	// checkpointing; outputs are byte-identical either way.
+	Checkpoint string
+	// CheckpointEvery is the checkpoint write interval in iterations
+	// (default DefaultCheckpointEvery; the interval bounds redone work
+	// after a kill, never correctness).
+	CheckpointEvery int
 }
 
 // Study owns one world and the artifacts derived from it.
@@ -339,6 +351,9 @@ func (s *Study) Crawl(ctx context.Context) (*Dataset, error) {
 	}
 	if s.dataset != nil {
 		return s.dataset, nil
+	}
+	if s.cfg.Checkpoint != "" {
+		return s.crawlCheckpointed(ctx, nil)
 	}
 	c := s.newCrawler()
 	ds := c.NewDataset()

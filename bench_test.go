@@ -676,6 +676,34 @@ func BenchmarkStudyCrawlCheckpoint(b *testing.B) {
 	}
 }
 
+// BenchmarkStudyCrawlTelemetry is BenchmarkStudyCrawl through the
+// facade with the telemetry registry in the loop. off runs the same
+// 5-engine, 200-iteration study with Telemetry nil — CI gates it at
+// <3% ns/op over BenchmarkStudyCrawl, pinning that an uninstrumented
+// run pays only nil checks. on records every stage into a live
+// registry (no event sink) and is recorded informationally in
+// BENCH_telemetry.json as the price of observability.
+func BenchmarkStudyCrawlTelemetry(b *testing.B) {
+	for _, mode := range []string{"off", "on"} {
+		b.Run(mode, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				cfg := searchads.Config{Seed: 1009, QueriesPerEngine: 40}
+				if mode == "on" {
+					cfg.Telemetry = searchads.NewTelemetry()
+				}
+				ds, err := searchads.NewStudy(cfg).Crawl(context.Background())
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(ds.Iterations) != 200 {
+					b.Fatalf("iterations = %d", len(ds.Iterations))
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkSweep measures the sweep engine on a small matrix: 4 seeds
 // × 2 storage modes (8 cells) of a 2-engine, 8-query study, crawled,
 // analyzed, and aggregated with streaming dataset discard. CI emits

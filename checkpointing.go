@@ -5,9 +5,11 @@ import (
 	"errors"
 	"fmt"
 	"io/fs"
+	"time"
 
 	"searchads/internal/checkpoint"
 	"searchads/internal/crawler"
+	"searchads/internal/telemetry"
 )
 
 // Crash-safe checkpointing sentinels, re-exported from
@@ -127,7 +129,22 @@ func (s *Study) crawlCheckpointed(ctx context.Context, prefix []*Iteration) (*Da
 	}
 	since := 0
 	save := func() error {
-		return checkpoint.Save(s.cfg.Checkpoint, checkpoint.NewStudySnapshot(hash, ds.Iterations))
+		tele := s.cfg.Telemetry
+		if tele == nil {
+			return checkpoint.Save(s.cfg.Checkpoint, checkpoint.NewStudySnapshot(hash, ds.Iterations))
+		}
+		start := time.Now()
+		n, err := checkpoint.SaveN(s.cfg.Checkpoint, checkpoint.NewStudySnapshot(hash, ds.Iterations))
+		wall := time.Since(start)
+		tele.ObserveWall(telemetry.StageCheckpointWrite, wall)
+		tele.Inc(telemetry.CounterCheckpointWrites)
+		tele.Add(telemetry.CounterCheckpointBytes, uint64(n))
+		ev := telemetry.Event{Type: "checkpoint", Bytes: n, WallMicros: wall.Microseconds()}
+		if err != nil {
+			ev.Err = err.Error()
+		}
+		tele.Emit(ev)
+		return err
 	}
 	for it, iterErr := range c.Iterations(ctx) {
 		if iterErr != nil {

@@ -10,6 +10,8 @@
 //	      [-iterations 0] [-partitioned] [-no-stealth] [-skip-revisit]
 //	      [-faults off|flaky-edge|bot-hostile|brownout] [-fault-rate 0.05]
 //	      [-checkpoint run.ckpt [-resume]]
+//	      [-telemetry] [-events trace.jsonl]
+//	      [-cpuprofile cpu.pprof] [-blockprofile block.pprof]
 //
 // Injected faults degrade iterations, never the process: fault-failed
 // iterations are recorded (with typed error classes) and counted in the
@@ -23,9 +25,17 @@
 // uninterrupted crawl. A damaged checkpoint is discarded with a warning
 // and the crawl restarts from scratch; a checkpoint from a different
 // configuration is a hard error.
+//
+// -telemetry prints the per-stage latency table to stderr after the
+// crawl; -events streams a JSONL run-event trace while it is live.
+// Exit status: 0 on success, 1 on error, 130 on cancellation, and 3
+// when the crawl succeeded but the -events trace could not be written
+// or flushed — distinct, so callers never mistake a lost trace for a
+// lost crawl. Neither flag changes a single output byte.
 package main
 
 import (
+	"bufio"
 	"context"
 	"errors"
 	"flag"
@@ -37,37 +47,89 @@ import (
 	"syscall"
 
 	"searchads"
+	"searchads/internal/profiling"
+)
+
+var (
+	out          = flag.String("out", "dataset.json", "output dataset path")
+	seed         = flag.Int64("seed", 20221001, "world seed")
+	engines      = flag.String("engines", "", "comma-separated engines (default: all five)")
+	queries      = flag.Int("queries", 500, "queries per engine")
+	iterations   = flag.Int("iterations", 0, "iteration cap per engine (0 = one per query)")
+	partitioned  = flag.Bool("partitioned", false, "crawl with partitioned cookie storage")
+	noStealth    = flag.Bool("no-stealth", false, "disable the stealth fingerprint (bots get no ads)")
+	skipRevisit  = flag.Bool("skip-revisit", false, "skip the next-day profile revisit")
+	parallel     = flag.Bool("parallel", false, "crawl iterations on a worker pool (byte-identical to sequential)")
+	refSmuggle   = flag.Bool("referrer-smuggling", false, "enable the referrer-based UID-smuggling service")
+	faults       = flag.String("faults", "off", "fault-injection profile: "+strings.Join(searchads.FaultProfiles(), ", "))
+	faultRate    = flag.Float64("fault-rate", 0, "overall per-request fault-injection rate in [0, 1]")
+	ckpt         = flag.String("checkpoint", "", "crash-safe checkpoint file (SIGINT writes a final checkpoint before exiting)")
+	resume       = flag.Bool("resume", false, "continue from an existing -checkpoint file")
+	telemetry    = flag.Bool("telemetry", false, "print the per-stage latency table to stderr after the crawl")
+	events       = flag.String("events", "", "stream a JSONL run-event trace to this file while the crawl is live")
+	quiet        = flag.Bool("quiet", false, "suppress progress output")
+	cpuprofile   = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	memprofile   = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
+	blockprofile = flag.String("blockprofile", "", "write a pprof blocking profile at exit to this file")
+	mutexprofile = flag.String("mutexprofile", "", "write a pprof mutex-contention profile at exit to this file")
 )
 
 func main() {
-	var (
-		out         = flag.String("out", "dataset.json", "output dataset path")
-		seed        = flag.Int64("seed", 20221001, "world seed")
-		engines     = flag.String("engines", "", "comma-separated engines (default: all five)")
-		queries     = flag.Int("queries", 500, "queries per engine")
-		iterations  = flag.Int("iterations", 0, "iteration cap per engine (0 = one per query)")
-		partitioned = flag.Bool("partitioned", false, "crawl with partitioned cookie storage")
-		noStealth   = flag.Bool("no-stealth", false, "disable the stealth fingerprint (bots get no ads)")
-		skipRevisit = flag.Bool("skip-revisit", false, "skip the next-day profile revisit")
-		parallel    = flag.Bool("parallel", false, "crawl iterations on a worker pool (byte-identical to sequential)")
-		refSmuggle  = flag.Bool("referrer-smuggling", false, "enable the referrer-based UID-smuggling service")
-		faults      = flag.String("faults", "off", "fault-injection profile: "+strings.Join(searchads.FaultProfiles(), ", "))
-		faultRate   = flag.Float64("fault-rate", 0, "overall per-request fault-injection rate in [0, 1]")
-		ckpt        = flag.String("checkpoint", "", "crash-safe checkpoint file (SIGINT writes a final checkpoint before exiting)")
-		resume      = flag.Bool("resume", false, "continue from an existing -checkpoint file")
-		quiet       = flag.Bool("quiet", false, "suppress progress output")
-	)
 	flag.Parse()
+	os.Exit(run())
+}
+
+func run() int {
+	stopProfiles, err := profiling.Start(profiling.Options{
+		CPU: *cpuprofile, Mem: *memprofile, Block: *blockprofile, Mutex: *mutexprofile,
+	})
+	if err != nil {
+		return fail(err)
+	}
+	defer stopProfiles()
 
 	if *resume && *ckpt == "" {
-		fmt.Fprintln(os.Stderr, "crawl: -resume requires -checkpoint")
-		os.Exit(1)
+		return fail(errors.New("-resume requires -checkpoint"))
 	}
 	if *ckpt != "" && !*resume {
 		if _, err := os.Stat(*ckpt); err == nil {
-			fmt.Fprintf(os.Stderr, "crawl: checkpoint %s already exists; pass -resume to continue it or delete the file to start over\n", *ckpt)
-			os.Exit(1)
+			return fail(fmt.Errorf("checkpoint %s already exists; pass -resume to continue it or delete the file to start over", *ckpt))
 		}
+	}
+
+	// Telemetry observes, never steers: the dataset is byte-identical
+	// with or without it. finish() renders the table, flushes the trace,
+	// and keeps a sink failure (exit 3) distinct from a crawl failure.
+	var tele *searchads.Telemetry
+	if *telemetry || *events != "" {
+		tele = searchads.NewTelemetry()
+	}
+	var eventsFile *os.File
+	if *events != "" {
+		f, err := os.Create(*events)
+		if err != nil {
+			return fail(err)
+		}
+		eventsFile = f
+		tele.SetSink(bufio.NewWriter(f))
+	}
+	finish := func(code int) int {
+		if *telemetry {
+			fmt.Fprint(os.Stderr, tele.Snapshot().Text())
+		}
+		err := tele.CloseSink()
+		if eventsFile != nil {
+			if closeErr := eventsFile.Close(); err == nil {
+				err = closeErr
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "crawl: event trace:", err)
+			if code == 0 {
+				return 3
+			}
+		}
+		return code
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
@@ -83,6 +145,7 @@ func main() {
 		ReferrerSmuggling: *refSmuggle,
 		FaultProfile:      *faults,
 		FaultRate:         *faultRate,
+		Telemetry:         tele,
 	}
 	if *engines != "" {
 		cfg.Engines = strings.Split(*engines, ",")
@@ -122,12 +185,10 @@ func main() {
 		}
 	}
 	if streamErr != nil && !errors.Is(streamErr, searchads.ErrCanceled) {
-		fmt.Fprintln(os.Stderr, "crawl:", streamErr)
-		os.Exit(1)
+		return finish(fail(streamErr))
 	}
 	if err := ds.Save(*out); err != nil {
-		fmt.Fprintln(os.Stderr, "crawl:", err)
-		os.Exit(1)
+		return finish(fail(err))
 	}
 	if !*quiet {
 		errs := 0
@@ -164,8 +225,14 @@ func main() {
 			fmt.Fprintf(os.Stderr, "crawl: checkpoint written to %s\ncrawl: resume with: %s\n",
 				cfg.Checkpoint, resumeInvocation())
 		}
-		os.Exit(130)
+		return finish(130)
 	}
+	return finish(0)
+}
+
+func fail(err error) int {
+	fmt.Fprintln(os.Stderr, "crawl:", err)
+	return 1
 }
 
 // resumeInvocation reconstructs this process's exact command line with

@@ -22,15 +22,19 @@ import (
 	"searchads/internal/urlx"
 )
 
-func main() {
-	var (
-		typ        = flag.String("type", "document", "resource type (document, script, image, xmlhttprequest, ping, ...)")
-		firstParty = flag.String("first-party", "", "first-party site (default: the URL's own site)")
-		stdin      = flag.Bool("stdin", false, "read URLs from stdin, one per line")
-		stats      = flag.Bool("stats", false, "print token-index statistics")
-	)
-	flag.Parse()
+var (
+	typ        = flag.String("type", "document", "resource type (document, script, image, xmlhttprequest, ping, ...)")
+	firstParty = flag.String("first-party", "", "first-party site (default: the URL's own site)")
+	stdin      = flag.Bool("stdin", false, "read URLs from stdin, one per line")
+	stats      = flag.Bool("stats", false, "print token-index statistics")
+)
 
+func main() {
+	flag.Parse()
+	os.Exit(run())
+}
+
+func run() int {
 	engine := filterlist.DefaultEngine()
 	fmt.Fprintf(os.Stderr, "loaded %d rules (%d lines skipped)\n", engine.Len(), engine.Skipped())
 	if *stats {
@@ -89,13 +93,13 @@ func main() {
 		}
 		if err := sc.Err(); err != nil {
 			fmt.Fprintf(os.Stderr, "filtercheck: reading stdin: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
 	if flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "usage: filtercheck [flags] URL...")
-		os.Exit(2)
+		return 2
 	}
 	for _, raw := range flag.Args() {
 		ri, err := info(raw)
@@ -106,4 +110,5 @@ func main() {
 		rule, blocked := engine.Match(ri)
 		report(raw, rule, blocked)
 	}
+	return 0
 }

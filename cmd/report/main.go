@@ -8,6 +8,7 @@
 //	report -in dataset.json -shards 8  # sharded fold across 8 cores
 //	report -in dataset.json -experiments > EXPERIMENTS.md
 //	report -seed 1 -cpuprofile cpu.pprof -memprofile mem.pprof
+//	report -in dataset.json -shards 8 -blockprofile block.pprof -mutexprofile mutex.pprof
 package main
 
 import (
@@ -26,15 +27,17 @@ import (
 )
 
 var (
-	in          = flag.String("in", "", "dataset JSON to analyse (empty = run a fresh study)")
-	seed        = flag.Int64("seed", 20221001, "world seed for a fresh study")
-	queries     = flag.Int("queries", 500, "queries per engine for a fresh study")
-	engines     = flag.String("engines", "", "comma-separated engines for a fresh study")
-	shards      = flag.Int("shards", 0, "analysis shards for -in datasets (0/1 = sequential fold; reports are byte-identical either way)")
-	experiments = flag.Bool("experiments", false, "emit EXPERIMENTS.md (paper vs measured) instead of the report")
-	asJSON      = flag.Bool("json", false, "emit the report as JSON")
-	cpuprofile  = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
-	memprofile  = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
+	in           = flag.String("in", "", "dataset JSON to analyse (empty = run a fresh study)")
+	seed         = flag.Int64("seed", 20221001, "world seed for a fresh study")
+	queries      = flag.Int("queries", 500, "queries per engine for a fresh study")
+	engines      = flag.String("engines", "", "comma-separated engines for a fresh study")
+	shards       = flag.Int("shards", 0, "analysis shards for -in datasets (0/1 = sequential fold; reports are byte-identical either way)")
+	experiments  = flag.Bool("experiments", false, "emit EXPERIMENTS.md (paper vs measured) instead of the report")
+	asJSON       = flag.Bool("json", false, "emit the report as JSON")
+	cpuprofile   = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	memprofile   = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
+	blockprofile = flag.String("blockprofile", "", "write a pprof blocking profile at exit to this file")
+	mutexprofile = flag.String("mutexprofile", "", "write a pprof mutex-contention profile at exit to this file")
 )
 
 func main() {
@@ -43,7 +46,9 @@ func main() {
 }
 
 func run() int {
-	stopProfiles, err := profiling.Start(*cpuprofile, *memprofile)
+	stopProfiles, err := profiling.Start(profiling.Options{
+		CPU: *cpuprofile, Mem: *memprofile, Block: *blockprofile, Mutex: *mutexprofile,
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "report:", err)
 		return 1

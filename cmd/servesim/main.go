@@ -23,14 +23,18 @@ import (
 	"searchads/internal/netsim"
 )
 
-func main() {
-	var (
-		addr    = flag.String("addr", "127.0.0.1:8080", "listen address")
-		seed    = flag.Int64("seed", 20221001, "world seed")
-		queries = flag.Int("queries", 50, "queries per engine (sizes the ad pools)")
-	)
-	flag.Parse()
+var (
+	addr    = flag.String("addr", "127.0.0.1:8080", "listen address")
+	seed    = flag.Int64("seed", 20221001, "world seed")
+	queries = flag.Int("queries", 50, "queries per engine (sizes the ad pools)")
+)
 
+func main() {
+	flag.Parse()
+	os.Exit(run())
+}
+
+func run() int {
 	study := searchads.NewStudy(searchads.Config{Seed: *seed, QueriesPerEngine: *queries})
 	world := study.World()
 	fmt.Fprint(os.Stderr, world.Describe())
@@ -53,6 +57,7 @@ func main() {
 	}()
 	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintln(os.Stderr, "servesim:", err)
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }

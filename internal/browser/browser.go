@@ -21,6 +21,7 @@ import (
 	"searchads/internal/detrand"
 	"searchads/internal/netsim"
 	"searchads/internal/storage"
+	"searchads/internal/telemetry"
 	"searchads/internal/urlx"
 )
 
@@ -86,6 +87,9 @@ type Options struct {
 	// (zero fields take the defaults — 3 attempts, 500ms base backoff
 	// capped at 8s, all on the browser's virtual clock).
 	Retry RetryPolicy
+	// Telemetry records navigation latency and retry/backoff counts
+	// (nil = off).
+	Telemetry *telemetry.Registry
 }
 
 // Hop is one step of a navigation chain, as reconstructed by the paper's
@@ -267,7 +271,26 @@ var ErrTooManyRedirects = errors.New("browser: too many redirects")
 // settles, then loads the settled page's subresources and frames and runs
 // its scripts.
 func (b *Browser) Navigate(rawURL string) (*NavResult, error) {
+	defer b.observeNavigation()()
 	return b.navigate(rawURL, "initial", "")
+}
+
+// observeNavigation times one public navigation (Navigate or Click) on
+// both clocks. It wraps only the public entry points: the internal
+// navigate recurses for meta-refresh and JS-driven hops, and those must
+// not double-count.
+func (b *Browser) observeNavigation() func() {
+	tele := b.opts.Telemetry
+	if tele == nil {
+		return func() {}
+	}
+	start := time.Now()
+	vstart := b.clock.Now()
+	return func() {
+		tele.Inc(telemetry.CounterNavigations)
+		tele.ObserveWall(telemetry.StageNavigate, time.Since(start))
+		tele.ObserveVirtual(telemetry.StageNavigate, b.clock.Now().Sub(vstart))
+	}
 }
 
 func (b *Browser) navigate(rawURL, mechanism, referrer string) (*NavResult, error) {
@@ -449,6 +472,7 @@ func (b *Browser) Click(el *netsim.Element) (*NavResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer b.observeNavigation()()
 	return b.navigate(u.String(), "initial", b.currentURL.String())
 }
 

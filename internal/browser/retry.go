@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"searchads/internal/netsim"
+	"searchads/internal/telemetry"
 )
 
 // RequestTimeout is the virtual time a timed-out document request
@@ -127,6 +128,16 @@ func (b *Browser) sendDocument(req *netsim.Request) (*netsim.Response, int, erro
 		}
 		b.clock.Advance(wait)
 		retries++
+		if tele := b.opts.Telemetry; tele != nil {
+			tele.Inc(telemetry.CounterRetries)
+			tele.Inc(telemetry.CounterBackoffWaits)
+			tele.Emit(telemetry.Event{
+				Type:          "retry",
+				Attempt:       retries,
+				Class:         string(cls),
+				VirtualMillis: wait.Milliseconds(),
+			})
+		}
 	}
 }
 

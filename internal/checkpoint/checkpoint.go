@@ -200,9 +200,17 @@ func NewStudySnapshot(configHash string, prefix []*crawler.Iteration) *Snapshot 
 // destination directory, fsync, rename, directory fsync. Either the
 // old or the new checkpoint survives a kill at any instant.
 func Save(path string, s *Snapshot) error {
+	_, err := SaveN(path, s)
+	return err
+}
+
+// SaveN is Save reporting the number of bytes written (header +
+// payload), for callers accounting checkpoint I/O. On error the count
+// is 0.
+func SaveN(path string, s *Snapshot) (int, error) {
 	payload, err := json.Marshal(s)
 	if err != nil {
-		return fmt.Errorf("checkpoint: marshal snapshot: %w", err)
+		return 0, fmt.Errorf("checkpoint: marshal snapshot: %w", err)
 	}
 	buf := make([]byte, headerSize+len(payload))
 	copy(buf[0:4], magic[:])
@@ -210,7 +218,10 @@ func Save(path string, s *Snapshot) error {
 	binary.LittleEndian.PutUint64(buf[8:16], uint64(len(payload)))
 	binary.LittleEndian.PutUint32(buf[16:20], crc32.ChecksumIEEE(payload))
 	copy(buf[headerSize:], payload)
-	return atomicfile.WriteFile(path, buf)
+	if err := atomicfile.WriteFile(path, buf); err != nil {
+		return 0, err
+	}
+	return len(buf), nil
 }
 
 // Load reads and verifies a checkpoint. It returns fs.ErrNotExist

@@ -17,6 +17,7 @@ import (
 	"searchads/internal/netsim"
 	"searchads/internal/serp"
 	"searchads/internal/storage"
+	"searchads/internal/telemetry"
 	"searchads/internal/urlx"
 	"searchads/internal/websim"
 )
@@ -69,6 +70,14 @@ type Config struct {
 	// runs on each browser's private virtual clock, so the policy is
 	// deterministic and free when the world injects no faults.
 	Retry browser.RetryPolicy
+	// Telemetry, when set, records run-time metrics for the crawl:
+	// per-iteration latency (wall and virtual), per-engine and
+	// per-ErrorClass tallies, queue wait in the Parallel pool, and —
+	// installed onto the world's network for the crawl — round-trip
+	// latency and fault counts. nil = off, at zero cost beyond a nil
+	// check per site. Telemetry never affects crawl output: datasets
+	// and reports are byte-identical with it on, off, or absent.
+	Telemetry *telemetry.Registry
 	// Resume, when set, fast-forwards the crawl past iterations an
 	// earlier run of the same configuration already recorded: each
 	// engine chain starts at its recorded cursor with the
@@ -92,6 +101,12 @@ func New(cfg Config) *Crawler {
 	}
 	if len(cfg.Engines) == 0 {
 		cfg.Engines = cfg.World.Cfg.Engines
+	}
+	if cfg.Telemetry != nil {
+		// One central install covers every caller (facade, sweep cells,
+		// loadtest): the crawl's network reports round trips and faults
+		// into the same registry the crawler reports iterations into.
+		cfg.World.Net.InstallTelemetry(cfg.Telemetry)
 	}
 	return &Crawler{cfg: cfg}
 }
@@ -196,8 +211,29 @@ func (c *Crawler) plan() (*crawlPlan, error) {
 
 // runOne crawls one (engine, iteration) coordinate of the plan.
 func (c *Crawler) runOne(p *crawlPlan, idx, iter int) *Iteration {
-	it := c.runIteration(p.engines[idx], c.cfg.World.Queries[p.names[idx]][iter], iter, p.visited[idx])
+	tele := c.cfg.Telemetry
+	if tele == nil {
+		it := c.runIteration(p.engines[idx], c.cfg.World.Queries[p.names[idx]][iter], iter, p.visited[idx])
+		c.annotateTrackers(it)
+		return it
+	}
+	engine := p.names[idx]
+	tele.Emit(telemetry.Event{Type: "iteration_start", Engine: engine, Index: iter})
+	start := time.Now()
+	it := c.runIteration(p.engines[idx], c.cfg.World.Queries[engine][iter], iter, p.visited[idx])
 	c.annotateTrackers(it)
+	wall := time.Since(start)
+	tele.ObserveWall(telemetry.StageIteration, wall)
+	tele.Inc(telemetry.CounterIterations)
+	errored := it.Error != ""
+	tele.IncEngine(engine, errored)
+	ev := telemetry.Event{Type: "iteration", Engine: engine, Index: iter, WallMicros: wall.Microseconds()}
+	if errored {
+		tele.Inc(telemetry.CounterIterationErrors)
+		tele.IncErrorClass(it.ErrorClass)
+		ev.Class = it.ErrorClass
+	}
+	tele.Emit(ev)
 	return it
 }
 
@@ -287,7 +323,19 @@ func (c *Crawler) streamParallel(ctx context.Context, p *crawlPlan, yield func(*
 		global int
 		it     *Iteration
 	}
-	type task struct{ idx, iter int }
+	// enq timestamps the task's enqueue when telemetry is on (zero
+	// otherwise), so workers can report queue wait vs work time.
+	type task struct {
+		idx, iter int
+		enq       time.Time
+	}
+	tele := c.cfg.Telemetry
+	stamp := func() time.Time {
+		if tele == nil {
+			return time.Time{}
+		}
+		return time.Now()
+	}
 
 	workers := runtime.GOMAXPROCS(0)
 	if workers > len(p.counts) {
@@ -306,7 +354,7 @@ func (c *Crawler) streamParallel(ctx context.Context, p *crawlPlan, yield func(*
 	for idx, n := range p.counts {
 		if n > p.start[idx] {
 			chains.Add(1)
-			tasks <- task{idx, p.start[idx]}
+			tasks <- task{idx, p.start[idx], stamp()}
 		}
 	}
 	if chains.Load() == 0 {
@@ -324,6 +372,9 @@ func (c *Crawler) streamParallel(ctx context.Context, p *crawlPlan, yield func(*
 					if !ok {
 						return
 					}
+					if tele != nil && !t.enq.IsZero() {
+						tele.ObserveWall(telemetry.StageQueueWait, time.Since(t.enq))
+					}
 					it := c.runOne(p, t.idx, t.iter)
 					select {
 					case completed <- done{p.base[t.idx] + t.iter - p.start[t.idx], it}:
@@ -332,7 +383,7 @@ func (c *Crawler) streamParallel(ctx context.Context, p *crawlPlan, yield func(*
 					}
 					if t.iter+1 < p.counts[t.idx] {
 						select {
-						case tasks <- task{t.idx, t.iter + 1}:
+						case tasks <- task{t.idx, t.iter + 1, stamp()}:
 						case <-pctx.Done():
 							return
 						}
@@ -408,10 +459,20 @@ func (c *Crawler) runIteration(engine *serp.Engine, query string, index int, vis
 		Fingerprint: fp,
 		Seed:        w.Seed.Derive("browser", it.Instance),
 		Retry:       c.cfg.Retry,
+		Telemetry:   c.cfg.Telemetry,
 		// The instance label keys every origin server's identifier
 		// stream for this iteration's requests.
 		Client: it.Instance,
 	})
+	if tele := c.cfg.Telemetry; tele != nil {
+		// The browser's private clock delta is the iteration's virtual
+		// duration — a pure function of (seed, config), so sequential and
+		// Parallel crawls of the same study observe identical values.
+		vstart := b.Clock().Now()
+		defer func() {
+			tele.ObserveVirtual(telemetry.StageIteration, b.Clock().Now().Sub(vstart))
+		}()
+	}
 
 	// Stage 1 — before the click: main page, then the results page.
 	if _, err := b.Navigate("https://" + engine.Spec.Host + "/"); err != nil {

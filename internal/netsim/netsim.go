@@ -38,6 +38,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"searchads/internal/telemetry"
 	"searchads/internal/urlx"
 )
 
@@ -279,6 +280,9 @@ type Network struct {
 	// faults is the armed fault-injection state (nil = off), a pointer
 	// load per exchange for the same reason as keepWire.
 	faults atomic.Pointer[faultState]
+	// tele is the installed telemetry registry (nil = off), a pointer
+	// load per exchange for the same reason as keepWire and faults.
+	tele atomic.Pointer[telemetry.Registry]
 }
 
 // NewNetwork returns an empty network whose clock starts at the study
@@ -363,11 +367,43 @@ func (n *Network) Hosts() []string {
 	return out
 }
 
+// InstallTelemetry arms (nil disarms) run-time metrics on the network:
+// every RoundTrip records its wall latency, per-exchange virtual
+// latency, and any injected fault's class. Installing is cheap and
+// atomic; a disarmed network costs RoundTrip one pointer load.
+func (n *Network) InstallTelemetry(r *telemetry.Registry) {
+	if r == nil {
+		n.tele.Store(nil)
+		return
+	}
+	n.tele.Store(r)
+}
+
 // RoundTrip delivers the request to the registered origin and returns its
 // response. The request's Time field is stamped from the virtual clock,
 // and a small per-exchange latency advances that clock so that consecutive
 // requests never share a timestamp.
 func (n *Network) RoundTrip(req *Request) (*Response, error) {
+	tele := n.tele.Load()
+	if tele == nil {
+		return n.roundTrip(req)
+	}
+	start := time.Now()
+	resp, err := n.roundTrip(req)
+	tele.Inc(telemetry.CounterRoundTrips)
+	tele.ObserveWall(telemetry.StageRoundTrip, time.Since(start))
+	tele.ObserveVirtual(telemetry.StageRoundTrip, latencyPerExchange)
+	if fe, ok := AsFault(err); ok {
+		tele.IncFault(string(fe.Class))
+		tele.Emit(telemetry.Event{Type: "fault", Class: string(fe.Class)})
+	} else if resp != nil && resp.Fault != "" {
+		tele.IncFault(string(resp.Fault))
+		tele.Emit(telemetry.Event{Type: "fault", Class: string(resp.Fault)})
+	}
+	return resp, err
+}
+
+func (n *Network) roundTrip(req *Request) (*Response, error) {
 	if req.URL == nil {
 		return nil, errors.New("netsim: request has no URL")
 	}

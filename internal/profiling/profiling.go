@@ -1,6 +1,7 @@
-// Package profiling wires -cpuprofile/-memprofile flags into the CLI
-// commands, so perf work on the analysis path can capture pprof data
-// from the real binaries instead of ad-hoc test patches.
+// Package profiling wires -cpuprofile/-memprofile/-blockprofile/
+// -mutexprofile flags into the CLI commands, so perf work on the
+// crawl and analysis paths can capture pprof data from the real
+// binaries instead of ad-hoc test patches.
 package profiling
 
 import (
@@ -10,15 +11,29 @@ import (
 	"runtime/pprof"
 )
 
-// Start begins CPU profiling (when cpuPath is non-empty) and returns a
-// stop function that finishes the CPU profile and writes the heap
-// profile (when memPath is non-empty). The stop function must run
-// before the process exits — commands call it explicitly ahead of
-// os.Exit rather than deferring past one.
-func Start(cpuPath, memPath string) (stop func(), err error) {
+// Options names the profile outputs; empty paths are off.
+type Options struct {
+	// CPU is the CPU profile path (pprof.StartCPUProfile).
+	CPU string
+	// Mem is the heap profile path, written at stop after a GC.
+	Mem string
+	// Block is the blocking profile path; enabling it sets
+	// runtime.SetBlockProfileRate(1) for the run.
+	Block string
+	// Mutex is the mutex-contention profile path; enabling it sets
+	// runtime.SetMutexProfileFraction(1) for the run.
+	Mutex string
+}
+
+// Start begins the requested profiles and returns a stop function that
+// finishes them and writes the stop-time profiles (heap, block,
+// mutex). The stop function must run before the process exits —
+// commands call it explicitly ahead of os.Exit rather than deferring
+// past one.
+func Start(opts Options) (stop func(), err error) {
 	var cpuFile *os.File
-	if cpuPath != "" {
-		cpuFile, err = os.Create(cpuPath)
+	if opts.CPU != "" {
+		cpuFile, err = os.Create(opts.CPU)
 		if err != nil {
 			return nil, fmt.Errorf("profiling: %w", err)
 		}
@@ -27,22 +42,42 @@ func Start(cpuPath, memPath string) (stop func(), err error) {
 			return nil, fmt.Errorf("profiling: start cpu profile: %w", err)
 		}
 	}
+	if opts.Block != "" {
+		runtime.SetBlockProfileRate(1)
+	}
+	if opts.Mutex != "" {
+		runtime.SetMutexProfileFraction(1)
+	}
 	return func() {
 		if cpuFile != nil {
 			pprof.StopCPUProfile()
 			cpuFile.Close()
 		}
-		if memPath != "" {
-			f, err := os.Create(memPath)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "profiling:", err)
-				return
-			}
+		if opts.Mem != "" {
 			runtime.GC() // settle allocations so the heap profile is live data
-			if err := pprof.WriteHeapProfile(f); err != nil {
-				fmt.Fprintln(os.Stderr, "profiling:", err)
-			}
-			f.Close()
+			writeProfile("heap", opts.Mem)
+		}
+		if opts.Block != "" {
+			writeProfile("block", opts.Block)
+			runtime.SetBlockProfileRate(0)
+		}
+		if opts.Mutex != "" {
+			writeProfile("mutex", opts.Mutex)
+			runtime.SetMutexProfileFraction(0)
 		}
 	}, nil
+}
+
+// writeProfile dumps one named runtime profile; failures are reported
+// to stderr, never fatal — the run's real work already succeeded.
+func writeProfile(name, path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "profiling:", err)
+		return
+	}
+	defer f.Close()
+	if err := pprof.Lookup(name).WriteTo(f, 0); err != nil {
+		fmt.Fprintln(os.Stderr, "profiling:", err)
+	}
 }

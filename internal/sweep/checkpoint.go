@@ -6,9 +6,11 @@ import (
 	"fmt"
 	"io/fs"
 	"sync"
+	"time"
 
 	"searchads/internal/checkpoint"
 	"searchads/internal/crawler"
+	"searchads/internal/telemetry"
 )
 
 // defaultCheckpointEvery is the per-cell checkpoint write interval in
@@ -23,6 +25,7 @@ type sweepCheckpointer struct {
 	path  string
 	hash  string
 	every int
+	tele  *telemetry.Registry // nil = off
 
 	mu        sync.Mutex
 	cells     []checkpoint.CellState
@@ -56,7 +59,7 @@ func (r *runner) initCheckpoint() error {
 	if every <= 0 {
 		every = defaultCheckpointEvery
 	}
-	k := &sweepCheckpointer{path: r.opts.Checkpoint, hash: hash, every: every}
+	k := &sweepCheckpointer{path: r.opts.Checkpoint, hash: hash, every: every, tele: r.opts.Telemetry}
 	k.cells = make([]checkpoint.CellState, len(r.cells))
 	for i, c := range r.cells {
 		k.cells[i] = checkpoint.CellState{Scenario: c.Scenario, Seed: c.Seed}
@@ -140,11 +143,26 @@ func (k *sweepCheckpointer) cellDone(i int, cr CellResult) error {
 
 // save writes the snapshot; callers hold k.mu.
 func (k *sweepCheckpointer) save() error {
-	return checkpoint.Save(k.path, &checkpoint.Snapshot{
+	snap := &checkpoint.Snapshot{
 		Kind:       "sweep",
 		ConfigHash: k.hash,
 		Sweep:      &checkpoint.SweepState{Cells: k.cells},
-	})
+	}
+	if k.tele == nil {
+		return checkpoint.Save(k.path, snap)
+	}
+	start := time.Now()
+	n, err := checkpoint.SaveN(k.path, snap)
+	wall := time.Since(start)
+	k.tele.ObserveWall(telemetry.StageCheckpointWrite, wall)
+	k.tele.Inc(telemetry.CounterCheckpointWrites)
+	k.tele.Add(telemetry.CounterCheckpointBytes, uint64(n))
+	ev := telemetry.Event{Type: "checkpoint", Bytes: n, WallMicros: wall.Microseconds()}
+	if err != nil {
+		ev.Err = err.Error()
+	}
+	k.tele.Emit(ev)
+	return err
 }
 
 // finalize is called once workers have drained: a fully successful

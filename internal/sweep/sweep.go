@@ -6,12 +6,14 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"searchads/internal/analysis"
 	"searchads/internal/crawler"
 	"searchads/internal/entities"
 	"searchads/internal/filterlist"
 	"searchads/internal/netsim"
+	"searchads/internal/telemetry"
 	"searchads/internal/websim"
 )
 
@@ -69,6 +71,14 @@ type Options struct {
 	// iterations across the sweep (default 25). It bounds redone work
 	// after a kill, never output bytes.
 	CheckpointEvery int
+	// Telemetry, when set, records run-time metrics across the whole
+	// sweep: cell lifecycle (wall latency, done/error counts), each
+	// cell's crawl (round trips, navigations, iterations — see
+	// crawler.Config.Telemetry), analysis fold latency (sequential cell
+	// folds; sharded folds time inside the shards and are not recorded),
+	// and checkpoint writes. nil = off. Telemetry never affects sweep
+	// output and does not enter the matrix hash.
+	Telemetry *telemetry.Registry
 }
 
 // CellResult is the retained summary of one executed cell: scalar
@@ -255,6 +265,13 @@ func (r *runner) runCell(ctx context.Context, i int) {
 	c := r.cells[i]
 	cr := CellResult{Scenario: c.Scenario, Seed: c.Seed}
 
+	tele := r.opts.Telemetry
+	var cellStart time.Time
+	if tele != nil {
+		cellStart = time.Now()
+		tele.Emit(telemetry.Event{Type: "cell_start", Scenario: c.Scenario, Seed: c.Seed})
+	}
+
 	var err error
 	if err = ctx.Err(); err == nil {
 		var rep *analysis.Report
@@ -288,6 +305,18 @@ func (r *runner) runCell(ctx context.Context, i int) {
 		}
 	}
 	r.results[i] = cr
+
+	if tele != nil {
+		wall := time.Since(cellStart)
+		tele.ObserveWall(telemetry.StageSweepCell, wall)
+		tele.Inc(telemetry.CounterSweepCells)
+		ev := telemetry.Event{Type: "cell", Scenario: c.Scenario, Seed: c.Seed, WallMicros: wall.Microseconds()}
+		if err != nil {
+			tele.Inc(telemetry.CounterSweepCellErrors)
+			ev.Err = err.Error()
+		}
+		tele.Emit(ev)
+	}
 
 	if r.opts.OnCellDone != nil {
 		r.mu.Lock()
@@ -329,6 +358,7 @@ func (r *runner) crawlAndAnalyze(ctx context.Context, i int, c Cell, cr *CellRes
 		NoStealth:   c.NoStealth,
 		SkipRevisit: c.SkipRevisit,
 		Filter:      crawlFilter,
+		Telemetry:   r.opts.Telemetry,
 	}
 	// A checkpointed prefix fast-forwards the crawl and is re-folded
 	// below, so the cell's analysis observes the exact uninterrupted
@@ -367,9 +397,19 @@ func (r *runner) crawlAndAnalyze(ctx context.Context, i int, c Cell, cr *CellRes
 	shards := r.opts.AnalysisShards
 	if shards <= 1 {
 		acc := analysis.NewAccumulator(opts)
+		fold := func(it *crawler.Iteration) {
+			tele := r.opts.Telemetry
+			if tele == nil {
+				acc.Add(it)
+				return
+			}
+			start := time.Now()
+			acc.Add(it)
+			tele.ObserveWall(telemetry.StageAnalysisFold, time.Since(start))
+		}
 		for _, it := range prefix {
 			observe(it, false)
-			acc.Add(it)
+			fold(it)
 		}
 		for it, err := range stream {
 			if err != nil {
@@ -380,7 +420,7 @@ func (r *runner) crawlAndAnalyze(ctx context.Context, i int, c Cell, cr *CellRes
 				r.trackIteration(-1)
 				return nil, err
 			}
-			acc.Add(it)
+			fold(it)
 			r.trackIteration(-1)
 		}
 		return r.finishCell(c, acc.Report())

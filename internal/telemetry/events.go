@@ -1,0 +1,140 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Event is one line of the JSONL run-event trace. Type is always set;
+// the remaining fields are populated per event kind and omitted when
+// empty, so consumers can switch on "event" and read only the fields
+// that kind defines.
+//
+// Event kinds emitted by the pipeline:
+//
+//	run_start        seed
+//	iteration_start  engine, index
+//	iteration        engine, index, class (on error), wall_us, virtual_ms
+//	retry            engine, attempt, class, virtual_ms (backoff wait)
+//	fault            class
+//	checkpoint       bytes, wall_us, error (on failure)
+//	cell_start       scenario, seed
+//	cell             scenario, seed, wall_us, error (on failure)
+//	run_done         wall_us
+type Event struct {
+	// Time is the wall-clock emit time, RFC3339Nano. Stamped by Emit;
+	// callers leave it empty.
+	Time string `json:"ts"`
+	// Type is the event kind (see the list above).
+	Type string `json:"event"`
+
+	Engine   string `json:"engine,omitempty"`
+	Index    int    `json:"index,omitempty"`
+	Scenario string `json:"scenario,omitempty"`
+	Seed     int64  `json:"seed,omitempty"`
+	Attempt  int    `json:"attempt,omitempty"`
+	// Class is a fault or error class label.
+	Class string `json:"class,omitempty"`
+	// WallMicros is the event's wall-clock duration in microseconds.
+	WallMicros int64 `json:"wall_us,omitempty"`
+	// VirtualMillis is the event's virtual-clock duration in
+	// milliseconds.
+	VirtualMillis int64 `json:"virtual_ms,omitempty"`
+	// Bytes is a payload size (checkpoint events).
+	Bytes int `json:"bytes,omitempty"`
+	// Err carries the event's error text, if any.
+	Err string `json:"error,omitempty"`
+}
+
+// eventSink serializes JSONL event writes. The first write error
+// latches: later events are dropped and the error is reported through
+// SinkErr / CloseSink rather than failing the run.
+type eventSink struct {
+	mu  sync.Mutex
+	w   io.Writer
+	err error
+}
+
+// flusher is the optional flush hook a sink writer may implement
+// (bufio.Writer does).
+type flusher interface{ Flush() error }
+
+// SetSink attaches a JSONL event trace writer. Pass nil to detach.
+// The registry never closes w; the caller owns its lifecycle and
+// should call CloseSink before closing w to flush and collect the
+// latched error.
+func (r *Registry) SetSink(w io.Writer) {
+	if r == nil {
+		return
+	}
+	if w == nil {
+		r.sink.Store(nil)
+		return
+	}
+	r.sink.Store(&eventSink{w: w})
+}
+
+// Emit writes one event to the attached sink, stamping Event.Time.
+// Without a sink (or after a latched write error) it is a no-op, so
+// instrumentation sites can emit unconditionally.
+func (r *Registry) Emit(e Event) {
+	if r == nil {
+		return
+	}
+	s := r.sink.Load()
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return
+	}
+	e.Time = time.Now().UTC().Format(time.RFC3339Nano)
+	line, err := json.Marshal(e)
+	if err != nil {
+		s.err = err
+		return
+	}
+	line = append(line, '\n')
+	if _, err := s.w.Write(line); err != nil {
+		s.err = err
+	}
+}
+
+// SinkErr returns the first event-trace write error, or nil.
+func (r *Registry) SinkErr() error {
+	if r == nil {
+		return nil
+	}
+	s := r.sink.Load()
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// CloseSink detaches the event trace, flushing the writer if it
+// implements Flush() error, and returns the first write or flush
+// error. Safe to call with no sink attached (returns nil).
+func (r *Registry) CloseSink() error {
+	if r == nil {
+		return nil
+	}
+	s := r.sink.Swap(nil)
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if f, ok := s.w.(flusher); ok {
+		if err := f.Flush(); err != nil && s.err == nil {
+			s.err = err
+		}
+	}
+	return s.err
+}

@@ -1,0 +1,149 @@
+package telemetry
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// histBuckets is the number of fixed histogram buckets. Bucket 0 holds
+// durations under histBase; bucket i (i ≥ 1) holds
+// [histBase<<(i-1), histBase<<i); the last bucket absorbs overflow.
+// With histBase = 1µs, 44 buckets reach ~51 days — far past the 24h
+// revisit jumps, the largest virtual durations the simulation charges.
+const histBuckets = 44
+
+// histBase is the upper bound of bucket 0.
+const histBase = time.Microsecond
+
+// bucketOf maps a duration to its bucket index.
+func bucketOf(d time.Duration) int {
+	if d < histBase {
+		return 0
+	}
+	i := bits.Len64(uint64(d / histBase))
+	if i >= histBuckets {
+		return histBuckets - 1
+	}
+	return i
+}
+
+// bucketBounds returns the [lo, hi) duration range of bucket i. The
+// overflow bucket's hi is its lo (no interpolation past it).
+func bucketBounds(i int) (lo, hi time.Duration) {
+	if i == 0 {
+		return 0, histBase
+	}
+	lo = histBase << (i - 1)
+	if i == histBuckets-1 {
+		return lo, lo
+	}
+	return lo, histBase << i
+}
+
+// histogram is one stage's fixed-bucket latency distribution within a
+// single shard. All fields are atomics: observe is lock-free and safe
+// for concurrent use, at the price of snapshot not being a single
+// atomic cut — fine for run reports, which read after (or well behind)
+// the writers.
+type histogram struct {
+	count   atomic.Uint64
+	sum     atomic.Int64 // nanoseconds
+	max     atomic.Int64 // nanoseconds
+	buckets [histBuckets]atomic.Uint64
+}
+
+// observe records one duration. Negative durations (a clock stepping
+// backwards) clamp to zero rather than corrupting the sum.
+func (h *histogram) observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.count.Add(1)
+	h.sum.Add(int64(d))
+	for {
+		cur := h.max.Load()
+		if int64(d) <= cur || h.max.CompareAndSwap(cur, int64(d)) {
+			break
+		}
+	}
+	h.buckets[bucketOf(d)].Add(1)
+}
+
+// histogramData is a plain (non-atomic) copy of a histogram, used to
+// fold shards and compute percentiles.
+type histogramData struct {
+	Count   uint64
+	Sum     time.Duration
+	Max     time.Duration
+	Buckets [histBuckets]uint64
+}
+
+// snapshot copies the histogram's current state.
+func (h *histogram) snapshot() histogramData {
+	var d histogramData
+	d.Count = h.count.Load()
+	d.Sum = time.Duration(h.sum.Load())
+	d.Max = time.Duration(h.max.Load())
+	for i := range h.buckets {
+		d.Buckets[i] = h.buckets[i].Load()
+	}
+	return d
+}
+
+// merge adds another histogram's data into this one.
+func (d *histogramData) merge(o histogramData) {
+	d.Count += o.Count
+	d.Sum += o.Sum
+	if o.Max > d.Max {
+		d.Max = o.Max
+	}
+	for i := range d.Buckets {
+		d.Buckets[i] += o.Buckets[i]
+	}
+}
+
+// mean returns the average observed duration (0 when empty).
+func (d *histogramData) mean() time.Duration {
+	if d.Count == 0 {
+		return 0
+	}
+	return d.Sum / time.Duration(d.Count)
+}
+
+// percentile estimates the q-th percentile (q in (0, 1]) by linear
+// interpolation within the bucket holding that rank, clamped to the
+// exact observed max so p99 never exceeds it.
+func (d *histogramData) percentile(q float64) time.Duration {
+	if d.Count == 0 {
+		return 0
+	}
+	rank := uint64(q*float64(d.Count) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > d.Count {
+		rank = d.Count
+	}
+	var cum uint64
+	for i, n := range d.Buckets {
+		if n == 0 {
+			continue
+		}
+		if cum+n >= rank {
+			lo, hi := bucketBounds(i)
+			if hi <= lo {
+				// overflow bucket: no upper bound to interpolate toward
+				return d.Max
+			}
+			frac := float64(rank-cum) / float64(n)
+			est := lo + time.Duration(frac*float64(hi-lo))
+			if est > d.Max {
+				est = d.Max
+			}
+			return est
+		}
+		cum += n
+	}
+	return d.Max
+}

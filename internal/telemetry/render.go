@@ -1,0 +1,216 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+)
+
+// fmtDur renders a duration compactly for tables: sub-microsecond in
+// ns, sub-millisecond in µs, sub-second in ms, else seconds — all at
+// the precision a latency table is read at.
+func fmtDur(d time.Duration) string {
+	switch {
+	case d == 0:
+		return "0"
+	case d < time.Microsecond:
+		return fmt.Sprintf("%dns", d.Nanoseconds())
+	case d < time.Millisecond:
+		return fmt.Sprintf("%.1fµs", float64(d.Nanoseconds())/1e3)
+	case d < time.Second:
+		return fmt.Sprintf("%.2fms", float64(d.Nanoseconds())/1e6)
+	default:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	}
+}
+
+// distRow renders one distribution's table cells.
+func distRow(d Dist) []string {
+	return []string{
+		fmt.Sprintf("%d", d.Count),
+		fmtDur(d.Mean), fmtDur(d.P50), fmtDur(d.P90),
+		fmtDur(d.P95), fmtDur(d.P99), fmtDur(d.Max),
+	}
+}
+
+var distHeader = []string{"count", "mean", "p50", "p90", "p95", "p99", "max"}
+
+// textTable renders rows (first row = header) with space-padded
+// columns.
+func textTable(b *strings.Builder, rows [][]string) {
+	widths := make([]int, len(rows[0]))
+	for _, row := range rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			if i == 0 {
+				fmt.Fprintf(b, "%-*s", widths[i], cell)
+			} else {
+				fmt.Fprintf(b, "%*s", widths[i], cell)
+			}
+		}
+		b.WriteByte('\n')
+	}
+}
+
+// stageRows collects table rows for stages with observations on the
+// chosen clock.
+func (s Snapshot) stageRows(virtual bool) [][]string {
+	rows := [][]string{append([]string{"stage"}, distHeader...)}
+	for _, st := range s.Stages {
+		d := st.Wall
+		if virtual {
+			d = st.Virtual
+		}
+		if d.Count == 0 {
+			continue
+		}
+		rows = append(rows, append([]string{st.Stage}, distRow(d)...))
+	}
+	return rows
+}
+
+// Text renders the snapshot as a plain-text report: wall and virtual
+// latency tables, run counters, per-engine throughput, and fault /
+// error-class tallies.
+func (s Snapshot) Text() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "telemetry: elapsed %s, %.1f iterations/sec\n", fmtDur(s.Elapsed), s.IterationsPerSec)
+
+	if rows := s.stageRows(false); len(rows) > 1 {
+		b.WriteString("\nwall-clock latency by stage:\n")
+		textTable(&b, rows)
+	}
+	if rows := s.stageRows(true); len(rows) > 1 {
+		b.WriteString("\nvirtual-clock latency by stage:\n")
+		textTable(&b, rows)
+	}
+
+	b.WriteString("\ncounters:\n")
+	counterRows := [][]string{{"counter", "value"}}
+	for _, c := range s.Counters {
+		if c.Value == 0 {
+			continue
+		}
+		counterRows = append(counterRows, []string{c.Name, fmt.Sprintf("%d", c.Value)})
+	}
+	textTable(&b, counterRows)
+
+	if len(s.Engines) > 0 {
+		b.WriteString("\nengines:\n")
+		rows := [][]string{{"engine", "iterations", "errors", "iter/sec"}}
+		for _, e := range s.Engines {
+			rows = append(rows, []string{
+				e.Engine,
+				fmt.Sprintf("%d", e.Iterations),
+				fmt.Sprintf("%d", e.Errors),
+				fmt.Sprintf("%.1f", e.PerSec),
+			})
+		}
+		textTable(&b, rows)
+	}
+	if len(s.Faults) > 0 {
+		b.WriteString("\nfaults:\n")
+		rows := [][]string{{"class", "count"}}
+		for _, f := range s.Faults {
+			rows = append(rows, []string{f.Label, fmt.Sprintf("%d", f.Count)})
+		}
+		textTable(&b, rows)
+	}
+	if len(s.ErrorClasses) > 0 {
+		b.WriteString("\nerror classes:\n")
+		rows := [][]string{{"class", "count"}}
+		for _, e := range s.ErrorClasses {
+			rows = append(rows, []string{e.Label, fmt.Sprintf("%d", e.Count)})
+		}
+		textTable(&b, rows)
+	}
+	return b.String()
+}
+
+// mdTable renders rows (first row = header) as a GitHub Markdown
+// table.
+func mdTable(b *strings.Builder, rows [][]string) {
+	for i, row := range rows {
+		b.WriteString("| ")
+		b.WriteString(strings.Join(row, " | "))
+		b.WriteString(" |\n")
+		if i == 0 {
+			b.WriteString("|")
+			for range row {
+				b.WriteString(" --- |")
+			}
+			b.WriteByte('\n')
+		}
+	}
+}
+
+// Markdown renders the snapshot as GitHub-flavored Markdown.
+func (s Snapshot) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "## Telemetry\n\nElapsed %s · %.1f iterations/sec\n", fmtDur(s.Elapsed), s.IterationsPerSec)
+
+	if rows := s.stageRows(false); len(rows) > 1 {
+		b.WriteString("\n### Wall-clock latency by stage\n\n")
+		mdTable(&b, rows)
+	}
+	if rows := s.stageRows(true); len(rows) > 1 {
+		b.WriteString("\n### Virtual-clock latency by stage\n\n")
+		mdTable(&b, rows)
+	}
+
+	b.WriteString("\n### Counters\n\n")
+	counterRows := [][]string{{"counter", "value"}}
+	for _, c := range s.Counters {
+		if c.Value == 0 {
+			continue
+		}
+		counterRows = append(counterRows, []string{c.Name, fmt.Sprintf("%d", c.Value)})
+	}
+	mdTable(&b, counterRows)
+
+	if len(s.Engines) > 0 {
+		b.WriteString("\n### Engines\n\n")
+		rows := [][]string{{"engine", "iterations", "errors", "iter/sec"}}
+		for _, e := range s.Engines {
+			rows = append(rows, []string{
+				e.Engine,
+				fmt.Sprintf("%d", e.Iterations),
+				fmt.Sprintf("%d", e.Errors),
+				fmt.Sprintf("%.1f", e.PerSec),
+			})
+		}
+		mdTable(&b, rows)
+	}
+	if len(s.Faults) > 0 {
+		b.WriteString("\n### Faults\n\n")
+		rows := [][]string{{"class", "count"}}
+		for _, f := range s.Faults {
+			rows = append(rows, []string{f.Label, fmt.Sprintf("%d", f.Count)})
+		}
+		mdTable(&b, rows)
+	}
+	if len(s.ErrorClasses) > 0 {
+		b.WriteString("\n### Error classes\n\n")
+		rows := [][]string{{"class", "count"}}
+		for _, e := range s.ErrorClasses {
+			rows = append(rows, []string{e.Label, fmt.Sprintf("%d", e.Count)})
+		}
+		mdTable(&b, rows)
+	}
+	return b.String()
+}
+
+// JSON renders the snapshot as indented JSON.
+func (s Snapshot) JSON() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}

@@ -1,0 +1,146 @@
+package telemetry
+
+import (
+	"sort"
+	"time"
+)
+
+// Dist summarizes one latency distribution. Duration fields are
+// nanoseconds on the wire (Go time.Duration).
+type Dist struct {
+	Count uint64        `json:"count"`
+	Mean  time.Duration `json:"mean_ns"`
+	P50   time.Duration `json:"p50_ns"`
+	P90   time.Duration `json:"p90_ns"`
+	P95   time.Duration `json:"p95_ns"`
+	P99   time.Duration `json:"p99_ns"`
+	Max   time.Duration `json:"max_ns"`
+}
+
+// distOf summarizes folded histogram data.
+func distOf(d histogramData) Dist {
+	return Dist{
+		Count: d.Count,
+		Mean:  d.mean(),
+		P50:   d.percentile(0.50),
+		P90:   d.percentile(0.90),
+		P95:   d.percentile(0.95),
+		P99:   d.percentile(0.99),
+		Max:   d.Max,
+	}
+}
+
+// StageSnapshot is one stage's wall- and virtual-clock distributions.
+type StageSnapshot struct {
+	Stage   string `json:"stage"`
+	Wall    Dist   `json:"wall"`
+	Virtual Dist   `json:"virtual"`
+}
+
+// CounterSnapshot is one scalar counter's total.
+type CounterSnapshot struct {
+	Name  string `json:"name"`
+	Value uint64 `json:"value"`
+}
+
+// EngineSnapshot is one engine's iteration tally and throughput.
+type EngineSnapshot struct {
+	Engine     string  `json:"engine"`
+	Iterations uint64  `json:"iterations"`
+	Errors     uint64  `json:"errors"`
+	PerSec     float64 `json:"iterations_per_sec"`
+}
+
+// LabelCount is one labeled tally (fault class, error class).
+type LabelCount struct {
+	Label string `json:"label"`
+	Count uint64 `json:"count"`
+}
+
+// Snapshot is a point-in-time read of the registry: per-stage latency
+// percentiles on both clocks, run counters, per-engine throughput, and
+// labeled fault/error tallies. Slices are sorted (stages and counters
+// in report order, labels lexically), so equal registries render
+// identically.
+type Snapshot struct {
+	Elapsed          time.Duration     `json:"elapsed_ns"`
+	IterationsPerSec float64           `json:"iterations_per_sec"`
+	Stages           []StageSnapshot   `json:"stages"`
+	Counters         []CounterSnapshot `json:"counters"`
+	Engines          []EngineSnapshot  `json:"engines,omitempty"`
+	Faults           []LabelCount      `json:"faults,omitempty"`
+	ErrorClasses     []LabelCount      `json:"error_classes,omitempty"`
+}
+
+// Snapshot folds the shards into a consistent-enough point-in-time
+// view. Safe to call while the run is live (counters and histograms
+// may be mid-update; each value read is itself atomic). A nil registry
+// yields the zero Snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	if r == nil {
+		return Snapshot{}
+	}
+	var s Snapshot
+	s.Elapsed = r.Elapsed()
+
+	s.Stages = make([]StageSnapshot, 0, numStages)
+	for st := Stage(0); st < numStages; st++ {
+		s.Stages = append(s.Stages, StageSnapshot{
+			Stage:   st.String(),
+			Wall:    distOf(r.mergedWall(st)),
+			Virtual: distOf(r.mergedVirtual(st)),
+		})
+	}
+
+	s.Counters = make([]CounterSnapshot, 0, numCounters)
+	for c := Counter(0); c < numCounters; c++ {
+		s.Counters = append(s.Counters, CounterSnapshot{Name: c.String(), Value: r.counterTotal(c)})
+	}
+
+	iters := r.counterTotal(CounterIterations)
+	if secs := s.Elapsed.Seconds(); secs > 0 {
+		s.IterationsPerSec = float64(iters) / secs
+	}
+
+	r.mu.Lock()
+	for name, ec := range r.engines {
+		es := EngineSnapshot{Engine: name, Iterations: ec.iterations, Errors: ec.errors}
+		if secs := s.Elapsed.Seconds(); secs > 0 {
+			es.PerSec = float64(ec.iterations) / secs
+		}
+		s.Engines = append(s.Engines, es)
+	}
+	for label, n := range r.faults {
+		s.Faults = append(s.Faults, LabelCount{Label: label, Count: n})
+	}
+	for label, n := range r.errClass {
+		s.ErrorClasses = append(s.ErrorClasses, LabelCount{Label: label, Count: n})
+	}
+	r.mu.Unlock()
+
+	sort.Slice(s.Engines, func(i, j int) bool { return s.Engines[i].Engine < s.Engines[j].Engine })
+	sort.Slice(s.Faults, func(i, j int) bool { return s.Faults[i].Label < s.Faults[j].Label })
+	sort.Slice(s.ErrorClasses, func(i, j int) bool { return s.ErrorClasses[i].Label < s.ErrorClasses[j].Label })
+	return s
+}
+
+// Counter returns the named counter's value in the snapshot (0 when
+// absent).
+func (s Snapshot) Counter(name string) uint64 {
+	for _, c := range s.Counters {
+		if c.Name == name {
+			return c.Value
+		}
+	}
+	return 0
+}
+
+// StageByName returns the named stage's snapshot and whether it exists.
+func (s Snapshot) StageByName(name string) (StageSnapshot, bool) {
+	for _, st := range s.Stages {
+		if st.Stage == name {
+			return st, true
+		}
+	}
+	return StageSnapshot{}, false
+}

@@ -1,0 +1,359 @@
+package telemetry
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilRegistryIsNoOp(t *testing.T) {
+	var r *Registry
+	if r.Enabled() {
+		t.Fatal("nil registry reports Enabled")
+	}
+	// None of these may panic.
+	r.ObserveWall(StageRoundTrip, time.Millisecond)
+	r.ObserveVirtual(StageNavigate, time.Second)
+	r.Inc(CounterIterations)
+	r.Add(CounterCheckpointBytes, 100)
+	r.IncEngine("google", true)
+	r.IncFault("dns")
+	r.IncErrorClass("")
+	r.SetSink(&bytes.Buffer{})
+	r.Emit(Event{Type: "iteration"})
+	if err := r.SinkErr(); err != nil {
+		t.Fatalf("nil SinkErr = %v", err)
+	}
+	if err := r.CloseSink(); err != nil {
+		t.Fatalf("nil CloseSink = %v", err)
+	}
+	if r.Elapsed() != 0 {
+		t.Fatal("nil Elapsed != 0")
+	}
+	s := r.Snapshot()
+	if len(s.Stages) != 0 || len(s.Counters) != 0 {
+		t.Fatal("nil Snapshot not zero")
+	}
+}
+
+func TestCountersFoldAcrossShards(t *testing.T) {
+	r := New()
+	const goroutines = 16
+	const per = 1000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				r.Inc(CounterRoundTrips)
+				r.ObserveWall(StageRoundTrip, time.Duration(i)*time.Microsecond)
+				r.ObserveVirtual(StageRoundTrip, 35*time.Millisecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.counterTotal(CounterRoundTrips); got != goroutines*per {
+		t.Fatalf("roundtrips = %d, want %d", got, goroutines*per)
+	}
+	s := r.Snapshot()
+	st, ok := s.StageByName("netsim_roundtrip")
+	if !ok {
+		t.Fatal("netsim_roundtrip stage missing")
+	}
+	if st.Wall.Count != goroutines*per {
+		t.Fatalf("wall count = %d, want %d", st.Wall.Count, goroutines*per)
+	}
+	if st.Virtual.Count != goroutines*per {
+		t.Fatalf("virtual count = %d, want %d", st.Virtual.Count, goroutines*per)
+	}
+	// All virtual observations were exactly 35ms: the whole distribution
+	// collapses into one bucket, max is exact.
+	if st.Virtual.Max != 35*time.Millisecond {
+		t.Fatalf("virtual max = %v, want 35ms", st.Virtual.Max)
+	}
+	if st.Virtual.P50 > st.Virtual.Max || st.Virtual.P99 > st.Virtual.Max {
+		t.Fatalf("percentiles exceed max: p50=%v p99=%v max=%v", st.Virtual.P50, st.Virtual.P99, st.Virtual.Max)
+	}
+}
+
+func TestHistogramPercentiles(t *testing.T) {
+	var h histogram
+	// 100 observations: 1..100 ms.
+	for i := 1; i <= 100; i++ {
+		h.observe(time.Duration(i) * time.Millisecond)
+	}
+	d := h.snapshot()
+	if d.Count != 100 {
+		t.Fatalf("count = %d", d.Count)
+	}
+	if d.Max != 100*time.Millisecond {
+		t.Fatalf("max = %v", d.Max)
+	}
+	wantMean := 50500 * time.Microsecond
+	if d.mean() != wantMean {
+		t.Fatalf("mean = %v, want %v", d.mean(), wantMean)
+	}
+	// Geometric buckets are coarse; assert percentiles are ordered,
+	// within the observed range, and within a bucket (2x) of truth.
+	p50, p99 := d.percentile(0.50), d.percentile(0.99)
+	if p50 > p99 || p99 > d.Max {
+		t.Fatalf("unordered percentiles: p50=%v p99=%v max=%v", p50, p99, d.Max)
+	}
+	if p50 < 25*time.Millisecond || p50 > 100*time.Millisecond {
+		t.Fatalf("p50 = %v, want within [25ms, 100ms]", p50)
+	}
+	if p99 < 50*time.Millisecond {
+		t.Fatalf("p99 = %v, want >= 50ms", p99)
+	}
+}
+
+func TestHistogramDeterministicFold(t *testing.T) {
+	// The same multiset of durations must fold to identical data
+	// however it is split across histograms — the property the
+	// sequential-vs-Parallel determinism test relies on.
+	durs := make([]time.Duration, 0, 300)
+	for i := 0; i < 300; i++ {
+		durs = append(durs, time.Duration(i*i%977)*time.Millisecond)
+	}
+	var one histogram
+	for _, d := range durs {
+		one.observe(d)
+	}
+	var a, b histogram
+	for i, d := range durs {
+		if i%3 == 0 {
+			a.observe(d)
+		} else {
+			b.observe(d)
+		}
+	}
+	split := a.snapshot()
+	split.merge(b.snapshot())
+	if split != one.snapshot() {
+		t.Fatal("split fold differs from sequential fold")
+	}
+}
+
+func TestHistogramNegativeClampsToZero(t *testing.T) {
+	var h histogram
+	h.observe(-time.Second)
+	d := h.snapshot()
+	if d.Count != 1 || d.Sum != 0 || d.Max != 0 {
+		t.Fatalf("negative observation not clamped: %+v", d)
+	}
+}
+
+func TestEngineAndLabelTallies(t *testing.T) {
+	r := New()
+	r.IncEngine("bing", false)
+	r.IncEngine("bing", true)
+	r.IncEngine("google", false)
+	r.IncFault("dns")
+	r.IncFault("dns")
+	r.IncFault("http_429")
+	r.IncErrorClass("")
+	r.IncErrorClass("bot_wall")
+	s := r.Snapshot()
+	if len(s.Engines) != 2 || s.Engines[0].Engine != "bing" || s.Engines[1].Engine != "google" {
+		t.Fatalf("engines = %+v", s.Engines)
+	}
+	if s.Engines[0].Iterations != 2 || s.Engines[0].Errors != 1 {
+		t.Fatalf("bing = %+v", s.Engines[0])
+	}
+	if len(s.Faults) != 2 || s.Faults[0] != (LabelCount{"dns", 2}) || s.Faults[1] != (LabelCount{"http_429", 1}) {
+		t.Fatalf("faults = %+v", s.Faults)
+	}
+	if s.Counter("faults") != 3 {
+		t.Fatalf("faults counter = %d", s.Counter("faults"))
+	}
+	if len(s.ErrorClasses) != 2 || s.ErrorClasses[0].Label != "bot_wall" || s.ErrorClasses[1].Label != "other" {
+		t.Fatalf("error classes = %+v", s.ErrorClasses)
+	}
+}
+
+func TestEventSinkJSONL(t *testing.T) {
+	r := New()
+	var buf bytes.Buffer
+	r.SetSink(&buf)
+	r.Emit(Event{Type: "run_start", Seed: 42})
+	r.Emit(Event{Type: "iteration", Engine: "google", Index: 3, WallMicros: 1500, VirtualMillis: 2100})
+	r.Emit(Event{Type: "fault", Class: "dns"})
+	if err := r.CloseSink(); err != nil {
+		t.Fatalf("CloseSink = %v", err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines, want 3:\n%s", len(lines), buf.String())
+	}
+	var ev Event
+	if err := json.Unmarshal([]byte(lines[1]), &ev); err != nil {
+		t.Fatalf("line 2 not JSON: %v", err)
+	}
+	if ev.Type != "iteration" || ev.Engine != "google" || ev.Index != 3 || ev.WallMicros != 1500 || ev.VirtualMillis != 2100 {
+		t.Fatalf("roundtrip mismatch: %+v", ev)
+	}
+	if ev.Time == "" {
+		t.Fatal("emit did not stamp ts")
+	}
+	if _, err := time.Parse(time.RFC3339Nano, ev.Time); err != nil {
+		t.Fatalf("ts not RFC3339Nano: %v", err)
+	}
+	// Detached sink: emits are dropped, not errors.
+	r.Emit(Event{Type: "late"})
+	if buf.Len() != len(strings.Join(lines, "\n"))+1 {
+		t.Fatal("emit after CloseSink wrote bytes")
+	}
+}
+
+type failWriter struct{ after int }
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	if w.after <= 0 {
+		return 0, errors.New("disk full")
+	}
+	w.after--
+	return len(p), nil
+}
+
+func TestEventSinkLatchesFirstError(t *testing.T) {
+	r := New()
+	r.SetSink(&failWriter{after: 1})
+	r.Emit(Event{Type: "ok"})
+	if err := r.SinkErr(); err != nil {
+		t.Fatalf("unexpected early error: %v", err)
+	}
+	r.Emit(Event{Type: "fails"})
+	err := r.SinkErr()
+	if err == nil || err.Error() != "disk full" {
+		t.Fatalf("SinkErr = %v, want disk full", err)
+	}
+	r.Emit(Event{Type: "dropped"}) // must not panic or overwrite
+	if got := r.CloseSink(); got != err {
+		t.Fatalf("CloseSink = %v, want latched %v", got, err)
+	}
+}
+
+func TestCloseSinkFlushes(t *testing.T) {
+	r := New()
+	var buf bytes.Buffer
+	bw := bufio.NewWriter(&buf)
+	r.SetSink(bw)
+	r.Emit(Event{Type: "run_done"})
+	if buf.Len() != 0 {
+		t.Fatal("bufio flushed early — test premise broken")
+	}
+	if err := r.CloseSink(); err != nil {
+		t.Fatalf("CloseSink = %v", err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("CloseSink did not flush the buffered writer")
+	}
+}
+
+func TestRenderers(t *testing.T) {
+	r := New()
+	r.ObserveWall(StageIteration, 3*time.Millisecond)
+	r.ObserveVirtual(StageIteration, 40*time.Second)
+	r.Inc(CounterIterations)
+	r.IncEngine("duckduckgo", false)
+	r.IncFault("tls")
+	r.IncErrorClass("timeout")
+	s := r.Snapshot()
+
+	text := s.Text()
+	for _, want := range []string{"crawler_iteration", "wall-clock latency", "virtual-clock latency", "duckduckgo", "tls", "timeout"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("Text() missing %q:\n%s", want, text)
+		}
+	}
+	md := s.Markdown()
+	for _, want := range []string{"## Telemetry", "| crawler_iteration |", "### Engines", "| duckduckgo |"} {
+		if !strings.Contains(md, want) {
+			t.Errorf("Markdown() missing %q:\n%s", want, md)
+		}
+	}
+	js, err := s.JSON()
+	if err != nil {
+		t.Fatalf("JSON() = %v", err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(js, &back); err != nil {
+		t.Fatalf("JSON roundtrip: %v", err)
+	}
+	if len(back.Stages) != len(s.Stages) || back.Counter("iterations") != 1 {
+		t.Fatalf("JSON roundtrip mismatch: %+v", back)
+	}
+}
+
+func TestStageAndCounterNames(t *testing.T) {
+	seen := map[string]bool{}
+	for _, st := range Stages() {
+		name := st.String()
+		if name == "" || strings.HasPrefix(name, "stage(") {
+			t.Fatalf("stage %d has no name", st)
+		}
+		if seen[name] {
+			t.Fatalf("duplicate stage name %q", name)
+		}
+		seen[name] = true
+	}
+	if Stage(200).String() != "stage(200)" {
+		t.Fatal("out-of-range stage name")
+	}
+	if Counter(200).String() != "counter(200)" {
+		t.Fatal("out-of-range counter name")
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	// Exercised under -race in CI: writers on every surface while a
+	// reader snapshots and renders.
+	r := New()
+	var buf bytes.Buffer
+	r.SetSink(&buf)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				r.ObserveWall(Stage(i%int(numStages)), time.Duration(i)*time.Microsecond)
+				r.ObserveVirtual(StageIteration, time.Duration(g)*time.Second)
+				r.Inc(Counter(i % int(numCounters)))
+				r.IncEngine("e", i%7 == 0)
+				r.IncFault("f")
+				r.Emit(Event{Type: "iteration", Index: i})
+			}
+		}(g)
+	}
+	readerDone := make(chan struct{})
+	go func() {
+		defer close(readerDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				s := r.Snapshot()
+				_ = s.Text()
+				_, _ = s.JSON()
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	<-readerDone
+	if err := r.CloseSink(); err != nil {
+		t.Fatalf("CloseSink = %v", err)
+	}
+	if got := r.counterTotal(CounterFaults); got < 8*500 {
+		t.Fatalf("faults = %d, want >= %d", got, 8*500)
+	}
+}

@@ -16,7 +16,7 @@ import (
 func botwallInterstitial(req *netsim.Request) *netsim.Response {
 	page := &netsim.Page{
 		Title: "Attention Required",
-		Root: netsim.NewElement("div", "id", "challenge-form"),
+		Root:  netsim.NewElement("div", "id", "challenge-form"),
 	}
 	page.Root.Children = []*netsim.Element{
 		{Tag: "h1", Text: "Checking your browser before accessing " + req.URL.Host},

@@ -63,6 +63,7 @@ import (
 	"fmt"
 	"iter"
 	"runtime"
+	"time"
 
 	"searchads/internal/analysis"
 	"searchads/internal/crawler"
@@ -71,6 +72,7 @@ import (
 	"searchads/internal/netsim"
 	"searchads/internal/storage"
 	"searchads/internal/sweep"
+	"searchads/internal/telemetry"
 	"searchads/internal/websim"
 )
 
@@ -245,7 +247,33 @@ type Config struct {
 	// (default DefaultCheckpointEvery; the interval bounds redone work
 	// after a kill, never correctness).
 	CheckpointEvery int
+	// Telemetry, when set, records run-time metrics for every layer of
+	// the study: netsim round trips (latency and fault classes), browser
+	// navigations and retries, crawl iterations (per engine, per error
+	// class, queue wait under Parallel), the analysis fold, and
+	// checkpoint writes. Read results with Telemetry.Snapshot(); attach
+	// a JSONL event trace with Telemetry.SetSink. nil = off, at zero
+	// cost beyond a nil/atomic check per site. Telemetry never affects
+	// outputs: datasets and reports are byte-identical with it on, off,
+	// or absent, and it does not enter the checkpoint config hash.
+	Telemetry *Telemetry
 }
+
+// Telemetry is the run-time metrics registry (see internal/telemetry):
+// sharded atomic counters and fixed-bucket latency histograms with
+// p50/p90/p95/p99/max snapshots, per-engine throughput, and an
+// optional JSONL event-trace sink. Construct with NewTelemetry.
+type Telemetry = telemetry.Registry
+
+// NewTelemetry returns an empty telemetry registry; its
+// iterations/sec window starts at the call.
+func NewTelemetry() *Telemetry { return telemetry.New() }
+
+// TelemetrySnapshot is a point-in-time read of a Telemetry registry.
+type TelemetrySnapshot = telemetry.Snapshot
+
+// TelemetryEvent is one line of the JSONL run-event trace.
+type TelemetryEvent = telemetry.Event
 
 // Study owns one world and the artifacts derived from it.
 type Study struct {
@@ -322,6 +350,7 @@ func (s *Study) crawlerConfig(w *World) crawler.Config {
 		SkipRevisit: s.cfg.SkipRevisit,
 		Parallel:    s.cfg.Parallel,
 		Filter:      s.cfg.Filter,
+		Telemetry:   s.cfg.Telemetry,
 	}
 }
 
@@ -459,11 +488,18 @@ func (s *Study) AnalyzeWith(ctx context.Context, opts AnalysisOptions) (*Report,
 		report, err = s.analyzeSharded(ctx, opts, shards)
 	} else {
 		acc := analysis.NewAccumulator(opts)
+		tele := s.cfg.Telemetry
 		for it, iterErr := range s.Iterations(ctx) {
 			if iterErr != nil {
 				return nil, iterErr
 			}
+			if tele == nil {
+				acc.Add(it)
+				continue
+			}
+			start := time.Now()
 			acc.Add(it)
+			tele.ObserveWall(telemetry.StageAnalysisFold, time.Since(start))
 		}
 		report = acc.Report()
 	}

@@ -1,0 +1,24 @@
+package searchads
+
+import "testing"
+
+// TestTelemetryExcludedFromConfigHash pins that attaching a telemetry
+// registry never changes a study's checkpoint identity: a crawl killed
+// with telemetry on may resume with it off (and vice versa), exactly
+// like the Parallel flag.
+func TestTelemetryExcludedFromConfigHash(t *testing.T) {
+	base := Config{Seed: 11, Engines: []string{"google"}, QueriesPerEngine: 5}
+	plain, err := NewStudy(base).configHash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	withTele := base
+	withTele.Telemetry = NewTelemetry()
+	instrumented, err := NewStudy(withTele).configHash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain != instrumented {
+		t.Errorf("config hash changed when telemetry was attached: %s vs %s", plain, instrumented)
+	}
+}

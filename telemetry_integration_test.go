@@ -1,0 +1,134 @@
+package searchads_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"searchads"
+)
+
+// teleConfig is the integration-test workload: two engines, enough
+// iterations that worker-pool interleaving would show up in any
+// nondeterministic accounting.
+func teleConfig(parallel bool, tele *searchads.Telemetry) searchads.Config {
+	return searchads.Config{
+		Seed:             7,
+		Engines:          []string{"google", "bing"},
+		QueriesPerEngine: 10,
+		Parallel:         parallel,
+		Telemetry:        tele,
+	}
+}
+
+// TestTelemetryVirtualDeterminism pins that the virtual-clock
+// histograms are a pure function of (seed, config): a sequential crawl
+// and a Parallel crawl of the same study produce identical virtual
+// distributions for every stage, however the scheduler interleaved the
+// wall-clock work.
+func TestTelemetryVirtualDeterminism(t *testing.T) {
+	seq := searchads.NewTelemetry()
+	if _, err := searchads.NewStudy(teleConfig(false, seq)).Analyze(t.Context()); err != nil {
+		t.Fatal(err)
+	}
+	par := searchads.NewTelemetry()
+	if _, err := searchads.NewStudy(teleConfig(true, par)).Analyze(t.Context()); err != nil {
+		t.Fatal(err)
+	}
+
+	seqSnap, parSnap := seq.Snapshot(), par.Snapshot()
+	for _, stage := range []string{"netsim_roundtrip", "browser_navigate", "crawler_iteration"} {
+		s, ok := seqSnap.StageByName(stage)
+		if !ok {
+			t.Fatalf("sequential snapshot has no stage %q", stage)
+		}
+		p, ok := parSnap.StageByName(stage)
+		if !ok {
+			t.Fatalf("parallel snapshot has no stage %q", stage)
+		}
+		if s.Virtual != p.Virtual {
+			t.Errorf("stage %s: virtual distribution diverged\nsequential: %+v\nparallel:   %+v",
+				stage, s.Virtual, p.Virtual)
+		}
+		if s.Virtual.Count == 0 {
+			t.Errorf("stage %s: virtual distribution is empty", stage)
+		}
+	}
+	for _, counter := range []string{"roundtrips", "navigations", "iterations"} {
+		if sv, pv := seqSnap.Counter(counter), parSnap.Counter(counter); sv != pv {
+			t.Errorf("counter %s: sequential %d, parallel %d", counter, sv, pv)
+		}
+	}
+}
+
+// TestTelemetryDoesNotChangeReport pins the off-path contract from the
+// other side: attaching a registry (or not mentioning telemetry at
+// all) never changes a single output byte, for studies and sweeps
+// alike.
+func TestTelemetryDoesNotChangeReport(t *testing.T) {
+	plain, err := searchads.NewStudy(teleConfig(false, nil)).Analyze(t.Context())
+	if err != nil {
+		t.Fatal(err)
+	}
+	instrumented, err := searchads.NewStudy(teleConfig(false, searchads.NewTelemetry())).Analyze(t.Context())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Render() != instrumented.Render() {
+		t.Error("study report text differs with telemetry attached")
+	}
+	plainJSON, err := plain.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	instrJSON, err := instrumented.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(plainJSON) != string(instrJSON) {
+		t.Error("study report JSON differs with telemetry attached")
+	}
+
+	matrix := searchads.SweepMatrix{
+		Seeds:            []int64{1, 2},
+		EngineSets:       [][]string{{"google", "bing"}},
+		QueriesPerEngine: 6,
+	}
+	run := func(tele *searchads.Telemetry) string {
+		res, err := searchads.Sweep(context.Background(), matrix, searchads.SweepOptions{Telemetry: tele})
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := res.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(data)
+	}
+	if off, on := run(nil), run(searchads.NewTelemetry()); off != on {
+		t.Error("sweep result JSON differs with telemetry attached")
+	}
+}
+
+// TestTelemetryEventTrace drives an instrumented study with a JSONL
+// sink attached and checks the trace is consumable line-by-line.
+func TestTelemetryEventTrace(t *testing.T) {
+	var buf strings.Builder
+	tele := searchads.NewTelemetry()
+	tele.SetSink(&buf)
+	if _, err := searchads.NewStudy(teleConfig(false, tele)).Analyze(t.Context()); err != nil {
+		t.Fatal(err)
+	}
+	if err := tele.CloseSink(); err != nil {
+		t.Fatalf("CloseSink: %v", err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) < 40 { // 20 iterations × (start + done)
+		t.Fatalf("trace holds %d lines, want at least 40", len(lines))
+	}
+	for i, line := range lines {
+		if !strings.HasPrefix(line, `{"ts":`) || !strings.HasSuffix(line, "}") {
+			t.Fatalf("line %d is not a JSON object: %q", i, line)
+		}
+	}
+}

@@ -1,0 +1,103 @@
+// Sadlint is the repo's static-analysis multichecker: it runs the
+// internal/lint suite — detclock, detrand, maporder, errclass,
+// ctxflow, exitsafe — over the named packages and reports every
+// invariant violation.
+//
+// Usage:
+//
+//	sadlint [-json] [-checks detclock,maporder,...] [packages]
+//
+// With no packages, ./... is checked. -json emits the findings as a
+// JSON array (the CI artifact format, stable order); the default is
+// one file:line:col line per finding. -checks restricts the run to a
+// comma-separated subset of analyzers.
+//
+// Exit codes: 0 clean, 1 findings, 2 load or usage error. CI treats
+// any non-zero as red.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"searchads/internal/lint"
+)
+
+func main() { os.Exit(run()) }
+
+func run() int {
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array (CI artifact format)")
+	checks := flag.String("checks", "", "comma-separated analyzer subset (default: all)")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Parse()
+
+	analyzers := lint.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	if *checks != "" {
+		var err error
+		analyzers, err = lint.ByName(strings.Split(*checks, ","))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sadlint:", err)
+			return 2
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := lint.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sadlint:", err)
+		return 2
+	}
+	diags := lint.RunPackages(pkgs, analyzers)
+
+	// Report paths relative to the working directory so CI artifacts
+	// diff cleanly across runners.
+	if wd, err := os.Getwd(); err == nil {
+		for i := range diags {
+			if rel, err := filepath.Rel(wd, diags[i].File); err == nil && !strings.HasPrefix(rel, "..") {
+				diags[i].File = rel
+			}
+		}
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if diags == nil {
+			diags = []lint.Diagnostic{}
+		}
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintln(os.Stderr, "sadlint:", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "sadlint: %d finding%s in %d package%s\n",
+			len(diags), plural(len(diags)), len(pkgs), plural(len(pkgs)))
+		return 1
+	}
+	return 0
+}
+
+func plural(n int) string {
+	if n == 1 {
+		return ""
+	}
+	return "s"
+}

@@ -23,7 +23,12 @@ import (
 	"searchads/internal/analysis"
 )
 
-func main() {
+// main defers all work (and all defers) to run: os.Exit skips deferred
+// cleanup, so the only safe place to call it is a wrapper that has
+// none — the same shape every cmd/ binary uses.
+func main() { os.Exit(run()) }
+
+func run() int {
 	queries := flag.Int("queries", 500, "queries per engine")
 	seed := flag.Int64("seed", 20221001, "world seed")
 	flag.Parse()
@@ -41,28 +46,28 @@ func main() {
 	ds, err := study.Crawl(ctx)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return 1
 	}
 	if err := ds.Save("dataset.json"); err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return 1
 	}
 	fmt.Fprintf(os.Stderr, "dataset.json: %d iterations\n", len(ds.Iterations))
 
 	report, err := study.Analyze(ctx)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return 1
 	}
 	if err := os.WriteFile("report.txt", []byte(report.Render()), 0o644); err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return 1
 	}
 
 	comps := report.Compare()
 	if err := os.WriteFile("experiments.md", []byte(analysis.RenderExperiments(comps)), 0o644); err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return 1
 	}
 
 	ok, total := 0, 0
@@ -76,4 +81,5 @@ func main() {
 		}
 	}
 	fmt.Fprintf(os.Stderr, "report.txt and experiments.md written; %d/%d paper expectations within tolerance\n", ok, total)
+	return 0
 }

@@ -604,7 +604,7 @@ func (a *Accumulator) addBeacons(e *engineAcc, it *crawler.Iteration) {
 		if len(req.Cookies) > 0 {
 			a.valScratch = a.valScratch[:0]
 			for _, v := range req.Cookies {
-				a.valScratch = append(a.valScratch, a.tab.ID(v))
+				a.valScratch = append(a.valScratch, a.tab.ID(v)) //lint:allow maporder groupIDs sorts the scratch ids before keying, so map order cannot escape
 			}
 			a.groupIDs(b.valueSets, a.valScratch, 1)
 		}

@@ -78,22 +78,33 @@ func topPathShare(label string) func(*DuringResult) float64 {
 	}
 }
 
+// engineRate is one (engine, published value) expectation row. The
+// paper tables are kept as ordered slices of these — never maps — so
+// the expectation list, and with it experiments.md row order, is
+// identical on every run.
+type engineRate struct {
+	engine string
+	v      float64
+}
+
 // PaperExpectations returns the published numbers this reproduction
 // checks itself against. Each entry cites its table/figure.
 func PaperExpectations() []Expectation {
 	var exps []Expectation
 
 	// Navigational-tracking rates (§1 / §4.2.2): 4% Bing, 100% Google,
-	// 100% DuckDuckGo, 86% Qwant, 100% StartPage.
-	nav := map[string]float64{
-		"bing": 0.04, "google": 1.00, "duckduckgo": 1.00,
-		"startpage": 1.00, "qwant": 0.86,
+	// 100% DuckDuckGo, 86% Qwant, 100% StartPage. Ordered slices, not
+	// maps: expectation order decides experiments.md row order, and map
+	// iteration would re-shuffle it every process.
+	nav := []engineRate{
+		{"bing", 0.04}, {"google", 1.00}, {"duckduckgo", 1.00},
+		{"startpage", 1.00}, {"qwant", 0.86},
 	}
-	for e, v := range nav {
-		engine := e
+	for _, er := range nav {
+		engine := er.engine
 		exps = append(exps, Expectation{
-			ID: "Sec 4.2.2", Engine: e, Metric: "navigational tracking rate",
-			Paper: v, Tolerance: 0.10,
+			ID: "Sec 4.2.2", Engine: engine, Metric: "navigational tracking rate",
+			Paper: er.v, Tolerance: 0.10,
 			Measure: duringMetric(engine, func(d *DuringResult) float64 { return d.NavTrackingFraction }),
 		})
 	}
@@ -197,14 +208,14 @@ func PaperExpectations() []Expectation {
 		})
 	}
 	// §4.3.1 medians (9/11/6/8/6).
-	medians := map[string]float64{
-		"bing": 9, "google": 11, "duckduckgo": 6, "startpage": 8, "qwant": 6,
+	medians := []engineRate{
+		{"bing", 9}, {"google", 11}, {"duckduckgo", 6}, {"startpage", 8}, {"qwant", 6},
 	}
-	for e, m := range medians {
-		engine := e
+	for _, er := range medians {
+		engine := er.engine
 		exps = append(exps, Expectation{
-			ID: "Sec 4.3.1", Engine: e, Metric: "median trackers per destination",
-			Paper: m, Tolerance: 3,
+			ID: "Sec 4.3.1", Engine: engine, Metric: "median trackers per destination",
+			Paper: er.v, Tolerance: 3,
 			Measure: afterMetric(engine, func(a *AfterResult) float64 { return a.MedianTrackersPerPage }),
 		})
 	}
@@ -242,35 +253,35 @@ func PaperExpectations() []Expectation {
 	}
 
 	// §4.3.2 overall UID-to-advertiser rates (80/94/68/92/53%).
-	anyUID := map[string]float64{
-		"bing": 0.80, "google": 0.94, "duckduckgo": 0.68,
-		"startpage": 0.92, "qwant": 0.53,
+	anyUID := []engineRate{
+		{"bing", 0.80}, {"google", 0.94}, {"duckduckgo", 0.68},
+		{"startpage", 0.92}, {"qwant", 0.53},
 	}
-	for e, v := range anyUID {
-		engine := e
+	for _, er := range anyUID {
+		engine := er.engine
 		exps = append(exps, Expectation{
-			ID: "Sec 4.3.2", Engine: e, Metric: "any UID to advertiser",
-			Paper: v, Tolerance: 0.13,
+			ID: "Sec 4.3.2", Engine: engine, Metric: "any UID to advertiser",
+			Paper: er.v, Tolerance: 0.13,
 			Measure: afterMetric(engine, func(a *AfterResult) float64 { return a.AnyUID }),
 		})
 	}
 
 	// §4.3.2 persistence: MSCLKID 15/17/1%; GCLID 5/10/13%.
-	persistMS := map[string]float64{"bing": 0.15, "duckduckgo": 0.17, "qwant": 0.01}
-	for e, v := range persistMS {
-		engine := e
+	persistMS := []engineRate{{"bing", 0.15}, {"duckduckgo", 0.17}, {"qwant", 0.01}}
+	for _, er := range persistMS {
+		engine := er.engine
 		exps = append(exps, Expectation{
-			ID: "Sec 4.3.2", Engine: e, Metric: "MSCLKID persisted",
-			Paper: v, Tolerance: 0.10,
+			ID: "Sec 4.3.2", Engine: engine, Metric: "MSCLKID persisted",
+			Paper: er.v, Tolerance: 0.10,
 			Measure: afterMetric(engine, func(a *AfterResult) float64 { return a.PersistedMSCLKID }),
 		})
 	}
-	persistGC := map[string]float64{"bing": 0.05, "google": 0.10, "startpage": 0.13}
-	for e, v := range persistGC {
-		engine := e
+	persistGC := []engineRate{{"bing", 0.05}, {"google", 0.10}, {"startpage", 0.13}}
+	for _, er := range persistGC {
+		engine := er.engine
 		exps = append(exps, Expectation{
-			ID: "Sec 4.3.2", Engine: e, Metric: "GCLID persisted",
-			Paper: v, Tolerance: 0.10,
+			ID: "Sec 4.3.2", Engine: engine, Metric: "GCLID persisted",
+			Paper: er.v, Tolerance: 0.10,
 			Measure: afterMetric(engine, func(a *AfterResult) float64 { return a.PersistedGCLID }),
 		})
 	}

@@ -284,11 +284,11 @@ func (b *Browser) observeNavigation() func() {
 	if tele == nil {
 		return func() {}
 	}
-	start := time.Now()
+	start := time.Now() //lint:allow detclock wall-clock navigate timing feeds telemetry percentiles, never outputs
 	vstart := b.clock.Now()
 	return func() {
 		tele.Inc(telemetry.CounterNavigations)
-		tele.ObserveWall(telemetry.StageNavigate, time.Since(start))
+		tele.ObserveWall(telemetry.StageNavigate, time.Since(start)) //lint:allow detclock wall-clock navigate timing feeds telemetry percentiles, never outputs
 		tele.ObserveVirtual(telemetry.StageNavigate, b.clock.Now().Sub(vstart))
 	}
 }

@@ -219,10 +219,10 @@ func (c *Crawler) runOne(p *crawlPlan, idx, iter int) *Iteration {
 	}
 	engine := p.names[idx]
 	tele.Emit(telemetry.Event{Type: "iteration_start", Engine: engine, Index: iter})
-	start := time.Now()
+	start := time.Now() //lint:allow detclock wall-clock iteration timing feeds telemetry percentiles, never outputs
 	it := c.runIteration(p.engines[idx], c.cfg.World.Queries[engine][iter], iter, p.visited[idx])
 	c.annotateTrackers(it)
-	wall := time.Since(start)
+	wall := time.Since(start) //lint:allow detclock wall-clock iteration timing feeds telemetry percentiles, never outputs
 	tele.ObserveWall(telemetry.StageIteration, wall)
 	tele.Inc(telemetry.CounterIterations)
 	errored := it.Error != ""
@@ -334,7 +334,7 @@ func (c *Crawler) streamParallel(ctx context.Context, p *crawlPlan, yield func(*
 		if tele == nil {
 			return time.Time{}
 		}
-		return time.Now()
+		return time.Now() //lint:allow detclock enqueue stamp for queue-wait telemetry, zero when telemetry is off
 	}
 
 	workers := runtime.GOMAXPROCS(0)
@@ -373,7 +373,7 @@ func (c *Crawler) streamParallel(ctx context.Context, p *crawlPlan, yield func(*
 						return
 					}
 					if tele != nil && !t.enq.IsZero() {
-						tele.ObserveWall(telemetry.StageQueueWait, time.Since(t.enq))
+						tele.ObserveWall(telemetry.StageQueueWait, time.Since(t.enq)) //lint:allow detclock queue-wait telemetry on the wall clock, never outputs
 					}
 					it := c.runOne(p, t.idx, t.iter)
 					select {

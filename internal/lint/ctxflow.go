@@ -1,0 +1,102 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Ctxflow enforces the v2 facade's cancellation contract (PR 4) in
+// library packages. Two rules:
+//
+//   - context.Background()/context.TODO() is forbidden outside cmd/,
+//     examples/, and tests: a library that mints its own root context
+//     breaks the chain from the caller's signal handler, so Ctrl-C
+//     stops delivering partial results.
+//
+//   - an exported function that loops over context-aware work — a
+//     for/range body calling anything whose signature takes a
+//     context.Context — must itself accept a context.Context. Those
+//     loops (iterations, sweep cells, request chains) are exactly the
+//     long-running entry points the streaming API promises to cancel
+//     within one unit of work.
+var Ctxflow = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "library loops over ctx-aware calls must take ctx; no context.Background/TODO outside cmd",
+	Applies: func(path string) bool {
+		return !isCommandPath(path)
+	},
+	Run: func(pass *Pass) {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if pkg, name, ok := pkgFuncCall(pass.Info, call); ok && pkg == "context" && (name == "Background" || name == "TODO") {
+					pass.Reportf(call.Pos(),
+						"context.%s in library code: accept a context.Context from the caller so cancellation propagates (root contexts belong in cmd/)",
+						name)
+				}
+				return true
+			})
+			for _, decl := range f.Decls {
+				checkLoopsTakeContext(pass, decl)
+			}
+		}
+	},
+}
+
+func checkLoopsTakeContext(pass *Pass, decl ast.Decl) {
+	fd, ok := decl.(*ast.FuncDecl)
+	if !ok || fd.Body == nil || !fd.Name.IsExported() {
+		return
+	}
+	def, ok := pass.Info.Defs[fd.Name]
+	if !ok {
+		return
+	}
+	sig, ok := def.Type().(*types.Signature)
+	if !ok || hasContextParam(sig) {
+		return
+	}
+	// No ctx parameter: find a loop whose body makes a ctx-aware call.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		var body *ast.BlockStmt
+		switch loop := n.(type) {
+		case *ast.ForStmt:
+			body = loop.Body
+		case *ast.RangeStmt:
+			body = loop.Body
+		default:
+			return true
+		}
+		if callee := firstCtxAwareCall(pass, body); callee != nil {
+			pass.Reportf(fd.Name.Pos(),
+				"exported %s loops over context-aware calls (%s) but takes no context.Context; long-running entry points must propagate cancellation",
+				fd.Name.Name, types.ExprString(callee.Fun))
+			return false // one report per function is enough
+		}
+		return true
+	})
+}
+
+// firstCtxAwareCall returns the first call in body whose callee's
+// signature includes a context.Context parameter, or nil.
+func firstCtxAwareCall(pass *Pass, body *ast.BlockStmt) *ast.CallExpr {
+	var found *ast.CallExpr
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sig := calleeSignature(pass.Info, call); sig != nil && hasContextParam(sig) {
+			found = call
+			return false
+		}
+		return true
+	})
+	return found
+}

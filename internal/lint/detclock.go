@@ -1,0 +1,52 @@
+package lint
+
+import "go/ast"
+
+// wallClockFuncs are the time-package functions that read or wait on
+// the host's wall clock. Pure value constructors (time.Duration
+// arithmetic, time.Unix, time.Date) are fine: they don't observe the
+// machine.
+var wallClockFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+// Detclock forbids wall-clock reads in deterministic packages.
+//
+// The byte-identity contract (PR 2: sequential==parallel datasets;
+// PR 7: kill/resume; PR 8: telemetry on/off) holds because simulated
+// time lives on the browser profiles' virtual clocks, derived purely
+// from (seed, config). One time.Now() on a simulated path leaks host
+// scheduling into outputs. Wall-clock *telemetry* (stage timings for
+// Snapshot percentiles) is legitimate and carries a
+// `//lint:allow detclock <reason>` directive at each site.
+var Detclock = &Analyzer{
+	Name:    "detclock",
+	Doc:     "forbid time.Now/Since/Sleep/... in deterministic packages; virtual clocks only",
+	Applies: IsDeterministic,
+	Run: func(pass *Pass) {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				pkg, name, ok := pkgFuncCall(pass.Info, call)
+				if !ok || pkg != "time" || !wallClockFuncs[name] {
+					return true
+				}
+				pass.Reportf(call.Pos(),
+					"time.%s in deterministic package %s: simulated paths must use the virtual clock (wall-clock telemetry sites take //lint:allow detclock <reason>)",
+					name, pass.Path)
+				return true
+			})
+		}
+	},
+}

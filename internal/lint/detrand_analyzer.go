@@ -1,0 +1,37 @@
+package lint
+
+import "strings"
+
+// forbiddenRandImports are the stochastic stdlib packages. math/rand's
+// global source is seeded from runtime state, crypto/rand is entropy by
+// definition — either one on a simulated path makes equal configs
+// diverge, which is exactly what internal/detrand's splitmix64
+// hierarchy exists to prevent (PR 2).
+var forbiddenRandImports = map[string]bool{
+	"math/rand":    true,
+	"math/rand/v2": true,
+	"crypto/rand":  true,
+}
+
+// Detrand forbids math/rand and crypto/rand imports everywhere outside
+// internal/detrand itself (tests are excluded at the loader: shuffled
+// kill points and fuzz corpora are fine in _test.go files).
+var Detrand = &Analyzer{
+	Name: "detrand",
+	Doc:  "forbid math/rand and crypto/rand outside internal/detrand; derive from the seed hierarchy",
+	Applies: func(path string) bool {
+		return path != modulePath+"/internal/detrand"
+	},
+	Run: func(pass *Pass) {
+		for _, f := range pass.Files {
+			for _, spec := range f.Imports {
+				path := strings.Trim(spec.Path.Value, `"`)
+				if forbiddenRandImports[path] {
+					pass.Reportf(spec.Pos(),
+						"import %q: non-deterministic randomness; derive a generator from the seed hierarchy (internal/detrand) instead",
+						path)
+				}
+			}
+		}
+	},
+}

@@ -1,0 +1,135 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// The allowlist directive. A finding on a line carrying (or immediately
+// following a standalone) `//lint:allow <analyzer> <reason>` comment is
+// suppressed — but only when the directive names a real analyzer AND
+// carries a non-empty reason. A reasonless or unknown-analyzer
+// directive is itself a finding, attributed to the pseudo-analyzer
+// "directive", so the allowlist can never silently rot: every
+// exemption in the tree documents why it is sound.
+const directivePrefix = "//lint:allow"
+
+// DirectiveAnalyzer is the name findings about malformed //lint:allow
+// directives are attributed to. It is not a runnable analyzer and
+// cannot itself be allowlisted.
+const DirectiveAnalyzer = "directive"
+
+// allowSet maps file → line → analyzer name → true for well-formed
+// directives.
+type allowSet map[string]map[int]map[string]bool
+
+func (s allowSet) add(file string, line int, analyzer string) {
+	byLine := s[file]
+	if byLine == nil {
+		byLine = map[int]map[string]bool{}
+		s[file] = byLine
+	}
+	byAnalyzer := byLine[line]
+	if byAnalyzer == nil {
+		byAnalyzer = map[string]bool{}
+		byLine[line] = byAnalyzer
+	}
+	byAnalyzer[analyzer] = true
+}
+
+func (s allowSet) allows(d Diagnostic) bool {
+	return s[d.File][d.Line][d.Analyzer]
+}
+
+// collectDirectives scans a package's comments for //lint:allow
+// directives. Well-formed ones land in the returned allowSet; malformed
+// ones (missing reason, unknown analyzer) come back as findings. known
+// names the analyzers a directive may reference.
+func collectDirectives(pkg *Package, known map[string]bool) (allowSet, []Diagnostic) {
+	allows := allowSet{}
+	var diags []Diagnostic
+	report := func(pos token.Pos, msg string) {
+		p := pkg.Fset.Position(pos)
+		diags = append(diags, Diagnostic{
+			Analyzer: DirectiveAnalyzer,
+			File:     p.Filename, Line: p.Line, Col: p.Column,
+			Message: msg,
+		})
+	}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				if !strings.HasPrefix(text, directivePrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(text, directivePrefix)
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue // e.g. //lint:allowance — not ours
+				}
+				// A second "//" ends the directive: fixtures append
+				// `// want ...` expectations after it, and prose past
+				// the marker is commentary, not reason.
+				if i := strings.Index(rest, "//"); i >= 0 {
+					rest = rest[:i]
+				}
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					report(c.Pos(), "//lint:allow needs an analyzer name and a reason")
+					continue
+				}
+				name := fields[0]
+				if !known[name] {
+					report(c.Pos(), "//lint:allow names unknown analyzer "+name)
+					continue
+				}
+				if len(fields) < 2 {
+					report(c.Pos(), "//lint:allow "+name+" needs a reason: say why this use is sound")
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				line := pos.Line
+				// A directive sharing its line with code guards that
+				// line; a standalone comment guards the next line.
+				if standaloneComment(pkg.Fset, f, c) {
+					line++
+				}
+				allows.add(pos.Filename, line, name)
+			}
+		}
+	}
+	return allows, diags
+}
+
+// standaloneComment reports whether c is the first thing on its line —
+// i.e. no declaration, statement, or earlier comment precedes it there.
+func standaloneComment(fset *token.FileSet, f *ast.File, c *ast.Comment) bool {
+	pos := fset.Position(c.Pos())
+	first := true
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil || !first {
+			return false
+		}
+		if n.Pos() < c.Pos() && fset.Position(n.Pos()).Line == pos.Line {
+			first = false
+			return false
+		}
+		return true
+	})
+	if !first {
+		return false
+	}
+	// Comments are not reached by ast.Inspect's declaration walk;
+	// check the file's comment groups too (an earlier comment on the
+	// same line means c trails code that trails a comment — rare, but
+	// then c is not standalone).
+	for _, cg := range f.Comments {
+		for _, other := range cg.List {
+			if other != c && other.Pos() < c.Pos() && fset.Position(other.Pos()).Line == pos.Line {
+				first = false
+			}
+		}
+	}
+	return first
+}

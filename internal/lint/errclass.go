@@ -1,0 +1,79 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// stringMatchFuncs are the strings-package predicates that, applied to
+// err.Error(), constitute error-text matching.
+var stringMatchFuncs = map[string]bool{
+	"Contains":    true,
+	"ContainsAny": true,
+	"HasPrefix":   true,
+	"HasSuffix":   true,
+	"Index":       true,
+	"LastIndex":   true,
+	"EqualFold":   true,
+	"Count":       true,
+}
+
+// Errclass forbids error-text matching in non-test code. PR 6 built a
+// typed taxonomy — crawler.ErrorClass, netsim.FaultError, the facade's
+// typed sentinels — precisely so behaviour never hangs off an error's
+// prose, which changes freely between releases. Three shapes:
+//
+//   - strings.Contains/HasPrefix/... over err.Error(): match with
+//     errors.Is/errors.As or switch on crawler.ErrorClass instead.
+//   - err.Error() == "..." (or !=, or as a switch tag): same.
+//   - http.Error(w, err.Error(), ...): raw error text on the wire —
+//     internal details leak to clients and the response body becomes
+//     release-dependent; classify through the fault/error taxonomy.
+//
+// Tests are excluded at the loader; asserting on rendered error text
+// in _test.go files is legitimate.
+var Errclass = &Analyzer{
+	Name: "errclass",
+	Doc:  "forbid error-text matching and raw err.Error() on the wire; use errors.Is/As and typed classes",
+	Run: func(pass *Pass) {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.CallExpr:
+					if pkg, name, ok := pkgFuncCall(pass.Info, n); ok {
+						switch {
+						case pkg == "strings" && stringMatchFuncs[name]:
+							for _, arg := range n.Args {
+								if containsErrorErrorCall(pass.Info, arg) {
+									pass.Reportf(n.Pos(),
+										"strings.%s on err.Error(): matching on error text; use errors.Is/errors.As or a typed class (crawler.ErrorClass)",
+										name)
+									break
+								}
+							}
+						case pkg == "net/http" && name == "Error":
+							if len(n.Args) >= 2 && containsErrorErrorCall(pass.Info, n.Args[1]) {
+								pass.Reportf(n.Pos(),
+									"http.Error with raw err.Error(): leaks internal error text to the wire; classify through the fault/error taxonomy")
+							}
+						}
+					}
+				case *ast.BinaryExpr:
+					if n.Op == token.EQL || n.Op == token.NEQ {
+						if errorErrorCall(pass.Info, n.X) || errorErrorCall(pass.Info, n.Y) {
+							pass.Reportf(n.Pos(),
+								"comparing err.Error() with %s: error text is not an API; use errors.Is/errors.As or a typed class",
+								n.Op)
+						}
+					}
+				case *ast.SwitchStmt:
+					if n.Tag != nil && errorErrorCall(pass.Info, n.Tag) {
+						pass.Reportf(n.Pos(),
+							"switch on err.Error(): error text is not an API; switch on a typed class instead")
+					}
+				}
+				return true
+			})
+		}
+	},
+}

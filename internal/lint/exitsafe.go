@@ -1,0 +1,115 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// Exitsafe confines os.Exit and log.Fatal* to command main()/run()
+// wrappers. The PR-8 audit converted every cmd to the
+// `func main() { os.Exit(run()) }` shape precisely because os.Exit
+// skips deferred cleanup — profile flushes, checkpoint finalization,
+// event-sink closes. This analyzer locks that audit in:
+//
+//   - in library packages, os.Exit/log.Fatal* is always a finding —
+//     libraries return errors, the process edge decides the exit code;
+//   - in package main, only main() and run() may exit, and only when
+//     no defer statement precedes the call in that function (a
+//     preceding defer is cleanup the exit would skip);
+//   - an exit inside a function literal is always a finding: the
+//     closure can run anywhere, under anyone's defers.
+var Exitsafe = &Analyzer{
+	Name: "exitsafe",
+	Doc:  "os.Exit/log.Fatal only in cmd main()/run() wrappers with no pending defers",
+	Run: func(pass *Pass) {
+		isMain := pass.Pkg.Name() == "main"
+		for _, f := range pass.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				checkExits(pass, fd, isMain)
+			}
+		}
+	},
+}
+
+// exitCall reports whether call is os.Exit or log.Fatal/Fatalf/Fatalln.
+func exitCall(pass *Pass, call *ast.CallExpr) (string, bool) {
+	pkg, name, ok := pkgFuncCall(pass.Info, call)
+	if !ok {
+		return "", false
+	}
+	switch {
+	case pkg == "os" && name == "Exit":
+		return "os.Exit", true
+	case pkg == "log" && (name == "Fatal" || name == "Fatalf" || name == "Fatalln"):
+		return "log." + name, true
+	}
+	return "", false
+}
+
+func checkExits(pass *Pass, fd *ast.FuncDecl, isMain bool) {
+	allowedFunc := isMain && fd.Recv == nil && (fd.Name.Name == "main" || fd.Name.Name == "run")
+
+	// Defer positions at function level (defers inside nested literals
+	// run when the literal returns, so they are not skipped by a later
+	// exit in the outer function).
+	var defers []ast.Node
+	walkSkippingFuncLits(fd.Body, func(n ast.Node) {
+		if d, ok := n.(*ast.DeferStmt); ok {
+			defers = append(defers, d)
+		}
+	})
+
+	var inspect func(n ast.Node, inLit bool)
+	inspect = func(n ast.Node, inLit bool) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			if lit, ok := m.(*ast.FuncLit); ok && m != n {
+				inspect(lit.Body, true)
+				return false
+			}
+			call, ok := m.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			name, isExit := exitCall(pass, call)
+			if !isExit {
+				return true
+			}
+			switch {
+			case inLit:
+				pass.Reportf(call.Pos(),
+					"%s inside a function literal: the closure may run under pending defers; return an error instead", name)
+			case !allowedFunc:
+				pass.Reportf(call.Pos(),
+					"%s outside a command main()/run() wrapper: deferred cleanup (profiles, checkpoints, sinks) would be skipped; return an exit code or error instead", name)
+			default:
+				for _, d := range defers {
+					if d.Pos() < call.Pos() {
+						pass.Reportf(call.Pos(),
+							"%s after a defer in %s: the deferred cleanup at %s would be skipped; run the work in run() and exit from main()",
+							name, fd.Name.Name, pass.Fset.Position(d.Pos()))
+						break
+					}
+				}
+			}
+			return true
+		})
+	}
+	inspect(fd.Body, false)
+}
+
+// walkSkippingFuncLits visits every node in n except those inside
+// nested function literals.
+func walkSkippingFuncLits(n ast.Node, visit func(ast.Node)) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, ok := m.(*ast.FuncLit); ok {
+			return false
+		}
+		if m != nil {
+			visit(m)
+		}
+		return true
+	})
+}

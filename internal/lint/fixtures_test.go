@@ -1,0 +1,152 @@
+package lint
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"testing"
+)
+
+// The fixture harness mirrors x/tools' analysistest contract: fixture
+// packages under testdata/src carry `// want `+"`regex`"+` comments on
+// the lines where findings are expected, and the test fails on any
+// missing or surplus diagnostic. Each case loads one directory under a
+// chosen (possibly fake) import path so path-scoped rules — detclock's
+// deterministic set, detrand's home package, ctxflow's cmd/ exemption —
+// are exercised from both sides of the fence.
+var fixtureCases = []struct {
+	dir        string
+	importPath string
+	analyzers  []string
+}{
+	{"detclock", "searchads/internal/netsim", []string{"detclock"}},
+	{"detclock_exempt", "searchads/internal/telemetry", []string{"detclock"}},
+	{"detrand", "searchads/internal/workload", []string{"detrand"}},
+	{"detrand_exempt", "searchads/internal/detrand", []string{"detrand"}},
+	{"maporder", "searchads/internal/maporderfix", []string{"maporder"}},
+	{"errclass", "searchads/internal/errclassfix", []string{"errclass"}},
+	{"ctxflow", "searchads/internal/ctxflowfix", []string{"ctxflow"}},
+	{"ctxflow_cmd", "searchads/cmd/ctxflowfix", []string{"ctxflow"}},
+	{"exitsafe_lib", "searchads/internal/exitfix", []string{"exitsafe"}},
+	{"exitsafe_cmd", "searchads/cmd/goodexit", []string{"exitsafe"}},
+	{"exitsafe_cmdbad", "searchads/cmd/badexit", []string{"exitsafe"}},
+	{"directive", "searchads/internal/netsim", []string{"detclock"}},
+}
+
+func TestFixtures(t *testing.T) {
+	for _, tc := range fixtureCases {
+		tc := tc
+		t.Run(tc.dir, func(t *testing.T) {
+			t.Parallel()
+			pkg, err := LoadDir(".", filepath.Join("testdata", "src", tc.dir), tc.importPath)
+			if err != nil {
+				t.Fatalf("load fixture: %v", err)
+			}
+			analyzers, err := ByName(tc.analyzers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkWants(t, pkg, RunPackages([]*Package{pkg}, analyzers))
+		})
+	}
+}
+
+var (
+	// A want clause is `// want` followed by one or more backquoted
+	// regexes; it may trail code, stand alone, or — for the directive
+	// fixtures — follow a //lint:allow on the same comment.
+	wantClauseRe = regexp.MustCompile("// want((?:\\s+`[^`]*`)+)")
+	wantPatRe    = regexp.MustCompile("`([^`]*)`")
+)
+
+// collectWants extracts the expected-diagnostic regexes per file:line.
+func collectWants(t *testing.T, pkg *Package) map[string][]*regexp.Regexp {
+	t.Helper()
+	wants := map[string][]*regexp.Regexp{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantClauseRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+				for _, pm := range wantPatRe.FindAllStringSubmatch(m[1], -1) {
+					re, err := regexp.Compile(pm[1])
+					if err != nil {
+						t.Fatalf("%s: bad want regex %q: %v", key, pm[1], err)
+					}
+					wants[key] = append(wants[key], re)
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// checkWants matches diagnostics against want clauses line by line:
+// every want must be satisfied by a distinct diagnostic on its line,
+// and every diagnostic must be claimed by a want.
+func checkWants(t *testing.T, pkg *Package, diags []Diagnostic) {
+	t.Helper()
+	wants := collectWants(t, pkg)
+	got := map[string][]Diagnostic{}
+	for _, d := range diags {
+		key := fmt.Sprintf("%s:%d", d.File, d.Line)
+		got[key] = append(got[key], d)
+	}
+	for key, pats := range wants {
+		ds := got[key]
+		claimed := make([]bool, len(ds))
+		for _, pat := range pats {
+			found := false
+			for i, d := range ds {
+				if !claimed[i] && pat.MatchString(d.Message) {
+					claimed[i] = true
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Errorf("%s: no diagnostic matching %q (got %v)", key, pat, ds)
+			}
+		}
+		for i, d := range ds {
+			if !claimed[i] {
+				t.Errorf("%s: unexpected diagnostic: %s", key, d)
+			}
+		}
+	}
+	for key, ds := range got {
+		if _, ok := wants[key]; ok {
+			continue
+		}
+		for _, d := range ds {
+			t.Errorf("%s: unexpected diagnostic: %s", key, d)
+		}
+	}
+}
+
+// TestRepoClean runs the full suite over the entire module — the same
+// gate CI's sadlint step enforces, wired into `go test ./...` so a new
+// violation fails the ordinary test run too.
+func TestRepoClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-tree lint is not a -short test")
+	}
+	pkgs, err := Load(filepath.Join("..", ".."), "./...")
+	if err != nil {
+		t.Fatalf("load module: %v", err)
+	}
+	diags := RunPackages(pkgs, All())
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}
+
+func TestByNameRejectsUnknown(t *testing.T) {
+	if _, err := ByName([]string{"detclock", "nosuch"}); err == nil {
+		t.Fatal("ByName accepted an unknown analyzer name")
+	}
+}

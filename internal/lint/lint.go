@@ -1,0 +1,156 @@
+// Package lint is the repo-specific static-analysis suite: it
+// machine-checks the invariants every PR so far has defended by hand —
+// byte-identical reports across sequential/parallel runs, kill/resume
+// cycles, and telemetry on/off.
+//
+// The suite deliberately mirrors the golang.org/x/tools/go/analysis API
+// shape (Analyzer, Pass, Diagnostic, want-comment fixtures) but is built
+// entirely on the standard library: packages are enumerated with
+// `go list -deps -export -json` and type-checked with go/types against
+// the toolchain's export data (go/importer with a lookup function over
+// the build cache). The build environment for this repo has no module
+// proxy access and an empty module cache, so go.mod stays
+// dependency-free by construction; see internal/lint/README.md.
+//
+// The checked invariants, one analyzer each:
+//
+//	detclock — no wall clock (time.Now/Since/Sleep/After/...) in
+//	           deterministic packages; wall-clock telemetry sites carry
+//	           a //lint:allow detclock <reason> directive.
+//	detrand  — no math/rand or crypto/rand outside internal/detrand.
+//	maporder — no range over a map that feeds an output sink (append,
+//	           io/fmt writes, sequential encoders, hashes) without a
+//	           sort; the classic byte-identity killer.
+//	errclass — no error-text matching (strings.Contains on .Error(),
+//	           == against .Error()) and no raw err.Error() on the wire
+//	           via http.Error; use errors.Is/As and crawler.ErrorClass.
+//	ctxflow  — exported library functions that loop over ctx-aware
+//	           calls must accept a context.Context themselves, and
+//	           context.Background()/TODO() stays out of library code.
+//	exitsafe — os.Exit/log.Fatal only in a command main()/run()
+//	           wrapper with no deferred cleanup pending.
+//
+// cmd/sadlint is the multichecker binary; CI runs it over ./... and
+// over this package itself.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer is one named invariant check. Run inspects a single
+// type-checked package via the Pass and reports findings through it.
+type Analyzer struct {
+	Name string
+	Doc  string
+	// Applies filters packages by import path; nil means every package.
+	Applies func(path string) bool
+	Run     func(*Pass)
+}
+
+// A Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+	// Path is the package's import path as the runner classifies it
+	// (fixtures may present a fake path to exercise path-scoped rules).
+	Path string
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		File:     position.Filename,
+		Line:     position.Line,
+		Col:      position.Column,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// A Diagnostic is one finding, positioned and attributed to the
+// analyzer that produced it. The JSON form is what `sadlint -json`
+// emits, so field names are part of the CI-artifact contract.
+type Diagnostic struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s [%s]", d.File, d.Line, d.Col, d.Message, d.Analyzer)
+}
+
+// sortDiagnostics orders findings by file, line, column, analyzer —
+// the stable order both the CLI and the JSON artifact use, so CI
+// artifacts diff cleanly across runs.
+func sortDiagnostics(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+}
+
+// modulePath is the import-path root every path-scoped rule keys on.
+const modulePath = "searchads"
+
+// deterministicPkgs are the packages whose behaviour must be a pure
+// function of (seed, config): no wall clock, and everything the
+// byte-identity property tests cover. The list matches ISSUE/ROADMAP's
+// determinism contract plus the pure-simulation packages added since.
+var deterministicPkgs = map[string]bool{
+	modulePath + "/internal/netsim":     true,
+	modulePath + "/internal/browser":    true,
+	modulePath + "/internal/crawler":    true,
+	modulePath + "/internal/analysis":   true,
+	modulePath + "/internal/sweep":      true,
+	modulePath + "/internal/detrand":    true,
+	modulePath + "/internal/urlx":       true,
+	modulePath + "/internal/websim":     true,
+	modulePath + "/internal/serp":       true,
+	modulePath + "/internal/storage":    true,
+	modulePath + "/internal/workload":   true,
+	modulePath + "/internal/adtech":     true,
+	modulePath + "/internal/advertiser": true,
+	modulePath + "/internal/entities":   true,
+	modulePath + "/internal/filterlist": true,
+	modulePath + "/internal/intern":     true,
+	modulePath + "/internal/tokens":     true,
+}
+
+// IsDeterministic reports whether the import path names a package under
+// the virtual-clock determinism contract.
+func IsDeterministic(path string) bool { return deterministicPkgs[path] }
+
+// isCommandPath reports whether the import path is a command or example
+// main — the process-edge code where wall clock, ctx roots, and
+// os.Exit are legitimate.
+func isCommandPath(path string) bool {
+	return strings.HasPrefix(path, modulePath+"/cmd/") ||
+		strings.HasPrefix(path, modulePath+"/examples/")
+}

@@ -1,0 +1,217 @@
+package lint
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// A Package is one loaded, parsed, type-checked unit of analysis.
+type Package struct {
+	Path  string
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listEntry is the subset of `go list -json` output the loader needs.
+type listEntry struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	Standard   bool
+	GoFiles    []string
+}
+
+// goList runs `go list` in dir with the given arguments and decodes the
+// JSON stream.
+func goList(dir string, args ...string) ([]listEntry, error) {
+	cmd := exec.Command("go", append([]string{"list"}, args...)...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	var entries []listEntry
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var e listEntry
+		if err := dec.Decode(&e); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decode: %v", err)
+		}
+		entries = append(entries, e)
+	}
+	return entries, nil
+}
+
+// exportMap compiles the transitive closure of the given patterns and
+// returns import path → export-data file. The go build cache makes
+// repeat calls cheap; the export files are what go/types resolves
+// imports against, exactly as the compiler would.
+func exportMap(dir string, patterns []string) (map[string]string, error) {
+	entries, err := goList(dir, append([]string{"-deps", "-export", "-json=ImportPath,Export"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	m := make(map[string]string, len(entries))
+	for _, e := range entries {
+		if e.Export != "" {
+			m[e.ImportPath] = e.Export
+		}
+	}
+	return m, nil
+}
+
+// exportImporter returns a go/types importer that resolves every import
+// through the export map.
+func exportImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	lookup := func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("lint: no export data for %q", path)
+		}
+		fh, err := os.Open(f)
+		if err != nil {
+			return nil, err
+		}
+		return io.NopCloser(bufio.NewReader(fh)), nil
+	}
+	return importer.ForCompiler(fset, "gc", lookup)
+}
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+}
+
+// checkFiles type-checks one package's parsed files against the
+// importer and returns it as a Package under the given import path.
+func checkFiles(fset *token.FileSet, imp types.Importer, path string, files []*ast.File) (*Package, error) {
+	info := newInfo()
+	conf := types.Config{
+		Importer: imp,
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+	}
+	pkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-check %s: %v", path, err)
+	}
+	return &Package{Path: path, Fset: fset, Files: files, Types: pkg, Info: info}, nil
+}
+
+// Load enumerates the packages matching patterns (relative to dir),
+// builds their dependencies' export data, and parses + type-checks
+// each matched package from source. Test files are excluded: the
+// invariants guard production paths, and tests legitimately use wall
+// clocks, math/rand, and error-text asserts.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	targets, err := goList(dir, append([]string{"-json=ImportPath,Dir,GoFiles"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	exports, err := exportMap(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	imp := exportImporter(fset, exports)
+	var pkgs []*Package
+	for _, t := range targets {
+		if len(t.GoFiles) == 0 {
+			continue
+		}
+		var files []*ast.File
+		for _, name := range t.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(t.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, fmt.Errorf("lint: parse %s: %v", name, err)
+			}
+			files = append(files, f)
+		}
+		pkg, err := checkFiles(fset, imp, t.ImportPath, files)
+		if err != nil {
+			return nil, err
+		}
+		pkg.Dir = t.Dir
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// LoadDir parses and type-checks a single directory of Go files under a
+// caller-chosen import path, resolving imports through the export data
+// of moduleDir's toolchain. It is the fixture loader: testdata packages
+// are not go-listable, and the fake import path lets a fixture land in
+// a path-scoped rule's jurisdiction (e.g. a deterministic package for
+// detclock, a cmd/ path for exitsafe). Files named *_test.go are
+// skipped, mirroring Load.
+func LoadDir(moduleDir, fixtureDir, importPath string) (*Package, error) {
+	names, err := os.ReadDir(fixtureDir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	imports := map[string]bool{}
+	for _, de := range names {
+		if de.IsDir() || !strings.HasSuffix(de.Name(), ".go") || strings.HasSuffix(de.Name(), "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(fixtureDir, de.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+		for _, spec := range f.Imports {
+			imports[strings.Trim(spec.Path.Value, `"`)] = true
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", fixtureDir)
+	}
+	var pats []string
+	for p := range imports {
+		pats = append(pats, p)
+	}
+	sort.Strings(pats) // the suite lints itself: go list args in stable order
+	exports := map[string]string{}
+	if len(pats) > 0 {
+		exports, err = exportMap(moduleDir, pats)
+		if err != nil {
+			return nil, err
+		}
+	}
+	pkg, err := checkFiles(fset, exportImporter(fset, exports), importPath, files)
+	if err != nil {
+		return nil, err
+	}
+	pkg.Dir = fixtureDir
+	return pkg, nil
+}

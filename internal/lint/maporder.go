@@ -1,0 +1,221 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Maporder flags `range` over a map whose body feeds an output sink —
+// the classic byte-identity killer: Go randomizes map iteration order,
+// so anything appended, written, sequentially encoded, hashed, or
+// string-concatenated inside the loop lands in a different order every
+// run. The sink taxonomy is the one found in the analysis, sweep, and
+// telemetry renderers:
+//
+//   - append(s, ...) — building an output slice. Exempt when the same
+//     function sorts that slice after the loop (the collect-then-sort
+//     idiom telemetry.Snapshot and adtech.Domains use).
+//   - fmt.Fprint*/Print* and Write/WriteString/... on any io.Writer
+//     (strings.Builder, bytes.Buffer, hash.Hash, files) — bytes leave
+//     in iteration order; no post-hoc sort can fix them.
+//   - (*json.Encoder).Encode — sequential JSON emission. (A single
+//     json.Marshal of a whole map is fine: encoding/json sorts keys.)
+//   - s += ... string concatenation — order-dependent accumulation.
+//
+// Map-index writes and integer accumulation inside the loop are
+// order-independent and stay legal.
+var Maporder = &Analyzer{
+	Name: "maporder",
+	Doc:  "flag map iteration feeding output (append/write/encode/hash) without sorting",
+	Run: func(pass *Pass) {
+		for _, f := range pass.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				checkFuncMapRanges(pass, fd.Body)
+			}
+		}
+	},
+}
+
+func checkFuncMapRanges(pass *Pass, body *ast.BlockStmt) {
+	var ranges []*ast.RangeStmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		if rng, ok := n.(*ast.RangeStmt); ok && mapRangeExpr(pass.Info, rng) {
+			ranges = append(ranges, rng)
+		}
+		return true
+	})
+	for _, rng := range ranges {
+		checkMapRange(pass, body, rng)
+	}
+}
+
+// checkMapRange inspects one map-range body for sinks. funcBody is the
+// enclosing function's full body, scanned for a post-loop sort that
+// exempts append sinks.
+func checkMapRange(pass *Pass, funcBody *ast.BlockStmt, rng *ast.RangeStmt) {
+	mapExpr := types.ExprString(rng.X)
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkSinkCall(pass, funcBody, rng, mapExpr, n)
+		case *ast.AssignStmt:
+			// s += expr on a string: order-dependent concatenation.
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 {
+				if tv, ok := pass.Info.Types[n.Lhs[0]]; ok {
+					if basic, ok := tv.Type.Underlying().(*types.Basic); ok && basic.Info()&types.IsString != 0 {
+						pass.Reportf(n.Pos(),
+							"string concatenation inside range over map %s: iteration order is random; collect and sort the keys first",
+							mapExpr)
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+func checkSinkCall(pass *Pass, funcBody *ast.BlockStmt, rng *ast.RangeStmt, mapExpr string, call *ast.CallExpr) {
+	// append(target, ...) — exempt if target is sorted later in the
+	// same function (after this append: either past the loop, or
+	// in-loop before a per-iteration consumer, the scratch-slice
+	// idiom). Appends into a fresh literal/conversion build a new
+	// value per iteration and carry no cross-iteration order.
+	if ident, ok := call.Fun.(*ast.Ident); ok && ident.Name == "append" {
+		if _, isBuiltin := pass.Info.Uses[ident].(*types.Builtin); isBuiltin && len(call.Args) > 0 {
+			switch call.Args[0].(type) {
+			case *ast.Ident, *ast.SelectorExpr:
+			default:
+				return
+			}
+			target := types.ExprString(call.Args[0])
+			if !sortedAfter(pass, funcBody, call.Pos(), target) {
+				pass.Reportf(call.Pos(),
+					"append to %s inside range over map %s: iteration order is random; sort %s after the loop or range over sorted keys",
+					target, mapExpr, target)
+			}
+		}
+		return
+	}
+
+	if pkg, name, ok := pkgFuncCall(pass.Info, call); ok {
+		if pkg == "fmt" && (strings.HasPrefix(name, "Fprint") || strings.HasPrefix(name, "Print")) {
+			pass.Reportf(call.Pos(),
+				"fmt.%s inside range over map %s: output leaves in random iteration order; range over sorted keys",
+				name, mapExpr)
+		}
+		return
+	}
+
+	// Method sinks: Write-family on io.Writer implementers (builders,
+	// buffers, hashes, files) and Encode on *json.Encoder.
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	selection, ok := pass.Info.Selections[sel]
+	if !ok {
+		return
+	}
+	recv := selection.Recv()
+	switch sel.Sel.Name {
+	case "Write", "WriteString", "WriteByte", "WriteRune":
+		if implementsWriter(recv) {
+			pass.Reportf(call.Pos(),
+				"%s.%s inside range over map %s: bytes leave in random iteration order; range over sorted keys",
+				types.TypeString(recv, types.RelativeTo(pass.Pkg)), sel.Sel.Name, mapExpr)
+		}
+	case "Encode":
+		if isJSONEncoder(recv) {
+			pass.Reportf(call.Pos(),
+				"json.Encoder.Encode inside range over map %s: elements encode in random iteration order; range over sorted keys",
+				mapExpr)
+		}
+	}
+}
+
+// sortedAfter reports whether funcBody contains, after the append at
+// appendPos, a recognized sort call naming the same expression — the
+// sort/slices stdlib sorters or a local helper whose name starts with
+// "sort" (sortStrings, sortBeacons, ...).
+func sortedAfter(pass *Pass, funcBody *ast.BlockStmt, appendPos token.Pos, target string) bool {
+	found := false
+	ast.Inspect(funcBody, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < appendPos {
+			return true
+		}
+		if !isSortCall(pass, call) {
+			return true
+		}
+		for _, arg := range call.Args {
+			if types.ExprString(arg) == target {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func isSortCall(pass *Pass, call *ast.CallExpr) bool {
+	if pkg, name, ok := pkgFuncCall(pass.Info, call); ok {
+		switch pkg {
+		case "sort":
+			switch name {
+			case "Slice", "SliceStable", "Sort", "Stable", "Strings", "Ints", "Float64s":
+				return true
+			}
+		case "slices":
+			switch name {
+			case "Sort", "SortFunc", "SortStableFunc":
+				return true
+			}
+		}
+		return false
+	}
+	if ident, ok := call.Fun.(*ast.Ident); ok {
+		return strings.HasPrefix(ident.Name, "sort") || strings.HasPrefix(ident.Name, "Sort")
+	}
+	return false
+}
+
+// ioWriterIface is io.Writer, constructed so the analyzer need not
+// import io's type-checked form.
+var ioWriterIface = func() *types.Interface {
+	byteSlice := types.NewSlice(types.Typ[types.Byte])
+	params := types.NewTuple(types.NewVar(token.NoPos, nil, "p", byteSlice))
+	results := types.NewTuple(
+		types.NewVar(token.NoPos, nil, "n", types.Typ[types.Int]),
+		types.NewVar(token.NoPos, nil, "err", types.Universe.Lookup("error").Type()),
+	)
+	sig := types.NewSignatureType(nil, nil, nil, params, results, false)
+	iface := types.NewInterfaceType([]*types.Func{types.NewFunc(token.NoPos, nil, "Write", sig)}, nil)
+	iface.Complete()
+	return iface
+}()
+
+func implementsWriter(t types.Type) bool {
+	return types.Implements(t, ioWriterIface) ||
+		types.Implements(types.NewPointer(t), ioWriterIface)
+}
+
+func isJSONEncoder(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Encoder" && obj.Pkg() != nil && obj.Pkg().Path() == "encoding/json"
+}

@@ -1,0 +1,73 @@
+package lint
+
+import "fmt"
+
+// All returns the full analyzer suite in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		Detclock,
+		Detrand,
+		Maporder,
+		Errclass,
+		Ctxflow,
+		Exitsafe,
+	}
+}
+
+// ByName resolves a comma-separable selection against All, for the
+// -checks flag.
+func ByName(names []string) ([]*Analyzer, error) {
+	byName := map[string]*Analyzer{}
+	for _, a := range All() {
+		byName[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, n := range names {
+		a, ok := byName[n]
+		if !ok {
+			return nil, fmt.Errorf("lint: unknown analyzer %q", n)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// RunPackages applies the analyzers to each package, enforces the
+// //lint:allow directive contract, and returns the surviving findings
+// in stable order.
+func RunPackages(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	known := map[string]bool{}
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		allows, directiveDiags := collectDirectives(pkg, known)
+		var diags []Diagnostic
+		for _, a := range analyzers {
+			if a.Applies != nil && !a.Applies(pkg.Path) {
+				continue
+			}
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				Path:     pkg.Path,
+				diags:    &diags,
+			}
+			a.Run(pass)
+		}
+		for _, d := range diags {
+			if !allows.allows(d) {
+				out = append(out, d)
+			}
+		}
+		// Directive findings are not themselves allowlistable: a
+		// reasonless allow cannot excuse itself.
+		out = append(out, directiveDiags...)
+	}
+	sortDiagnostics(out)
+	return out
+}

@@ -1,0 +1,59 @@
+// Fixture for the ctxflow analyzer in library jurisdiction: no minted
+// root contexts, and exported loops over ctx-aware callees must accept
+// a context themselves.
+package fixture
+
+import "context"
+
+func Root() context.Context {
+	return context.Background() // want `context\.Background in library code`
+}
+
+func Todo() context.Context {
+	return context.TODO() // want `context\.TODO in library code`
+}
+
+func process(ctx context.Context, n int) error {
+	_ = ctx
+	_ = n
+	return nil
+}
+
+func Sweep(items []int) error { // want `exported Sweep loops over context-aware calls`
+	for _, it := range items {
+		if err := process(nil, it); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Taking the context is the fix, and must be clean.
+func Run(ctx context.Context, items []int) error {
+	for _, it := range items {
+		if err := process(ctx, it); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Unexported helpers are the caller's problem, not an API contract.
+func sweepLocal(items []int) {
+	for _, it := range items {
+		_ = process(nil, it)
+	}
+}
+
+// Exported loops over context-free work need no context.
+func Sum(items []int) int {
+	total := 0
+	for _, it := range items {
+		total += double(it)
+	}
+	return total
+}
+
+func double(n int) int { return 2 * n }
+
+var _ = sweepLocal

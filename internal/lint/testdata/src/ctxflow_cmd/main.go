@@ -1,0 +1,26 @@
+// The same root-context mint as the library fixture, but loaded under
+// searchads/cmd/... — the process edge where signal.NotifyContext and
+// context.Background are exactly right. ctxflow must stay silent.
+package main
+
+import "context"
+
+func main() {
+	ctx := context.Background()
+	_ = run(ctx)
+}
+
+func run(ctx context.Context) error {
+	for i := 0; i < 3; i++ {
+		if err := step(ctx, i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func step(ctx context.Context, n int) error {
+	_ = ctx
+	_ = n
+	return nil
+}

@@ -1,0 +1,47 @@
+// Fixture for the detclock analyzer, loaded under a deterministic
+// import path (searchads/internal/netsim). Every wall-clock read or
+// wait is a finding; pure time-value construction is not.
+package fixture
+
+import (
+	"time"
+
+	tm "time"
+)
+
+func Stamp() time.Time {
+	return time.Now() // want `time\.Now in deterministic package`
+}
+
+func Elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `time\.Since in deterministic package`
+}
+
+func Wait() {
+	time.Sleep(time.Millisecond) // want `time\.Sleep in deterministic package`
+	<-time.After(time.Second)    // want `time\.After in deterministic package`
+}
+
+func Remaining(deadline time.Time) time.Duration {
+	return time.Until(deadline) // want `time\.Until in deterministic package`
+}
+
+func Ticker() *time.Ticker {
+	return time.NewTicker(time.Second) // want `time\.NewTicker in deterministic package`
+}
+
+// Aliased imports do not hide the clock: resolution is by package
+// object, not by the literal selector text.
+func Aliased() tm.Time {
+	return tm.Now() // want `time\.Now in deterministic package`
+}
+
+// Value constructors observe nothing about the machine and stay legal.
+func PureConstruction() time.Time {
+	return time.Unix(0, 0).Add(3 * time.Second)
+}
+
+// A well-formed directive suppresses the finding on its line.
+func AllowedTelemetry() time.Time {
+	return time.Now() //lint:allow detclock wall-clock telemetry stamp for fixture purposes, never reaches outputs
+}

@@ -1,0 +1,14 @@
+// The same wall-clock reads as the detclock fixture, but loaded under
+// searchads/internal/telemetry — a package outside the determinism
+// contract. The Applies filter must keep detclock silent here.
+package fixture
+
+import "time"
+
+func Stamp() time.Time {
+	return time.Now()
+}
+
+func Wait() {
+	time.Sleep(time.Millisecond)
+}

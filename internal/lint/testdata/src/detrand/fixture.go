@@ -1,0 +1,15 @@
+// Fixture for the detrand analyzer: every stochastic stdlib import is
+// a finding outside internal/detrand, regardless of alias.
+package fixture
+
+import (
+	crand "crypto/rand"  // want `import "crypto/rand": non-deterministic randomness`
+	"math/rand"          // want `import "math/rand": non-deterministic randomness`
+	rand2 "math/rand/v2" // want `import "math/rand/v2": non-deterministic randomness`
+)
+
+var (
+	_ = rand.Int
+	_ = rand2.Int
+	_ = crand.Reader
+)

@@ -1,0 +1,10 @@
+// math/rand inside internal/detrand itself is the one legal home: the
+// Applies filter must keep detrand silent when the fixture is loaded
+// under searchads/internal/detrand.
+package fixture
+
+import "math/rand"
+
+func Source(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}

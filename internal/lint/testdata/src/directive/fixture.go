@@ -1,0 +1,35 @@
+// Fixture for the //lint:allow directive contract, loaded under a
+// deterministic path so detclock has jurisdiction. A directive without
+// a reason, or naming an unknown analyzer, suppresses nothing and is
+// itself a finding — attributed to the pseudo-analyzer "directive",
+// which can never be allowlisted.
+package fixture
+
+import "time"
+
+func NoReason() time.Time {
+	return time.Now() //lint:allow detclock // want `time\.Now in deterministic package` `needs a reason`
+}
+
+func Unknown() time.Time {
+	return time.Now() //lint:allow nosuchcheck looks plausible // want `time\.Now in deterministic package` `unknown analyzer nosuchcheck`
+}
+
+// A well-formed same-line directive suppresses exactly its line.
+func Reasoned() time.Time {
+	return time.Now() //lint:allow detclock fixture telemetry stamp, never reaches outputs
+}
+
+// A standalone directive guards the next line.
+func Standalone() time.Time {
+	//lint:allow detclock fixture telemetry stamp on the following line
+	return time.Now()
+}
+
+// The directive guards one line only: this read is past the guarded
+// line and must still be a finding.
+func PastGuard() time.Duration {
+	//lint:allow detclock fixture telemetry stamp on the following line
+	t0 := time.Now()
+	return time.Since(t0) // want `time\.Since in deterministic package`
+}

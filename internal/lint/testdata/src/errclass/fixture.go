@@ -1,0 +1,60 @@
+// Fixture for the errclass analyzer: matching on error prose —
+// substring predicates, equality, switch tags, raw text on the wire —
+// is a finding; typed inspection and plain rendering are not.
+package fixture
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+)
+
+func Match(err error) bool {
+	return strings.Contains(err.Error(), "timeout") // want `strings\.Contains on err\.Error\(\)`
+}
+
+func Prefixed(err error) bool {
+	return strings.HasPrefix(err.Error(), "netsim:") // want `strings\.HasPrefix on err\.Error\(\)`
+}
+
+func Compare(err error) bool {
+	return err.Error() == "boom" // want `comparing err\.Error\(\) with ==`
+}
+
+func Differ(err error) bool {
+	return "boom" != err.Error() // want `comparing err\.Error\(\) with !=`
+}
+
+func Tag(err error) int {
+	switch err.Error() { // want `switch on err\.Error\(\)`
+	case "boom":
+		return 1
+	}
+	return 0
+}
+
+func Serve(w http.ResponseWriter, err error) {
+	http.Error(w, err.Error(), http.StatusBadGateway) // want `http\.Error with raw err\.Error\(\)`
+}
+
+var errBoom = errors.New("boom")
+
+// Typed inspection is the sanctioned alternative.
+func Typed(err error) bool {
+	return errors.Is(err, errBoom)
+}
+
+// Rendering error text into a message is not matching on it.
+func Render(err error) string {
+	return fmt.Sprintf("fixture failed: %v", err)
+}
+
+func Annotate(err error) string {
+	return "fixture failed: " + err.Error()
+}
+
+// Substring predicates over ordinary strings are untouched.
+func PlainMatch(s string) bool {
+	return strings.Contains(s, "boom")
+}

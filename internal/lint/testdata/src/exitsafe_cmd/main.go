@@ -1,0 +1,16 @@
+// The sanctioned command shape: main is a wrapper with no defers, run
+// carries the defers and returns the exit code. exitsafe must be
+// silent.
+package main
+
+import (
+	"fmt"
+	"os"
+)
+
+func main() { os.Exit(run()) }
+
+func run() int {
+	defer fmt.Println("cleanup runs before the process exits")
+	return 0
+}

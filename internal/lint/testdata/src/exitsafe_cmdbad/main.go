@@ -1,0 +1,28 @@
+// Fixture for exitsafe inside package main: exits are findings when a
+// defer is already pending, when they sit outside the main()/run()
+// wrappers, or when they hide inside a function literal.
+package main
+
+import (
+	"fmt"
+	"os"
+)
+
+func main() {
+	defer fmt.Println("cleanup")
+	os.Exit(1) // want `os\.Exit after a defer in main`
+}
+
+func helper() {
+	os.Exit(2) // want `os\.Exit outside a command main\(\)/run\(\) wrapper`
+}
+
+func run() int {
+	go func() {
+		os.Exit(3) // want `os\.Exit inside a function literal`
+	}()
+	return 0
+}
+
+var _ = helper
+var _ = run

@@ -1,0 +1,21 @@
+// Fixture for the exitsafe analyzer in a library package: any process
+// exit is a finding — libraries return errors, the process edge decides
+// the exit code.
+package fixture
+
+import (
+	"log"
+	"os"
+)
+
+func Fail() {
+	os.Exit(1) // want `os\.Exit outside a command main\(\)/run\(\) wrapper`
+}
+
+func Fatal() {
+	log.Fatalf("boom: %d", 1) // want `log\.Fatalf outside a command main\(\)/run\(\) wrapper`
+}
+
+func Fatalln() {
+	log.Fatalln("boom") // want `log\.Fatalln outside a command main\(\)/run\(\) wrapper`
+}

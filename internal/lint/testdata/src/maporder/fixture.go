@@ -1,0 +1,116 @@
+// Fixture for the maporder analyzer: map iteration feeding an output
+// sink (append, fmt, Write-family, sequential encode, string concat)
+// is a finding unless the collected output is sorted; map-index writes
+// and numeric accumulation stay legal.
+package fixture
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+func Unsorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want `append to out inside range over map m`
+	}
+	return out
+}
+
+// The collect-then-sort idiom is the sanctioned shape.
+func SortedAfter(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func Printed(m map[string]int) {
+	for k, v := range m {
+		fmt.Printf("%s=%d\n", k, v) // want `fmt\.Printf inside range over map m`
+	}
+}
+
+func Written(m map[string]int) string {
+	var b strings.Builder
+	for k := range m {
+		b.WriteString(k) // want `strings\.Builder\.WriteString inside range over map m`
+	}
+	return b.String()
+}
+
+func Encoded(m map[string]int) {
+	enc := json.NewEncoder(os.Stdout)
+	for _, v := range m {
+		enc.Encode(v) // want `json\.Encoder\.Encode inside range over map m`
+	}
+}
+
+func Concat(m map[string]int) string {
+	s := ""
+	for k := range m {
+		s += k // want `string concatenation inside range over map m`
+	}
+	return s
+}
+
+// Order-independent loop bodies are fine: map-index writes and sums.
+func Merge(dst, src map[string]int) int {
+	total := 0
+	for k, v := range src {
+		dst[k] += v
+		total += v
+	}
+	return total
+}
+
+// Ranging over the sorted key slice (not the map) is the fix the
+// analyzer suggests, and must itself be clean.
+func SortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var out []string
+	for _, k := range keys {
+		out = append(out, k+"!")
+	}
+	return out
+}
+
+// The scratch-slice idiom: the append target is sorted inside the loop
+// before any consumer sees it, so per-iteration order never escapes.
+func Scratch(src map[string][]int) int {
+	total := 0
+	var scratch []int
+	for _, vs := range src {
+		scratch = scratch[:0]
+		scratch = append(scratch, vs...)
+		sort.Ints(scratch)
+		if len(scratch) > 0 {
+			total += scratch[0]
+		}
+	}
+	return total
+}
+
+// Appending into a fresh per-iteration value carries no
+// cross-iteration order and is not flagged.
+func FreshPerIteration(src map[string][]int) map[string][]int {
+	out := map[string][]int{}
+	for k, vs := range src {
+		out[k] = append([]int(nil), vs...)
+	}
+	return out
+}
+
+// Marshalling the whole map at once is fine: encoding/json sorts keys.
+func Marshalled(m map[string]int) ([]byte, error) {
+	return json.Marshal(m)
+}

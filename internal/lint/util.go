@@ -1,0 +1,116 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// pkgFuncCall reports whether call invokes a package-level function of
+// the package with import path pkgPath, returning the function name.
+// Aliased imports are resolved through the type info, so `import
+// t "time"; t.Now()` still reads as ("time", "Now").
+func pkgFuncCall(info *types.Info, call *ast.CallExpr) (pkgPath, name string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	ident, isIdent := sel.X.(*ast.Ident)
+	if !isIdent {
+		return "", "", false
+	}
+	pn, isPkg := info.Uses[ident].(*types.PkgName)
+	if !isPkg {
+		return "", "", false
+	}
+	return pn.Imported().Path(), sel.Sel.Name, true
+}
+
+// errorErrorCall reports whether expr is a call of the error
+// interface's Error method — `err.Error()` for any error-typed err.
+func errorErrorCall(info *types.Info, expr ast.Expr) bool {
+	call, ok := expr.(*ast.CallExpr)
+	if !ok || len(call.Args) != 0 {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Error" {
+		return false
+	}
+	selection, ok := info.Selections[sel]
+	if !ok {
+		return false
+	}
+	recv := selection.Recv()
+	return types.Implements(recv, errorInterface) ||
+		types.Implements(types.NewPointer(recv), errorInterface)
+}
+
+// containsErrorErrorCall walks expr for any err.Error() call.
+func containsErrorErrorCall(info *types.Info, expr ast.Expr) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if e, ok := n.(ast.Expr); ok && errorErrorCall(info, e) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+var errorInterface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// hasContextParam reports whether any parameter of sig (including
+// variadic position) is a context.Context.
+func hasContextParam(sig *types.Signature) bool {
+	params := sig.Params()
+	for i := 0; i < params.Len(); i++ {
+		if isContextType(params.At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// calleeSignature resolves the signature of a call's function, whether
+// it is a plain function, method, or function-typed value. Conversions
+// and builtin calls return nil.
+func calleeSignature(info *types.Info, call *ast.CallExpr) *types.Signature {
+	tv, ok := info.Types[call.Fun]
+	if !ok {
+		return nil
+	}
+	if tv.IsType() { // conversion, not a call
+		return nil
+	}
+	sig, _ := tv.Type.(*types.Signature)
+	return sig
+}
+
+// mapRangeExpr reports whether the range statement iterates a map and
+// is therefore order-randomized.
+func mapRangeExpr(info *types.Info, rng *ast.RangeStmt) bool {
+	tv, ok := info.Types[rng.X]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	t := tv.Type
+	if ptr, isPtr := t.Underlying().(*types.Pointer); isPtr {
+		t = ptr.Elem()
+	}
+	_, isMap := t.Underlying().(*types.Map)
+	return isMap
+}

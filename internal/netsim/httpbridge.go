@@ -3,6 +3,7 @@ package netsim
 import (
 	"io"
 	"net/http"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -42,7 +43,18 @@ func (b *HTTPBridge) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 	resp, err := b.Net.RoundTrip(vreq)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadGateway)
+		// Classify through the fault taxonomy rather than leaking raw
+		// error text to the wire: the prose of internal errors is not
+		// an API, and injected faults carry a typed class that maps
+		// onto the gateway statuses a real proxy would return.
+		status, msg := http.StatusBadGateway, "virtual network error"
+		if fe, ok := AsFault(err); ok {
+			msg = "upstream fault: " + string(fe.Class)
+			if fe.Class == FaultTimeout {
+				status = http.StatusGatewayTimeout
+			}
+		}
+		http.Error(w, msg, status)
 		return
 	}
 	for k, vs := range resp.Header {
@@ -98,8 +110,15 @@ func renderElement(b *strings.Builder, e *Element) {
 		return
 	}
 	b.WriteString("<" + e.Tag)
-	for k, v := range e.Attrs {
-		b.WriteString(" " + k + `="` + htmlEscape(v) + `"`)
+	// Attrs is a map: serialize in sorted key order so rendered HTML is
+	// byte-identical across runs.
+	keys := make([]string, 0, len(e.Attrs))
+	for k := range e.Attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		b.WriteString(" " + k + `="` + htmlEscape(e.Attrs[k]) + `"`)
 	}
 	b.WriteString(">")
 	b.WriteString(htmlEscape(e.Text))

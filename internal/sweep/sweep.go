@@ -268,7 +268,7 @@ func (r *runner) runCell(ctx context.Context, i int) {
 	tele := r.opts.Telemetry
 	var cellStart time.Time
 	if tele != nil {
-		cellStart = time.Now()
+		cellStart = time.Now() //lint:allow detclock wall-clock cell timing feeds telemetry percentiles, never outputs
 		tele.Emit(telemetry.Event{Type: "cell_start", Scenario: c.Scenario, Seed: c.Seed})
 	}
 
@@ -307,7 +307,7 @@ func (r *runner) runCell(ctx context.Context, i int) {
 	r.results[i] = cr
 
 	if tele != nil {
-		wall := time.Since(cellStart)
+		wall := time.Since(cellStart) //lint:allow detclock wall-clock cell timing feeds telemetry percentiles, never outputs
 		tele.ObserveWall(telemetry.StageSweepCell, wall)
 		tele.Inc(telemetry.CounterSweepCells)
 		ev := telemetry.Event{Type: "cell", Scenario: c.Scenario, Seed: c.Seed, WallMicros: wall.Microseconds()}
@@ -403,9 +403,9 @@ func (r *runner) crawlAndAnalyze(ctx context.Context, i int, c Cell, cr *CellRes
 				acc.Add(it)
 				return
 			}
-			start := time.Now()
+			start := time.Now() //lint:allow detclock wall-clock fold timing feeds telemetry percentiles, never outputs
 			acc.Add(it)
-			tele.ObserveWall(telemetry.StageAnalysisFold, time.Since(start))
+			tele.ObserveWall(telemetry.StageAnalysisFold, time.Since(start)) //lint:allow detclock wall-clock fold timing feeds telemetry percentiles, never outputs
 		}
 		for _, it := range prefix {
 			observe(it, false)

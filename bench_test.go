@@ -704,6 +704,38 @@ func BenchmarkStudyCrawlTelemetry(b *testing.B) {
 	}
 }
 
+// BenchmarkStudyCrawlAdversary is BenchmarkStudyCrawl through the
+// facade with the arms race in the loop. off names the adversary
+// posture and countermeasure bundle but leaves both disarmed — CI
+// gates it at <3% ns/op over BenchmarkStudyCrawl, pinning that the
+// suspicion ledger, outcome accounting, and breaker plumbing cost
+// nothing when off. on runs the strict posture against the full
+// countermeasure bundle (pacing, rotation, solving, breaker) and is
+// recorded informationally in BENCH_armsrace.json as the price of the
+// arms race.
+func BenchmarkStudyCrawlAdversary(b *testing.B) {
+	for _, mode := range []string{"off", "on"} {
+		b.Run(mode, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				cfg := searchads.Config{Seed: 1009, QueriesPerEngine: 40,
+					Adversary: "off", Countermeasures: "off"}
+				if mode == "on" {
+					cfg.Adversary = "strict"
+					cfg.Countermeasures = "full"
+				}
+				ds, err := searchads.NewStudy(cfg).Crawl(context.Background())
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(ds.Iterations) != 200 {
+					b.Fatalf("iterations = %d", len(ds.Iterations))
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkSweep measures the sweep engine on a small matrix: 4 seeds
 // × 2 storage modes (8 cells) of a 2-engine, 8-query study, crawled,
 // analyzed, and aggregated with streaming dataset discard. CI emits

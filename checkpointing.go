@@ -53,12 +53,15 @@ func (s *Study) configHash() (string, error) {
 		ReferrerSmuggling bool
 		FaultProfile      string
 		FaultRate         float64
+		Adversary         string
+		Countermeasures   string
 		Filter            bool
 	}{
 		s.cfg.Seed, s.cfg.Engines, s.cfg.QueriesPerEngine, s.cfg.Iterations,
 		s.cfg.Storage, s.cfg.CaptureProb, s.cfg.NoStealth, s.cfg.SkipRevisit,
 		s.cfg.Calibrations, s.cfg.ReferrerSmuggling,
-		s.cfg.FaultProfile, s.cfg.FaultRate, s.cfg.Filter != nil,
+		s.cfg.FaultProfile, s.cfg.FaultRate, s.cfg.Adversary, s.cfg.Countermeasures,
+		s.cfg.Filter != nil,
 	})
 }
 

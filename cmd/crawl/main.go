@@ -9,6 +9,7 @@
 //	crawl -out dataset.json [-seed 1] [-engines bing,google] [-queries 500]
 //	      [-iterations 0] [-partitioned] [-no-stealth] [-skip-revisit]
 //	      [-faults off|flaky-edge|bot-hostile|brownout] [-fault-rate 0.05]
+//	      [-adversary off|lenient|strict|paranoid] [-countermeasures off|pace|rotate|solve|full]
 //	      [-checkpoint run.ckpt [-resume]]
 //	      [-telemetry] [-events trace.jsonl]
 //	      [-cpuprofile cpu.pprof] [-blockprofile block.pprof]
@@ -63,6 +64,8 @@ var (
 	refSmuggle   = flag.Bool("referrer-smuggling", false, "enable the referrer-based UID-smuggling service")
 	faults       = flag.String("faults", "off", "fault-injection profile: "+strings.Join(searchads.FaultProfiles(), ", "))
 	faultRate    = flag.Float64("fault-rate", 0, "overall per-request fault-injection rate in [0, 1]")
+	adversary    = flag.String("adversary", "off", "stateful adversary posture: "+strings.Join(searchads.AdversaryPostures(), ", "))
+	counters     = flag.String("countermeasures", "off", "crawler countermeasure bundle: "+strings.Join(searchads.CountermeasureBundles(), ", "))
 	ckpt         = flag.String("checkpoint", "", "crash-safe checkpoint file (SIGINT writes a final checkpoint before exiting)")
 	resume       = flag.Bool("resume", false, "continue from an existing -checkpoint file")
 	telemetry    = flag.Bool("telemetry", false, "print the per-stage latency table to stderr after the crawl")
@@ -145,6 +148,8 @@ func run() int {
 		ReferrerSmuggling: *refSmuggle,
 		FaultProfile:      *faults,
 		FaultRate:         *faultRate,
+		Adversary:         *adversary,
+		Countermeasures:   *counters,
 		Telemetry:         tele,
 	}
 	if *engines != "" {

@@ -13,6 +13,7 @@
 //
 //	loadtest -preset baseline -concurrency 4 -runs 8
 //	loadtest -preset chaos -duration 30s
+//	loadtest -preset arms-race -runs 4
 //	loadtest -preset checkpoint -runs 4 -events trace.jsonl
 //	loadtest -quick          # small fixed workload (the CI shape)
 //
@@ -49,7 +50,7 @@ import (
 )
 
 var (
-	preset      = flag.String("preset", "baseline", "workload preset: baseline, parallel, chaos, checkpoint")
+	preset      = flag.String("preset", "baseline", "workload preset: baseline, parallel, chaos, arms-race, checkpoint")
 	concurrency = flag.Int("concurrency", 0, "studies in flight at once (0 = GOMAXPROCS, capped at 4)")
 	runs        = flag.Int("runs", 0, "total studies to run (0 = 2×concurrency; ignored with -duration)")
 	duration    = flag.Duration("duration", 0, "keep launching studies until this much wall time has passed (0 = use -runs)")
@@ -94,6 +95,16 @@ func presetConfig(name string, seed int64, queries int) (searchads.Config, error
 		cfg.Engines = []string{"google", "bing", "duckduckgo"}
 		cfg.FaultProfile = "bot-hostile"
 		cfg.FaultRate = 0.1
+	case "arms-race":
+		// Strict adversary vs the full countermeasure bundle on top of
+		// bot-hostile faults: recovered/lost/abandoned iteration outcomes,
+		// session rotations, captcha solves, and breaker trips/sheds all
+		// show up in the telemetry counters table.
+		cfg.Engines = []string{"google", "bing", "duckduckgo"}
+		cfg.FaultProfile = "bot-hostile"
+		cfg.FaultRate = 0.05
+		cfg.Adversary = "strict"
+		cfg.Countermeasures = "full"
 	case "checkpoint":
 		// Tight checkpoint interval: exercises write/fsync latency.
 		cfg.Engines = []string{"google", "bing"}
@@ -101,7 +112,7 @@ func presetConfig(name string, seed int64, queries int) (searchads.Config, error
 			fmt.Sprintf("loadtest-ckpt-%d-%d.sack", os.Getpid(), seed))
 		cfg.CheckpointEvery = 5
 	default:
-		return cfg, fmt.Errorf("unknown preset %q (have: baseline, parallel, chaos, checkpoint)", name)
+		return cfg, fmt.Errorf("unknown preset %q (have: baseline, parallel, chaos, arms-race, checkpoint)", name)
 	}
 	return cfg, nil
 }

@@ -65,7 +65,7 @@ import (
 )
 
 var (
-	preset       = flag.String("preset", "", "named scenario matrix (paper-baseline, adblock-user, cookieless-web, storage-ablation, stealth-ablation, chaos-robustness)")
+	preset       = flag.String("preset", "", "named scenario matrix (paper-baseline, adblock-user, cookieless-web, storage-ablation, stealth-ablation, chaos-robustness, arms-race)")
 	matrix       = flag.String("matrix", "", "matrix grammar, e.g. 'storage=flat,partitioned;filter=on,off;engines=bing+google,all'")
 	seeds        = flag.Int("seeds", 0, "number of seeds to sweep (seeds seed-base..seed-base+N-1; 0 = the matrix's own seeds, default 1)")
 	seedBase     = flag.Int64("seed-base", 1, "first seed when -seeds is set")
@@ -74,6 +74,8 @@ var (
 	shards       = flag.Int("analysis-shards", 0, "per-cell analysis shards (0/1 = sequential fold; cell reports are byte-identical either way)")
 	faults       = flag.String("faults", "", "fault-injection profile(s), comma-separated: off, flaky-edge, bot-hostile, brownout (overrides the matrix's faults= key)")
 	faultRate    = flag.String("fault-rate", "", "fault-injection rate(s) in [0, 1], comma-separated (overrides the matrix's fault-rate= key)")
+	adversary    = flag.String("adversary", "", "adversary posture(s), comma-separated: off, lenient, strict, paranoid (overrides the matrix's adversary= key)")
+	counters     = flag.String("cm", "", "countermeasure bundle(s), comma-separated: off, pace, rotate, solve, full (overrides the matrix's cm= key)")
 	out          = flag.String("out", "", "write the JSON result to this file (default: stdout)")
 	ckpt         = flag.String("checkpoint", "", "crash-safe checkpoint file (SIGINT writes a final checkpoint before exiting)")
 	resume       = flag.Bool("resume", false, "continue from an existing -checkpoint file")
@@ -181,6 +183,20 @@ func run() int {
 			return finish(fail(err))
 		}
 		m.FaultRates = over.FaultRates
+	}
+	if *adversary != "" {
+		over, err := searchads.ParseSweepMatrix("adversary=" + *adversary)
+		if err != nil {
+			return finish(fail(err))
+		}
+		m.Adversaries = over.Adversaries
+	}
+	if *counters != "" {
+		over, err := searchads.ParseSweepMatrix("cm=" + *counters)
+		if err != nil {
+			return finish(fail(err))
+		}
+		m.Countermeasures = over.Countermeasures
 	}
 	// The -queries default must not clobber a queries= value from the
 	// matrix grammar or a preset; only an explicitly passed flag wins.

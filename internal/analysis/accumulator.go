@@ -153,6 +153,9 @@ func (a *Accumulator) AddAt(it *crawler.Iteration, seq int) {
 		}
 		e.failures[cls]++
 	}
+	if it.Outcome != "" {
+		e.outcomes[it.Outcome]++
+	}
 	if it.FinalURL == "" {
 		return
 	}
@@ -233,6 +236,9 @@ type engineAcc struct {
 	// keyed by crawler.ErrorClass value ("other" for unclassifiable
 	// legacy strings). Summed under Merge like every other counter.
 	failures map[string]int
+	// Arms-race outcome counts (recovered/lost/abandoned), populated
+	// only from iterations whose crawl tracked outcomes.
+	outcomes map[string]int
 }
 
 // beaconAcc folds one post-click endpoint (§4.2.1). The UID-cookie
@@ -278,6 +284,7 @@ func newEngineAcc(site string, firstSeen int) *engineAcc {
 		referrerCands:         make(map[string]*idGroup),
 		ratioHist:             make(map[float64]int),
 		failures:              make(map[string]int),
+		outcomes:              make(map[string]int),
 	}
 }
 

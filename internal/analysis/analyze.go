@@ -38,6 +38,12 @@ type Report struct {
 	// crawl recorded failures, so fault-free reports keep their exact
 	// pre-chaos-layer shape, JSON bytes included.
 	Failures map[string]map[string]int `json:",omitempty"`
+	// Outcomes is the arms-race accounting: engine → outcome
+	// (recovered/lost/abandoned, see crawler's Outcome constants) →
+	// iteration count. Populated only when the crawl tracked outcomes —
+	// an adversary armed or a countermeasure configured — so chaos-only
+	// and fault-free reports keep their exact shape.
+	Outcomes map[string]map[string]int `json:",omitempty"`
 
 	// EngineOrder lists engines in table order.
 	EngineOrder []string

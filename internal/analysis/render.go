@@ -226,7 +226,55 @@ func (r *Report) Render() string {
 			b.WriteString("\n")
 		}
 	}
+
+	// Arms-race accounting appears only when the crawl tracked outcomes
+	// (adversary armed or countermeasures configured), keeping chaos-only
+	// renders byte-identical to the PR-6 layout.
+	if len(r.Outcomes) > 0 {
+		b.WriteString("\n== Arms race: iteration outcomes ==\n")
+		outcomes := outcomeOrder(r.Outcomes)
+		fmt.Fprintf(&b, "%-12s", "engine")
+		for _, o := range outcomes {
+			fmt.Fprintf(&b, " %13s", o)
+		}
+		b.WriteString("\n")
+		for _, e := range engines {
+			if len(r.Outcomes[e]) == 0 {
+				continue
+			}
+			fmt.Fprintf(&b, "%-12s", e)
+			for _, o := range outcomes {
+				fmt.Fprintf(&b, " %13d", r.Outcomes[e][o])
+			}
+			b.WriteString("\n")
+		}
+	}
 	return b.String()
+}
+
+// outcomeOrder lists the outcomes present in the arms-race table in
+// canonical order (recovered, lost, abandoned), unknown values sorted
+// at the end.
+func outcomeOrder(outcomes map[string]map[string]int) []string {
+	present := map[string]bool{}
+	for _, oc := range outcomes {
+		for o := range oc {
+			present[o] = true
+		}
+	}
+	var out []string
+	for _, o := range []string{crawler.OutcomeRecovered, crawler.OutcomeLost, crawler.OutcomeAbandoned} {
+		if present[o] {
+			out = append(out, o)
+			delete(present, o)
+		}
+	}
+	var rest []string
+	for o := range present {
+		rest = append(rest, o)
+	}
+	sort.Strings(rest)
+	return append(out, rest...)
 }
 
 // failureClassOrder lists the error classes present in the failure

@@ -55,6 +55,16 @@ func (a *Accumulator) Report() *Report {
 			}
 			r.Failures[name] = fc
 		}
+		if len(e.outcomes) > 0 {
+			if r.Outcomes == nil {
+				r.Outcomes = make(map[string]map[string]int)
+			}
+			oc := make(map[string]int, len(e.outcomes))
+			for o, c := range e.outcomes {
+				oc[o] = c
+			}
+			r.Outcomes[name] = oc
+		}
 	}
 	return r
 }
@@ -247,6 +257,9 @@ func (a *Accumulator) mergeEngine(dst, src *engineAcc, remap func(uint32) uint32
 	dst.queries += src.queries
 	for cls, c := range src.failures {
 		dst.failures[cls] += c
+	}
+	for o, c := range src.outcomes {
+		dst.outcomes[o] += c
 	}
 	for id := range src.dests {
 		dst.dests[remap(id)] = struct{}{}

@@ -87,6 +87,10 @@ type Options struct {
 	// (zero fields take the defaults — 3 attempts, 500ms base backoff
 	// capped at 8s, all on the browser's virtual clock).
 	Retry RetryPolicy
+	// Countermeasures arms the anti-adversary survival kit — pacing,
+	// session rotation, CAPTCHA solving (zero value = fully disarmed,
+	// byte-identical to the pre-arms-race browser).
+	Countermeasures Countermeasures
 	// Telemetry records navigation latency and retry/backoff counts
 	// (nil = off).
 	Telemetry *telemetry.Registry
@@ -150,6 +154,17 @@ type Browser struct {
 	captureRand detrand.Source
 	captureN    int
 
+	// Arms-race state: baseClient keeps the label New was given so
+	// session rotation can mint "-rN" successors; paceRand/paceN drive
+	// the pacing jitter stream; signals/rotations/solves track the
+	// countermeasure budgets spent so far.
+	baseClient string
+	paceRand   detrand.Source
+	paceN      int
+	signals    int
+	rotations  int
+	solves     int
+
 	crawlerLog   []*netsim.Request
 	extensionLog []*netsim.Request
 
@@ -177,6 +192,7 @@ func New(net *netsim.Network, opts Options) *Browser {
 		opts.Seed = detrand.New(1)
 	}
 	opts.Retry = opts.Retry.withDefaults()
+	opts.Countermeasures = opts.Countermeasures.withDefaults()
 	baseHeader := make(http.Header, 3)
 	baseHeader.Set("User-Agent", opts.Fingerprint.UserAgent)
 	if opts.Fingerprint.Headless {
@@ -193,6 +209,8 @@ func New(net *netsim.Network, opts Options) *Browser {
 		clock:        netsim.NewClock(net.Clock().Now()),
 		baseHeader:   baseHeader,
 		captureRand:  opts.Seed.Derive("capture"),
+		baseClient:   opts.Client,
+		paceRand:     opts.Seed.Derive("pace"),
 		crawlerLog:   make([]*netsim.Request, 0, 96),
 		extensionLog: make([]*netsim.Request, 0, 96),
 	}
@@ -271,6 +289,7 @@ var ErrTooManyRedirects = errors.New("browser: too many redirects")
 // settles, then loads the settled page's subresources and frames and runs
 // its scripts.
 func (b *Browser) Navigate(rawURL string) (*NavResult, error) {
+	b.pace()
 	defer b.observeNavigation()()
 	return b.navigate(rawURL, "initial", "")
 }
@@ -472,6 +491,7 @@ func (b *Browser) Click(el *netsim.Element) (*NavResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	b.pace()
 	defer b.observeNavigation()()
 	return b.navigate(u.String(), "initial", b.currentURL.String())
 }

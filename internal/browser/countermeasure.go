@@ -1,0 +1,147 @@
+package browser
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+
+	"searchads/internal/netsim"
+)
+
+// Countermeasures is the browser's half of the arms race: the survival
+// tactics a crawler deploys against a stateful adversary (see
+// netsim.AdversaryConfig). The zero value is fully disarmed and
+// byte-inert — a crawl with no countermeasures configured behaves, and
+// serializes, exactly as before this layer existed. Every wait any
+// tactic introduces is charged to the browser's private virtual clock,
+// never the wall clock.
+type Countermeasures struct {
+	// Pace is a virtual-clock wait before each top-level navigation —
+	// slowing down is the direct counter to per-client rate budgets.
+	Pace time.Duration
+	// PaceJitter adds a deterministic jitter in [0, PaceJitter) to each
+	// pace wait, drawn from the browser's seed stream.
+	PaceJitter time.Duration
+	// RotateAfter rotates the session (the client label every origin and
+	// the adversary key their state by) after this many suspicion
+	// signals — challenge or wall responses on document requests. 0
+	// disables rotation.
+	RotateAfter int
+	// MaxRotations caps rotations per browser instance (0 = 4 when
+	// RotateAfter is set).
+	MaxRotations int
+	// SolveCaptchas enables the solve-or-abandon policy: a challenged
+	// navigation is retried with the solved token, costing SolveCost of
+	// virtual time. Booby-trapped challenges turn the solve into a hard
+	// wall — solving is not free against a trapping adversary.
+	SolveCaptchas bool
+	// MaxSolves caps solve attempts per browser instance (0 = 2 when
+	// SolveCaptchas is set).
+	MaxSolves int
+	// SolveCost is the virtual time one solve consumes (0 = 20s).
+	SolveCost time.Duration
+}
+
+// IsZero reports whether no countermeasure is armed.
+func (c Countermeasures) IsZero() bool {
+	return c.Pace <= 0 && c.RotateAfter <= 0 && !c.SolveCaptchas
+}
+
+// withDefaults fills the dependent knobs of armed tactics without
+// arming anything the caller left off (IsZero is preserved).
+func (c Countermeasures) withDefaults() Countermeasures {
+	if c.RotateAfter > 0 && c.MaxRotations <= 0 {
+		c.MaxRotations = 4
+	}
+	if c.SolveCaptchas {
+		if c.MaxSolves <= 0 {
+			c.MaxSolves = 2
+		}
+		if c.SolveCost <= 0 {
+			c.SolveCost = 20 * time.Second
+		}
+	}
+	return c
+}
+
+// Rotations reports how many times this browser rotated its session.
+func (b *Browser) Rotations() int { return b.rotations }
+
+// CaptchaSolves reports how many challenges this browser solved (or
+// attempted to — a booby-trapped solve still counts the attempt).
+func (b *Browser) CaptchaSolves() int { return b.solves }
+
+// pace charges the configured pacing wait (plus jitter) to the virtual
+// clock before a top-level navigation. Disarmed pacing costs one
+// comparison.
+func (b *Browser) pace() {
+	cm := b.opts.Countermeasures
+	if cm.Pace <= 0 {
+		return
+	}
+	wait := cm.Pace
+	if cm.PaceJitter > 0 {
+		b.paceN++
+		g := b.paceRand.DeriveN("pace", b.paceN).Rand()
+		wait += time.Duration(g.Float64() * float64(cm.PaceJitter))
+	}
+	b.clock.Advance(wait)
+}
+
+// noteSuspicionSignal records one challenge/wall sighting and rotates
+// the session when the rotation policy says so. It reports whether a
+// rotation happened — the caller retries the blocked navigation under
+// the fresh session.
+func (b *Browser) noteSuspicionSignal() bool {
+	cm := b.opts.Countermeasures
+	if cm.RotateAfter <= 0 || b.rotations >= cm.MaxRotations {
+		return false
+	}
+	b.signals++
+	if b.signals < cm.RotateAfter {
+		return false
+	}
+	b.signals = 0
+	b.rotations++
+	// The new label re-keys every per-client stream — the adversary's
+	// suspicion state and the origins' identifier minting alike — which
+	// is exactly what a fresh session looks like from the server side.
+	b.opts.Client = b.baseClient + "-r" + strconv.Itoa(b.rotations)
+	return true
+}
+
+// solveCaptcha attempts the solve-or-abandon policy against a challenge
+// response: when the policy allows another solve, it charges SolveCost
+// to the virtual clock and equips the request to echo the challenge
+// token on its next attempt. It reports whether the caller should
+// retry.
+func (b *Browser) solveCaptcha(req *netsim.Request, resp *netsim.Response) bool {
+	cm := b.opts.Countermeasures
+	if !cm.SolveCaptchas || b.solves >= cm.MaxSolves {
+		return false
+	}
+	token := resp.Header.Get(netsim.CaptchaTokenHeader)
+	if token == "" {
+		return false
+	}
+	b.solves++
+	b.clock.Advance(cm.SolveCost)
+	// The shared base header is read-only; the answering attempt gets
+	// its own copy. Disarmed runs never reach this clone, so their
+	// request stream keeps the single shared map.
+	h := make(http.Header, len(b.baseHeader)+1)
+	for k, v := range b.baseHeader {
+		h[k] = v
+	}
+	h.Set(netsim.CaptchaAnswerHeader, token)
+	req.Header = h
+	return true
+}
+
+// resetCaptchaAnswer restores the shared base header after an answering
+// attempt so later requests do not replay a stale token.
+func (b *Browser) resetCaptchaAnswer(req *netsim.Request) {
+	if req.Header.Get(netsim.CaptchaAnswerHeader) != "" {
+		req.Header = b.baseHeader
+	}
+}

@@ -32,13 +32,16 @@ type RetryPolicy struct {
 }
 
 func (p RetryPolicy) withDefaults() RetryPolicy {
-	if p.MaxAttempts == 0 {
+	// Negative values are as unset as zero: a caller cannot buy fewer
+	// than one attempt or a backward-running backoff, so both clamp to
+	// the defaults instead of leaking through as nonsense budgets.
+	if p.MaxAttempts <= 0 {
 		p.MaxAttempts = 3
 	}
-	if p.BaseBackoff == 0 {
+	if p.BaseBackoff <= 0 {
 		p.BaseBackoff = 500 * time.Millisecond
 	}
-	if p.MaxBackoff == 0 {
+	if p.MaxBackoff <= 0 {
 		p.MaxBackoff = 8 * time.Second
 	}
 	return p
@@ -111,6 +114,27 @@ func (b *Browser) sendDocument(req *netsim.Request) (*netsim.Response, int, erro
 			// before failing.
 			b.clock.Advance(RequestTimeout)
 		}
+		if cls == netsim.FaultCaptcha || cls == netsim.FaultBotwall {
+			// Challenge and wall responses are never Retryable — asking
+			// again from the same session only raises suspicion — but the
+			// countermeasure kit can still rescue the navigation: solve
+			// the challenge (captcha only), or rotate to a fresh session.
+			// Disarmed countermeasures decline both and the navigation is
+			// abandoned exactly as before the arms race existed.
+			if cls == netsim.FaultCaptcha && b.solveCaptcha(req, resp) {
+				retries++
+				continue
+			}
+			b.resetCaptchaAnswer(req)
+			if b.noteSuspicionSignal() {
+				retries++
+				continue
+			}
+			if err == nil {
+				err = &FaultResponseError{Class: cls, Status: resp.Status, URL: req.URLString()}
+			}
+			return resp, retries, err
+		}
 		if !Retryable(cls) || retries+1 >= pol.MaxAttempts {
 			if err == nil {
 				err = &FaultResponseError{Class: cls, Status: resp.Status, URL: req.URLString()}
@@ -123,6 +147,11 @@ func (b *Browser) sendDocument(req *netsim.Request) (*netsim.Response, int, erro
 		}
 		if cls == netsim.FaultHTTP429 && resp != nil {
 			if ra := resp.RetryAfterSeconds(); ra > 0 {
+				// A hostile Retry-After must not stall the virtual clock
+				// past the policy's own ceiling.
+				if ra > pol.MaxBackoff {
+					ra = pol.MaxBackoff
+				}
 				wait = ra
 			}
 		}

@@ -1,0 +1,179 @@
+package browser
+
+import (
+	"net/http"
+	"testing"
+	"time"
+
+	"searchads/internal/detrand"
+	"searchads/internal/netsim"
+)
+
+// plainWorld wires one site serving a bare page — no resources, so
+// every request the adversary scores is a document navigation.
+func plainWorld() *netsim.Network {
+	n := netsim.NewNetwork()
+	n.Handle("a.com", netsim.HandlerFunc(func(req *netsim.Request) *netsim.Response {
+		resp := netsim.NewResponse(http.StatusOK)
+		resp.Page = &netsim.Page{Title: "landing", Root: netsim.NewElement("div")}
+		return resp
+	}))
+	return n
+}
+
+// TestRetryPolicyClampsNegative: negative budgets are as unset as zero
+// — both clamp to the defaults rather than leaking through as a
+// zero-attempt or backward-running policy.
+func TestRetryPolicyClampsNegative(t *testing.T) {
+	def := RetryPolicy{}.withDefaults()
+	if def.MaxAttempts != 3 || def.BaseBackoff != 500*time.Millisecond || def.MaxBackoff != 8*time.Second {
+		t.Fatalf("zero policy defaults = %+v", def)
+	}
+	neg := RetryPolicy{MaxAttempts: -2, BaseBackoff: -time.Second, MaxBackoff: -time.Minute}.withDefaults()
+	if neg != def {
+		t.Fatalf("negative policy = %+v, want clamped to %+v", neg, def)
+	}
+	kept := RetryPolicy{MaxAttempts: 5, BaseBackoff: time.Second, MaxBackoff: 10 * time.Second}
+	if got := kept.withDefaults(); got != kept {
+		t.Fatalf("explicit policy rewritten: %+v", got)
+	}
+}
+
+// TestRetryAfterCappedAtMaxBackoff: a hostile Retry-After on an
+// injected 429 must not stall the virtual clock past the policy's own
+// backoff ceiling.
+func TestRetryAfterCappedAtMaxBackoff(t *testing.T) {
+	n := plainWorld()
+	n.InstallFaults(netsim.FaultPlan{
+		Seed:       1,
+		Rates:      netsim.FaultRates{HTTP429: 1},
+		RetryAfter: 120 * time.Second,
+	})
+	b := New(n, Options{
+		Seed:  detrand.New(7),
+		Retry: RetryPolicy{MaxAttempts: 2, BaseBackoff: 500 * time.Millisecond, MaxBackoff: 4 * time.Second},
+	})
+	start := b.Clock().Now()
+	if _, err := b.Navigate("https://a.com/"); err == nil {
+		t.Fatal("navigation through a 100% 429 wall succeeded")
+	}
+	elapsed := b.Clock().Now().Sub(start)
+	if elapsed < 4*time.Second {
+		t.Fatalf("elapsed %v: the one retry should have waited the full 4s cap", elapsed)
+	}
+	if elapsed >= 120*time.Second {
+		t.Fatalf("elapsed %v: the 120s Retry-After escaped the MaxBackoff cap", elapsed)
+	}
+}
+
+// TestCountermeasuresDefaultsStayDisarmed: normalizing a zero bundle
+// must not arm it — IsZero survives withDefaults.
+func TestCountermeasuresDefaultsStayDisarmed(t *testing.T) {
+	if cm := (Countermeasures{}).withDefaults(); !cm.IsZero() {
+		t.Fatalf("zero bundle armed by defaults: %+v", cm)
+	}
+	cm := Countermeasures{SolveCaptchas: true}.withDefaults()
+	if cm.MaxSolves <= 0 || cm.SolveCost <= 0 {
+		t.Fatalf("solve defaults not filled: %+v", cm)
+	}
+	cm = Countermeasures{RotateAfter: 2}.withDefaults()
+	if cm.MaxRotations <= 0 {
+		t.Fatalf("rotation defaults not filled: %+v", cm)
+	}
+}
+
+// TestCaptchaSolveRescuesNavigation: with SolveCaptchas on, a
+// challenged navigation is solved (charging SolveCost to the virtual
+// clock) and reaches the page.
+func TestCaptchaSolveRescuesNavigation(t *testing.T) {
+	n := plainWorld()
+	n.InstallFaults(netsim.FaultPlan{Seed: 1, Adversary: netsim.AdversaryConfig{
+		RatePenalty: 1, CaptchaThreshold: 1,
+	}})
+	b := New(n, Options{
+		Seed:            detrand.New(7),
+		Countermeasures: Countermeasures{SolveCaptchas: true, SolveCost: 5 * time.Second},
+	})
+	start := b.Clock().Now()
+	res, err := b.Navigate("https://a.com/")
+	if err != nil {
+		t.Fatalf("solve did not rescue the navigation: %v", err)
+	}
+	if res.Page == nil || res.Page.Title != "landing" {
+		t.Fatalf("solved navigation landed on %+v", res.Page)
+	}
+	if got := b.CaptchaSolves(); got != 1 {
+		t.Fatalf("CaptchaSolves = %d, want 1", got)
+	}
+	if elapsed := b.Clock().Now().Sub(start); elapsed < 5*time.Second {
+		t.Fatalf("elapsed %v: solve cost not charged to the virtual clock", elapsed)
+	}
+}
+
+// TestSessionRotationRescuesNavigation: when a wall hits, rotating to
+// a fresh client label resets the adversary's suspicion and the
+// navigation goes through.
+func TestSessionRotationRescuesNavigation(t *testing.T) {
+	n := plainWorld()
+	n.InstallFaults(netsim.FaultPlan{Seed: 1, Adversary: netsim.AdversaryConfig{
+		Burst: 1, RatePenalty: 1, BlockThreshold: 1,
+	}})
+	b := New(n, Options{
+		Seed:            detrand.New(7),
+		Client:          "bing-0",
+		Countermeasures: Countermeasures{RotateAfter: 1},
+	})
+	// The first navigation rides the burst allowance; the second crosses
+	// the budget, is walled, and survives only by rotating.
+	if _, err := b.Navigate("https://a.com/"); err != nil {
+		t.Fatalf("first navigation: %v", err)
+	}
+	if _, err := b.Navigate("https://a.com/"); err != nil {
+		t.Fatalf("second navigation after rotation: %v", err)
+	}
+	if got := b.Rotations(); got != 1 {
+		t.Fatalf("Rotations = %d, want 1", got)
+	}
+}
+
+// TestWithoutCountermeasuresWallStillFatal: a disarmed bundle declines
+// both rescues, so walls abandon the navigation exactly as before the
+// arms race existed.
+func TestWithoutCountermeasuresWallStillFatal(t *testing.T) {
+	n := plainWorld()
+	n.InstallFaults(netsim.FaultPlan{Seed: 1, Adversary: netsim.AdversaryConfig{
+		RatePenalty: 1, CaptchaThreshold: 1,
+	}})
+	b := New(n, Options{Seed: detrand.New(7)})
+	_, err := b.Navigate("https://a.com/")
+	if err == nil {
+		t.Fatal("challenged navigation succeeded without countermeasures")
+	}
+	if b.Rotations() != 0 || b.CaptchaSolves() != 0 {
+		t.Fatalf("disarmed bundle acted: rotations=%d solves=%d", b.Rotations(), b.CaptchaSolves())
+	}
+}
+
+// TestPacingChargesVirtualClockDeterministically: pacing waits on the
+// private virtual clock, jitter included, and two identically seeded
+// browsers pace identically.
+func TestPacingChargesVirtualClockDeterministically(t *testing.T) {
+	elapsed := func() time.Duration {
+		b := New(plainWorld(), Options{
+			Seed:            detrand.New(7),
+			Countermeasures: Countermeasures{Pace: 2 * time.Second, PaceJitter: time.Second},
+		})
+		start := b.Clock().Now()
+		if _, err := b.Navigate("https://a.com/"); err != nil {
+			t.Fatal(err)
+		}
+		return b.Clock().Now().Sub(start)
+	}
+	a, bd := elapsed(), elapsed()
+	if a < 2*time.Second {
+		t.Fatalf("elapsed %v: pace not charged", a)
+	}
+	if a != bd {
+		t.Fatalf("identical browsers paced differently: %v vs %v", a, bd)
+	}
+}

@@ -1,0 +1,121 @@
+package crawler
+
+import (
+	"testing"
+)
+
+// TestBreakerLifecycle: the breaker trips after Threshold consecutive
+// failures, sheds for Cooldown iterations, lets one half-open probe
+// through, and closes again on a probe success (or re-arms the
+// cool-down on a probe failure).
+func TestBreakerLifecycle(t *testing.T) {
+	cfg := BreakerConfig{Threshold: 2, Cooldown: 2}
+	var st breakerState
+
+	if st.observe(cfg, true) {
+		t.Fatal("tripped after one failure with Threshold 2")
+	}
+	if !st.observe(cfg, true) {
+		t.Fatal("did not trip at Threshold")
+	}
+	// Two shed iterations burn the cool-down.
+	for i := 0; i < 2; i++ {
+		if !st.shouldShed(cfg) {
+			t.Fatalf("shed %d: breaker let the iteration through mid-cool-down", i)
+		}
+	}
+	// Half-open: the next iteration probes.
+	if st.shouldShed(cfg) {
+		t.Fatal("half-open probe was shed")
+	}
+	// A failed probe re-arms the cool-down without re-counting toward the
+	// threshold.
+	if st.observe(cfg, true) {
+		t.Fatal("failed probe reported a fresh trip")
+	}
+	if !st.shouldShed(cfg) {
+		t.Fatal("failed probe did not re-arm the cool-down")
+	}
+	st.shouldShed(cfg) // burn the rest of the cool-down
+	if st.shouldShed(cfg) {
+		t.Fatal("second half-open probe was shed")
+	}
+	// A successful probe closes the breaker for good.
+	if st.observe(cfg, false) {
+		t.Fatal("successful probe reported a trip")
+	}
+	if st.shouldShed(cfg) || st.open {
+		t.Fatal("breaker still open after a successful probe")
+	}
+	// Interleaved successes keep resetting the consecutive count.
+	st.observe(cfg, true)
+	st.observe(cfg, false)
+	if st.observe(cfg, true) {
+		t.Fatal("non-consecutive failures tripped the breaker")
+	}
+}
+
+// TestBreakerDisabled: a zero config never sheds and never trips.
+func TestBreakerDisabled(t *testing.T) {
+	var st breakerState
+	var cfg BreakerConfig
+	for i := 0; i < 10; i++ {
+		if st.shouldShed(cfg) || st.observe(cfg, true) {
+			t.Fatal("disabled breaker acted")
+		}
+	}
+}
+
+// TestCountermeasureBundles: names resolve, "off" and "" are zero,
+// unknown names error, and the default normalization fills the
+// cool-down.
+func TestCountermeasureBundles(t *testing.T) {
+	for _, name := range CountermeasureNames() {
+		cm, err := CountermeasureBundle(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if (name == "off") != cm.IsZero() {
+			t.Fatalf("%s: IsZero = %v", name, cm.IsZero())
+		}
+	}
+	if cm, err := CountermeasureBundle(""); err != nil || !cm.IsZero() {
+		t.Fatalf("empty bundle: cm=%+v err=%v", cm, err)
+	}
+	if _, err := CountermeasureBundle("prayer"); err == nil {
+		t.Fatal("unknown bundle accepted")
+	}
+	full, err := CountermeasureBundle("full")
+	if err != nil {
+		t.Fatal(err)
+	}
+	full = full.withDefaults()
+	if full.Breaker.Threshold <= 0 || full.Breaker.Cooldown <= 0 {
+		t.Fatalf("full bundle breaker not normalized: %+v", full.Breaker)
+	}
+}
+
+// TestDeriveOutcome: the outcome taxonomy — abandoned for walls the
+// countermeasures could not beat, lost for hard failures, recovered
+// for successes that needed a rescue, and "" for clean successes.
+func TestDeriveOutcome(t *testing.T) {
+	cases := []struct {
+		name string
+		it   Iteration
+		want string
+	}{
+		{"clean success", Iteration{FinalURL: "https://x/"}, ""},
+		{"no ads is not a loss", Iteration{Error: "no ads", ErrorClass: string(ClassNoAds)}, ""},
+		{"hard failure", Iteration{Error: "x", ErrorClass: string(ClassTimeout)}, OutcomeLost},
+		{"captcha abandoned", Iteration{Error: "x", ErrorClass: string(ClassCaptcha)}, OutcomeAbandoned},
+		{"breaker shed", Iteration{Error: "x", ErrorClass: string(ClassBreakerOpen)}, OutcomeAbandoned},
+		{"recovered by rotation", Iteration{FinalURL: "https://x/", Rotations: 1}, OutcomeRecovered},
+		{"recovered by solve", Iteration{FinalURL: "https://x/", CaptchaSolves: 2}, OutcomeRecovered},
+		{"recovered by retry", Iteration{FinalURL: "https://x/", Hops: []HopRecord{{Retries: 1}}}, OutcomeRecovered},
+	}
+	for _, tc := range cases {
+		if got := deriveOutcome(&tc.it); got != tc.want {
+			t.Fatalf("%s: outcome %q, want %q", tc.name, got, tc.want)
+		}
+	}
+}

@@ -70,6 +70,13 @@ type Config struct {
 	// runs on each browser's private virtual clock, so the policy is
 	// deterministic and free when the world injects no faults.
 	Retry browser.RetryPolicy
+	// Countermeasures arms the anti-adversary survival kit: browser-level
+	// pacing/rotation/CAPTCHA-solving plus the per-engine circuit
+	// breaker. Arming any of them (or crawling a world with an adversary
+	// installed) also turns on recovered/lost/abandoned outcome
+	// accounting on every iteration. The zero value is disarmed and
+	// byte-inert.
+	Countermeasures Countermeasures
 	// Telemetry, when set, records run-time metrics for the crawl:
 	// per-iteration latency (wall and virtual), per-engine and
 	// per-ErrorClass tallies, queue wait in the Parallel pool, and —
@@ -92,6 +99,12 @@ type Config struct {
 // Crawler runs the measurement pipeline.
 type Crawler struct {
 	cfg Config
+	// trackOutcomes turns on the arms-race accounting: Outcome,
+	// Rotations, and CaptchaSolves stamped on every iteration. It is on
+	// exactly when the crawl has a stake in the arms race — an adversary
+	// armed on the world's network, or any countermeasure configured —
+	// so plain crawls (and the PR-6 chaos goldens) keep their bytes.
+	trackOutcomes bool
 }
 
 // New returns a crawler for the given config.
@@ -102,13 +115,17 @@ func New(cfg Config) *Crawler {
 	if len(cfg.Engines) == 0 {
 		cfg.Engines = cfg.World.Cfg.Engines
 	}
+	cfg.Countermeasures = cfg.Countermeasures.withDefaults()
 	if cfg.Telemetry != nil {
 		// One central install covers every caller (facade, sweep cells,
 		// loadtest): the crawl's network reports round trips and faults
 		// into the same registry the crawler reports iterations into.
 		cfg.World.Net.InstallTelemetry(cfg.Telemetry)
 	}
-	return &Crawler{cfg: cfg}
+	return &Crawler{
+		cfg:           cfg,
+		trackOutcomes: cfg.World.Net.AdversaryArmed() || !cfg.Countermeasures.IsZero(),
+	}
 }
 
 // NewDataset returns the metadata-only dataset shell Run fills with
@@ -152,6 +169,11 @@ type crawlPlan struct {
 	base    []int // emission index of each engine's iteration start
 	visited []map[string]bool
 	total   int // iterations left to crawl (and emit)
+	// breakers is the per-engine circuit-breaker state; breakerEvents is
+	// the recorded history a resume replays to rebuild it (see
+	// ResumeState.Breaker).
+	breakers      []breakerState
+	breakerEvents []string
 }
 
 // plan validates the config against the world and lays out the
@@ -197,9 +219,28 @@ func (c *Crawler) plan() (*crawlPlan, error) {
 		p.counts[idx] = n
 		p.visited[idx] = make(map[string]bool)
 	}
+	p.breakers = make([]breakerState, len(p.engines))
+	p.breakerEvents = make([]string, len(p.engines))
 	if c.cfg.Resume != nil {
 		if err := c.cfg.Resume.validate(p); err != nil {
 			return nil, err
+		}
+	}
+	if br := c.cfg.Countermeasures.Breaker; br.Threshold > 0 {
+		// Replay the recorded event history so each chain's breaker
+		// resumes in the exact state the killed run held — including a
+		// breaker that was mid-cool-down when the checkpoint was taken.
+		for idx := range p.engines {
+			for _, ev := range []byte(p.breakerEvents[idx]) {
+				switch ev {
+				case 's':
+					p.breakers[idx].shouldShed(br)
+				case 'f':
+					p.breakers[idx].observe(br, true)
+				default:
+					p.breakers[idx].observe(br, false)
+				}
+			}
 		}
 	}
 	for idx := range p.engines {
@@ -209,12 +250,28 @@ func (c *Crawler) plan() (*crawlPlan, error) {
 	return p, nil
 }
 
-// runOne crawls one (engine, iteration) coordinate of the plan.
+// runOne crawls one (engine, iteration) coordinate of the plan — or
+// sheds it when the engine's circuit breaker is open.
 func (c *Crawler) runOne(p *crawlPlan, idx, iter int) *Iteration {
 	tele := c.cfg.Telemetry
+	br := c.cfg.Countermeasures.Breaker
+	if p.breakers[idx].shouldShed(br) {
+		it := c.shedIteration(p, idx, iter)
+		if tele != nil {
+			tele.Inc(telemetry.CounterIterations)
+			tele.Inc(telemetry.CounterIterationErrors)
+			tele.Inc(telemetry.CounterBreakerSheds)
+			tele.IncEngine(p.names[idx], true)
+			tele.IncErrorClass(it.ErrorClass)
+			tele.Emit(telemetry.Event{Type: "iteration", Engine: p.names[idx], Index: iter, Class: it.ErrorClass})
+		}
+		c.observeOutcome(it)
+		return it
+	}
 	if tele == nil {
 		it := c.runIteration(p.engines[idx], c.cfg.World.Queries[p.names[idx]][iter], iter, p.visited[idx])
 		c.annotateTrackers(it)
+		p.breakers[idx].observe(br, breakerEvent(it) == 'f')
 		return it
 	}
 	engine := p.names[idx]
@@ -234,7 +291,56 @@ func (c *Crawler) runOne(p *crawlPlan, idx, iter int) *Iteration {
 		ev.Class = it.ErrorClass
 	}
 	tele.Emit(ev)
+	if p.breakers[idx].observe(br, breakerEvent(it) == 'f') {
+		tele.Inc(telemetry.CounterBreakerTrips)
+	}
+	c.observeOutcome(it)
 	return it
+}
+
+// shedIteration records one iteration the open breaker declined to
+// crawl: no browser runs, no request is sent, no detrand stream is
+// consumed — identifier streams are keyed per instance label, so the
+// engine's remaining iterations are unperturbed by the gap.
+func (c *Crawler) shedIteration(p *crawlPlan, idx, iter int) *Iteration {
+	name := p.names[idx]
+	it := &Iteration{
+		Engine:     name,
+		EngineHost: p.engines[idx].Spec.Host,
+		Index:      iter,
+		Instance:   fmt.Sprintf("%s-%04d", name, iter),
+		Query:      c.cfg.World.Queries[name][iter],
+		ClickedAd:  -1,
+		Error:      fmt.Sprintf("breaker open: %s shedding load during cool-down", name),
+		ErrorClass: string(ClassBreakerOpen),
+	}
+	if c.trackOutcomes {
+		it.Outcome = OutcomeAbandoned
+	}
+	return it
+}
+
+// observeOutcome reports an iteration's arms-race accounting to
+// telemetry. A no-op when telemetry is off or the outcome is empty.
+func (c *Crawler) observeOutcome(it *Iteration) {
+	tele := c.cfg.Telemetry
+	if tele == nil {
+		return
+	}
+	if it.Rotations > 0 {
+		tele.Add(telemetry.CounterSessionRotations, uint64(it.Rotations))
+	}
+	if it.CaptchaSolves > 0 {
+		tele.Add(telemetry.CounterCaptchaSolves, uint64(it.CaptchaSolves))
+	}
+	switch it.Outcome {
+	case OutcomeRecovered:
+		tele.Inc(telemetry.CounterIterationsRecovered)
+	case OutcomeLost:
+		tele.Inc(telemetry.CounterIterationsLost)
+	case OutcomeAbandoned:
+		tele.Inc(telemetry.CounterIterationsAbandoned)
+	}
 }
 
 // Iterations returns the crawl as a stream: every iteration, emitted in
@@ -454,16 +560,26 @@ func (c *Crawler) runIteration(engine *serp.Engine, query string, index int, vis
 		fp = browser.DefaultHeadlessFingerprint()
 	}
 	b := browser.New(w.Net, browser.Options{
-		StorageMode: c.cfg.StorageMode,
-		CaptureProb: c.cfg.CaptureProb,
-		Fingerprint: fp,
-		Seed:        w.Seed.Derive("browser", it.Instance),
-		Retry:       c.cfg.Retry,
-		Telemetry:   c.cfg.Telemetry,
+		StorageMode:     c.cfg.StorageMode,
+		CaptureProb:     c.cfg.CaptureProb,
+		Fingerprint:     fp,
+		Seed:            w.Seed.Derive("browser", it.Instance),
+		Retry:           c.cfg.Retry,
+		Countermeasures: c.cfg.Countermeasures.Countermeasures,
+		Telemetry:       c.cfg.Telemetry,
 		// The instance label keys every origin server's identifier
 		// stream for this iteration's requests.
 		Client: it.Instance,
 	})
+	if c.trackOutcomes {
+		// Stamp the arms-race accounting on every exit path once the
+		// iteration's fate is known.
+		defer func() {
+			it.Rotations = b.Rotations()
+			it.CaptchaSolves = b.CaptchaSolves()
+			it.Outcome = deriveOutcome(it)
+		}()
+	}
 	if tele := c.cfg.Telemetry; tele != nil {
 		// The browser's private clock delta is the iteration's virtual
 		// duration — a pure function of (seed, config), so sequential and

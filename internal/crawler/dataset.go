@@ -153,11 +153,22 @@ type Iteration struct {
 	// (see ErrorClass; derived from legacy strings on Load).
 	Error      string `json:"error,omitempty"`
 	ErrorClass string `json:"error_class,omitempty"`
+
+	// Outcome is the arms-race accounting (recovered/lost/abandoned, see
+	// the Outcome* constants), stamped only when the crawl tracks
+	// outcomes; Rotations and CaptchaSolves count the countermeasure
+	// budgets the iteration spent. All three stay empty — and off the
+	// wire — for crawls with no adversary and no countermeasures.
+	Outcome       string `json:"outcome,omitempty"`
+	Rotations     int    `json:"rotations,omitempty"`
+	CaptchaSolves int    `json:"captcha_solves,omitempty"`
 }
 
 // DatasetVersion is the current dataset schema revision. Version 2
-// added typed error classes and per-hop retry/fault records.
-const DatasetVersion = 2
+// added typed error classes and per-hop retry/fault records; version 3
+// added the arms-race outcome accounting (Outcome, Rotations,
+// CaptchaSolves).
+const DatasetVersion = 3
 
 // Dataset is a complete crawl output.
 type Dataset struct {
@@ -230,15 +241,17 @@ func Load(path string) (*Dataset, error) {
 }
 
 // stampVersion marks the dataset with the current schema revision when
-// any iteration carries version-2 fields. Datasets without them keep
+// any iteration carries versioned fields. Datasets without them keep
 // the version-1 shape (no version key), which is what preserves
-// byte-identity for fault-free crawls.
+// byte-identity for fault-free crawls; likewise a chaos dataset with no
+// arms-race fields would stamp the current version only because of its
+// error classes — the stamp tracks content, not release.
 func (d *Dataset) stampVersion() {
 	if d.Version != 0 {
 		return
 	}
 	for _, it := range d.Iterations {
-		if it.ErrorClass != "" {
+		if it.ErrorClass != "" || it.Outcome != "" || it.Rotations != 0 || it.CaptchaSolves != 0 {
 			d.Version = DatasetVersion
 			return
 		}

@@ -27,8 +27,14 @@ const (
 	ClassHTTP429      ErrorClass = "http_429"
 	ClassHTTP5xx      ErrorClass = "http_5xx"
 	ClassBotwall      ErrorClass = "botwall"
+	// ClassCaptcha is a challenge the solve-or-abandon policy abandoned
+	// (served only by the stateful adversary, never the i.i.d. walk).
+	ClassCaptcha      ErrorClass = "captcha"
 	ClassRedirectLoop ErrorClass = "redirect_loop"
-	ClassNoAds        ErrorClass = "no_ads"
+	// ClassBreakerOpen is an iteration shed by the crawler's own circuit
+	// breaker — the crawler's choice, not the network's.
+	ClassBreakerOpen ErrorClass = "breaker_open"
+	ClassNoAds       ErrorClass = "no_ads"
 )
 
 // ErrorClasses lists the taxonomy in canonical (render) order.
@@ -36,7 +42,8 @@ func ErrorClasses() []ErrorClass {
 	return []ErrorClass{
 		ClassDNS, ClassTLS, ClassTimeout,
 		ClassHTTP403, ClassHTTP429, ClassHTTP5xx,
-		ClassBotwall, ClassRedirectLoop, ClassNoAds,
+		ClassBotwall, ClassCaptcha, ClassRedirectLoop,
+		ClassBreakerOpen, ClassNoAds,
 	}
 }
 
@@ -81,6 +88,10 @@ func ClassifyErrorString(s string) ErrorClass {
 		return ClassTimeout
 	case strings.Contains(s, "botwall fault"):
 		return ClassBotwall
+	case strings.Contains(s, "captcha fault"):
+		return ClassCaptcha
+	case strings.Contains(s, "breaker open"):
+		return ClassBreakerOpen
 	case strings.Contains(s, "http_403 fault"):
 		return ClassHTTP403
 	case strings.Contains(s, "http_429 fault"):

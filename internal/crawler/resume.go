@@ -28,16 +28,37 @@ type ResumeState struct {
 	Done map[string]int `json:"done"`
 	// Visited maps engine name → landing domains clicked so far.
 	Visited map[string][]string `json:"visited,omitempty"`
+	// Breaker maps engine name → the chain's breaker-event history (one
+	// byte per crawled iteration: 's' shed, 'f' faulted, 'o' ok — see
+	// breakerEvent). The resumed crawl replays it so the circuit breaker
+	// picks up in the exact state the killed run held, even mid
+	// cool-down. Engines whose history holds no fault or shed are
+	// omitted: replaying all-'o' is a no-op, and omitting it keeps
+	// fault-free resume state byte-identical to the pre-breaker format.
+	Breaker map[string]string `json:"breaker,omitempty"`
 }
 
 // ResumeFromIterations derives the resume state from a crawled prefix
 // in dataset order — typically the iterations a checkpoint preserved.
 func ResumeFromIterations(its []*Iteration) *ResumeState {
 	rs := &ResumeState{Done: make(map[string]int), Visited: make(map[string][]string)}
+	events := make(map[string][]byte)
 	for _, it := range its {
 		rs.Done[it.Engine]++
 		if it.ClickedAd >= 0 && it.ClickedAd < len(it.DisplayedAds) {
 			rs.Visited[it.Engine] = append(rs.Visited[it.Engine], it.DisplayedAds[it.ClickedAd].LandingDomain)
+		}
+		events[it.Engine] = append(events[it.Engine], breakerEvent(it))
+	}
+	for engine, evs := range events {
+		for _, ev := range evs {
+			if ev != 'o' {
+				if rs.Breaker == nil {
+					rs.Breaker = make(map[string]string)
+				}
+				rs.Breaker[engine] = string(evs)
+				break
+			}
 		}
 	}
 	return rs
@@ -86,6 +107,13 @@ func (rs *ResumeState) validate(p *crawlPlan) error {
 		for _, d := range domains {
 			p.visited[idx][d] = true
 		}
+	}
+	for name, events := range rs.Breaker {
+		idx, ok := byName[name]
+		if !ok {
+			return fmt.Errorf("crawler: resume breaker history names engine %q the crawl does not include", name)
+		}
+		p.breakerEvents[idx] = events
 	}
 	return nil
 }

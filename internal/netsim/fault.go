@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"sync"
 	"time"
 
 	"searchads/internal/detrand"
@@ -46,6 +47,9 @@ const (
 	FaultHTTP429 FaultClass = "http_429"
 	FaultHTTP5xx FaultClass = "http_5xx"
 	FaultBotwall FaultClass = "botwall"
+	// FaultCaptcha marks a solvable challenge served by the stateful
+	// adversary (see AdversaryConfig); never rolled by the i.i.d. walk.
+	FaultCaptcha FaultClass = "captcha"
 )
 
 // faultRollOrder fixes the cumulative-probability walk a single
@@ -138,6 +142,16 @@ type FaultPlan struct {
 	// 403 challenge response. The returned response is always marked
 	// with the botwall Fault class.
 	Interstitial func(req *Request) *Response
+	// Adversary is the stateful half of the plan: per-client suspicion
+	// scoring, booby-trapped challenges, and time-correlated
+	// outage/brownout windows (see AdversaryConfig). The zero value is
+	// disarmed and leaves the i.i.d. plan byte-identical to PR-6.
+	Adversary AdversaryConfig
+	// Captcha builds the challenge page for adversary-served captcha
+	// verdicts (websim installs its challenge page here). nil falls back
+	// to a bare 403. The fault layer stamps the token header and the
+	// captcha Fault class on whatever is returned.
+	Captcha func(req *Request, token string) *Response
 }
 
 // IsZero reports whether the plan injects nothing.
@@ -150,7 +164,7 @@ func (p FaultPlan) IsZero() bool {
 			return false
 		}
 	}
-	return true
+	return p.Adversary.IsZero()
 }
 
 // defaultRetryAfter is the Retry-After advertised by injected 429s.
@@ -206,6 +220,14 @@ type faultState struct {
 	plan FaultPlan
 	src  detrand.Source
 	seq  detrand.Seq
+
+	// adv caches Adversary.IsZero()==false so the PR-6 fast path pays
+	// one bool check; mu guards the per-client suspicion map (each
+	// client's requests are sequential, so the lock only serialises
+	// cross-client map access — see clientSuspicion).
+	adv     bool
+	mu      sync.Mutex
+	clients map[string]*clientSuspicion
 }
 
 // InstallFaults arms (or, for a zero plan, disarms) the network's
@@ -219,14 +241,27 @@ func (n *Network) InstallFaults(plan FaultPlan) {
 	if plan.RetryAfter <= 0 {
 		plan.RetryAfter = defaultRetryAfter
 	}
-	n.faults.Store(&faultState{
+	fs := &faultState{
 		plan: plan,
 		src:  detrand.New(plan.Seed).Derive("netsim/fault"),
-	})
+	}
+	if !plan.Adversary.IsZero() {
+		fs.adv = true
+		fs.clients = make(map[string]*clientSuspicion)
+	}
+	n.faults.Store(fs)
 }
 
 // FaultsArmed reports whether a non-zero plan is installed.
 func (n *Network) FaultsArmed() bool { return n.faults.Load() != nil }
+
+// AdversaryArmed reports whether the installed plan has a live
+// adversary (consumers gate arms-race outcome accounting on it, so
+// plain i.i.d. chaos runs keep their exact PR-6 bytes).
+func (n *Network) AdversaryArmed() bool {
+	fs := n.faults.Load()
+	return fs != nil && fs.adv
+}
 
 // inject rolls the request's fate. It returns (nil, nil) to let the
 // request through, a marked response for response-stage faults, or a
@@ -234,11 +269,25 @@ func (n *Network) FaultsArmed() bool { return n.faults.Load() != nil }
 func (s *faultState) inject(req *Request) (*Response, error) {
 	client := req.Client
 	serial := s.seq.Next(client)
+	site := urlx.RegistrableDomain(req.URL.Host)
+
+	if s.adv {
+		// The stateful adversary decides first; its streams derive from
+		// labels disjoint from the i.i.d. walk's, so arming it never
+		// perturbs the draws below.
+		resp, err, verdict := s.adversary(req, client, serial, site)
+		switch verdict {
+		case advServed:
+			return resp, err
+		case advLetThrough:
+			return nil, nil
+		}
+	}
+
 	g := s.src.Derive("req", client).DeriveN("n", serial).Rand()
 	u := g.Float64()
 
 	rates := s.plan.Rates
-	site := urlx.RegistrableDomain(req.URL.Host)
 	if override, ok := s.plan.SiteRates[site]; ok {
 		rates = override
 	}

@@ -19,6 +19,7 @@ import (
 	"strconv"
 	"strings"
 
+	"searchads/internal/crawler"
 	"searchads/internal/netsim"
 	"searchads/internal/storage"
 )
@@ -53,6 +54,14 @@ type Matrix struct {
 	// dimension, so a sweep quantifies metric bias versus injection
 	// rate directly.
 	FaultRates []float64
+	// Adversaries lists stateful-adversary postures to sweep (default:
+	// "off"). See netsim.AdversaryPostures.
+	Adversaries []string
+	// Countermeasures lists crawler countermeasure bundles to sweep
+	// (default: "off"). See crawler.CountermeasureNames. Crossed with
+	// Adversaries, the sweep measures the full arms-race grid —
+	// recovered/lost/abandoned per posture × bundle.
+	Countermeasures []string
 	// QueriesPerEngine sizes each cell's query corpus (0 = the
 	// library default, 500 — the paper's scale).
 	QueriesPerEngine int
@@ -75,6 +84,8 @@ type Cell struct {
 	NoStealth        bool
 	FaultProfile     string
 	FaultRate        float64
+	Adversary        string
+	Countermeasure   string
 	QueriesPerEngine int
 	Iterations       int
 	SkipRevisit      bool
@@ -103,6 +114,12 @@ func (m Matrix) withDefaults() Matrix {
 	if len(m.FaultRates) == 0 {
 		m.FaultRates = []float64{0}
 	}
+	if len(m.Adversaries) == 0 {
+		m.Adversaries = []string{"off"}
+	}
+	if len(m.Countermeasures) == 0 {
+		m.Countermeasures = []string{"off"}
+	}
 	return m
 }
 
@@ -118,21 +135,27 @@ func (m Matrix) Expand() []Cell {
 				for _, set := range m.EngineSets {
 					for _, profile := range m.FaultProfiles {
 						for _, rate := range m.FaultRates {
-							scenario := scenarioName(st, filter, stealth, set, profile, rate)
-							for _, seed := range m.Seeds {
-								cells = append(cells, Cell{
-									Scenario:         scenario,
-									Seed:             seed,
-									Engines:          set,
-									Storage:          st,
-									FilterAnnotate:   filter,
-									NoStealth:        !stealth,
-									FaultProfile:     profile,
-									FaultRate:        rate,
-									QueriesPerEngine: m.QueriesPerEngine,
-									Iterations:       m.Iterations,
-									SkipRevisit:      m.SkipRevisit,
-								})
+							for _, adv := range m.Adversaries {
+								for _, cm := range m.Countermeasures {
+									scenario := scenarioName(st, filter, stealth, set, profile, rate, adv, cm)
+									for _, seed := range m.Seeds {
+										cells = append(cells, Cell{
+											Scenario:         scenario,
+											Seed:             seed,
+											Engines:          set,
+											Storage:          st,
+											FilterAnnotate:   filter,
+											NoStealth:        !stealth,
+											FaultProfile:     profile,
+											FaultRate:        rate,
+											Adversary:        adv,
+											Countermeasure:   cm,
+											QueriesPerEngine: m.QueriesPerEngine,
+											Iterations:       m.Iterations,
+											SkipRevisit:      m.SkipRevisit,
+										})
+									}
+								}
 							}
 						}
 					}
@@ -156,14 +179,22 @@ func (m Matrix) Scenarios() []string {
 	return names
 }
 
-func scenarioName(st storage.Mode, filter, stealth bool, set []string, profile string, rate float64) string {
+func scenarioName(st storage.Mode, filter, stealth bool, set []string, profile string, rate float64, adv, cm string) string {
 	name := fmt.Sprintf("storage=%s,filter=%s,stealth=%s,engines=%s",
 		st, onOff(filter), onOff(stealth), engineSetLabel(set))
 	// The fault segment appears only when the fault dimensions leave
 	// their defaults, so matrices that never mention faults keep their
-	// exact pre-chaos scenario names.
+	// exact pre-chaos scenario names; the adversary and countermeasure
+	// segments likewise appear only when armed, keeping PR-6 chaos
+	// scenario names (and SWEEP_chaos.json) byte-stable.
 	if profile != "off" && profile != "" || rate != 0 {
 		name += fmt.Sprintf(",faults=%s@%s", profile, strconv.FormatFloat(rate, 'g', -1, 64))
+	}
+	if adv != "" && adv != "off" {
+		name += ",adv=" + adv
+	}
+	if cm != "" && cm != "off" {
+		name += ",cm=" + cm
 	}
 	return name
 }
@@ -206,6 +237,12 @@ func (m Matrix) Overlay(o Matrix) Matrix {
 	if len(o.FaultRates) > 0 {
 		m.FaultRates = o.FaultRates
 	}
+	if len(o.Adversaries) > 0 {
+		m.Adversaries = o.Adversaries
+	}
+	if len(o.Countermeasures) > 0 {
+		m.Countermeasures = o.Countermeasures
+	}
 	if o.QueriesPerEngine != 0 {
 		m.QueriesPerEngine = o.QueriesPerEngine
 	}
@@ -228,6 +265,8 @@ func (m Matrix) Overlay(o Matrix) Matrix {
 //	engines=all,bing+google  engine subsets ('+' joins a subset)
 //	faults=off,bot-hostile fault profiles (see netsim.ProfileRates)
 //	fault-rate=0,0.05,0.2  fault-injection rates
+//	adversary=off,strict   adversary postures (see netsim.AdversaryPostures)
+//	cm=off,pace,full       countermeasure bundles (see crawler.CountermeasureNames)
 //	queries=80             queries per engine (single value)
 //	iterations=40          iteration cap per engine (single value)
 //
@@ -322,6 +361,22 @@ func ParseMatrix(s string) (Matrix, error) {
 				}
 				m.FaultRates = append(m.FaultRates, f)
 			}
+		case "adversary", "adversaries":
+			for _, p := range parts {
+				// Validate eagerly, like faults: a typo fails at parse
+				// time, not per cell mid-sweep.
+				if _, err := netsim.PostureConfig(strings.ToLower(p)); err != nil {
+					return m, fmt.Errorf("sweep: %w", err)
+				}
+				m.Adversaries = append(m.Adversaries, strings.ToLower(p))
+			}
+		case "cm", "countermeasures":
+			for _, p := range parts {
+				if _, err := crawler.CountermeasureBundle(strings.ToLower(p)); err != nil {
+					return m, fmt.Errorf("sweep: %w", err)
+				}
+				m.Countermeasures = append(m.Countermeasures, strings.ToLower(p))
+			}
 		case "queries":
 			n, err := singleInt(parts)
 			if err != nil {
@@ -335,7 +390,7 @@ func ParseMatrix(s string) (Matrix, error) {
 			}
 			m.Iterations = n
 		default:
-			return m, fmt.Errorf("sweep: unknown matrix key %q (want seeds, storage, filter, stealth, engines, faults, fault-rate, queries, or iterations)", key)
+			return m, fmt.Errorf("sweep: unknown matrix key %q (want seeds, storage, filter, stealth, engines, faults, fault-rate, adversary, cm, queries, or iterations)", key)
 		}
 	}
 	return m, nil
@@ -394,6 +449,15 @@ var presets = map[string]Matrix{
 	"chaos-robustness": {
 		FaultProfiles: []string{"bot-hostile"},
 		FaultRates:    []float64{0, 0.05, 0.1, 0.2},
+	},
+	// arms-race crosses stateful adversary postures with crawler
+	// countermeasure bundles over a light i.i.d. fault floor: the
+	// recovered/lost/abandoned grid that extends the chaos bias table.
+	"arms-race": {
+		FaultProfiles:   []string{"bot-hostile"},
+		FaultRates:      []float64{0.05},
+		Adversaries:     []string{"lenient", "strict"},
+		Countermeasures: []string{"off", "pace", "full"},
 	},
 }
 

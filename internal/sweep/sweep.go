@@ -101,6 +101,10 @@ type CellResult struct {
 	// recorded no failures — fault-free sweep output keeps its exact
 	// pre-chaos shape).
 	FailureClasses map[string]int `json:"failure_classes,omitempty"`
+	// Outcomes is the arms-race accounting (recovered/lost/abandoned),
+	// summed across the cell's engines (absent when the cell tracked no
+	// outcomes — PR-6 chaos sweep output keeps its exact shape).
+	Outcomes map[string]int `json:"outcomes,omitempty"`
 	// Err is the cell-level failure ("" on success; canceled cells
 	// carry the context error). Errored cells are excluded from
 	// aggregation and make Run return an error.
@@ -290,6 +294,14 @@ func (r *runner) runCell(ctx context.Context, i int) {
 					cr.FailureClasses[cls] += n
 				}
 			}
+			for _, oc := range rep.Outcomes {
+				if cr.Outcomes == nil {
+					cr.Outcomes = make(map[string]int)
+				}
+				for o, n := range oc {
+					cr.Outcomes[o] += n
+				}
+			}
 		}
 	}
 	if err != nil {
@@ -337,12 +349,28 @@ func (r *runner) crawlAndAnalyze(ctx context.Context, i int, c Cell, cr *CellRes
 		Engines:          c.Engines,
 		QueriesPerEngine: c.QueriesPerEngine,
 	}
-	if c.FaultRate > 0 {
-		rates, err := netsim.ProfileRates(c.FaultProfile, c.FaultRate)
-		if err != nil {
-			return nil, err
+	advArmed := c.Adversary != "" && c.Adversary != "off"
+	if c.FaultRate > 0 || advArmed {
+		var plan netsim.FaultPlan
+		if c.FaultRate > 0 {
+			rates, err := netsim.ProfileRates(c.FaultProfile, c.FaultRate)
+			if err != nil {
+				return nil, err
+			}
+			plan.Rates = rates
 		}
-		wcfg.Faults = netsim.FaultPlan{Rates: rates}
+		if advArmed {
+			adv, err := netsim.PostureConfig(c.Adversary)
+			if err != nil {
+				return nil, err
+			}
+			plan.Adversary = adv
+		}
+		wcfg.Faults = plan
+	}
+	cm, err := crawler.CountermeasureBundle(c.Countermeasure)
+	if err != nil {
+		return nil, err
 	}
 	world := websim.NewWorld(wcfg)
 	var crawlFilter *filterlist.Engine
@@ -351,14 +379,15 @@ func (r *runner) crawlAndAnalyze(ctx context.Context, i int, c Cell, cr *CellRes
 	}
 	opts := analysis.Options{Filter: r.filter, Entities: r.ents}
 	ccfg := crawler.Config{
-		World:       world,
-		Engines:     c.Engines,
-		Iterations:  c.Iterations,
-		StorageMode: c.Storage,
-		NoStealth:   c.NoStealth,
-		SkipRevisit: c.SkipRevisit,
-		Filter:      crawlFilter,
-		Telemetry:   r.opts.Telemetry,
+		World:           world,
+		Engines:         c.Engines,
+		Iterations:      c.Iterations,
+		StorageMode:     c.Storage,
+		NoStealth:       c.NoStealth,
+		SkipRevisit:     c.SkipRevisit,
+		Filter:          crawlFilter,
+		Countermeasures: cm,
+		Telemetry:       r.opts.Telemetry,
 	}
 	// A checkpointed prefix fast-forwards the crawl and is re-folded
 	// below, so the cell's analysis observes the exact uninterrupted

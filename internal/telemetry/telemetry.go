@@ -134,6 +134,23 @@ const (
 	CounterSweepCells
 	// CounterSweepCellErrors counts failed or canceled sweep cells.
 	CounterSweepCellErrors
+	// CounterIterationsRecovered counts iterations that succeeded only
+	// thanks to a countermeasure (retry, rotation, or solved challenge).
+	CounterIterationsRecovered
+	// CounterIterationsLost counts iterations the adversary or network
+	// took despite every countermeasure.
+	CounterIterationsLost
+	// CounterIterationsAbandoned counts iterations the crawler gave up
+	// on (unsolved challenges, breaker-shed load).
+	CounterIterationsAbandoned
+	// CounterCaptchaSolves counts CAPTCHA solve attempts.
+	CounterCaptchaSolves
+	// CounterSessionRotations counts session (client-label) rotations.
+	CounterSessionRotations
+	// CounterBreakerTrips counts circuit-breaker open transitions.
+	CounterBreakerTrips
+	// CounterBreakerSheds counts iterations shed by an open breaker.
+	CounterBreakerSheds
 
 	numCounters
 )
@@ -150,6 +167,13 @@ var counterNames = [numCounters]string{
 	"checkpoint_bytes",
 	"sweep_cells",
 	"sweep_cell_errors",
+	"iterations_recovered",
+	"iterations_lost",
+	"iterations_abandoned",
+	"captcha_solves",
+	"session_rotations",
+	"breaker_trips",
+	"breaker_sheds",
 }
 
 // String returns the counter's snake_case report name.

@@ -28,3 +28,26 @@ func botwallInterstitial(req *netsim.Request) *netsim.Response {
 	resp.Body = page.Title
 	return resp
 }
+
+// captchaInterstitial builds the solvable challenge page the stateful
+// adversary serves below its hard-wall threshold: the same 403-status
+// interstitial shape as the bot wall, but carrying the challenge token
+// in the widget so the page reflects exactly what the fault layer
+// advertises in the token header. Like the bot wall it loads nothing
+// and shows no ads, so an abandoned challenge perturbs only the blocked
+// navigation.
+func captchaInterstitial(req *netsim.Request, token string) *netsim.Response {
+	page := &netsim.Page{
+		Title: "Security Challenge",
+		Root:  netsim.NewElement("div", "id", "captcha-challenge"),
+	}
+	page.Root.Children = []*netsim.Element{
+		{Tag: "h1", Text: "Verify you are human to access " + req.URL.Host},
+		{Tag: "p", Text: "Complete the CAPTCHA below to continue."},
+		netsim.NewElement("div", "class", "captcha-widget", "data-sitekey", "challenge", "data-token", token),
+	}
+	resp := netsim.NewResponse(http.StatusForbidden)
+	resp.Page = page
+	resp.Body = page.Title
+	return resp
+}

@@ -272,6 +272,9 @@ func NewWorld(cfg Config) *World {
 		if plan.Interstitial == nil {
 			plan.Interstitial = botwallInterstitial
 		}
+		if plan.Captcha == nil {
+			plan.Captcha = captchaInterstitial
+		}
 		w.Net.InstallFaults(plan)
 	}
 	return w

@@ -219,6 +219,22 @@ type Config struct {
 	// never mentioned faults. Faults are seeded from Seed, so equal
 	// configs fail identically — sequential or Parallel.
 	FaultRate float64
+	// Adversary names the stateful-adversary posture — "off" (or ""),
+	// "lenient", "strict", or "paranoid" (see AdversaryPostures): a
+	// per-client suspicion score escalating with request rate,
+	// fingerprint reuse, and prior wall hits, plus time-correlated
+	// outage/brownout windows. Deterministic like everything else:
+	// equal configs face identical adversaries, sequential or Parallel,
+	// and "off" is byte-identical to a study that never mentioned one.
+	Adversary string
+	// Countermeasures names the crawler's survival bundle — "off" (or
+	// ""), "pace", "rotate", "solve", or "full" (see
+	// CountermeasureBundles): virtual-clock pacing, session rotation on
+	// suspicion signals, CAPTCHA solve-or-abandon, and the per-engine
+	// circuit breaker. Arming either side turns on
+	// recovered/lost/abandoned outcome accounting in datasets and
+	// reports.
+	Countermeasures string
 	// Parallel crawls iterations on a worker pool spanning all cores.
 	// The dataset is byte-identical to a sequential crawl of the same
 	// Config: identifier streams derive from (engine, iteration) labels
@@ -311,13 +327,29 @@ func buildWorld(cfg Config) (*World, error) {
 			// from every crawl entry point.
 			return websim.NewWorld(wcfg), err
 		}
-		wcfg.Faults = netsim.FaultPlan{Rates: rates}
+		wcfg.Faults.Rates = rates
+	}
+	if cfg.Adversary != "" && cfg.Adversary != "off" {
+		adv, err := netsim.PostureConfig(cfg.Adversary)
+		if err != nil {
+			return websim.NewWorld(wcfg), err
+		}
+		wcfg.Faults.Adversary = adv
+	}
+	if _, err := crawler.CountermeasureBundle(cfg.Countermeasures); err != nil {
+		return websim.NewWorld(wcfg), err
 	}
 	return websim.NewWorld(wcfg), nil
 }
 
 // FaultProfiles lists the chaos layer's named fault profiles.
 func FaultProfiles() []string { return netsim.FaultProfileNames() }
+
+// AdversaryPostures lists the stateful adversary's named postures.
+func AdversaryPostures() []string { return netsim.AdversaryPostures() }
+
+// CountermeasureBundles lists the named crawler countermeasure bundles.
+func CountermeasureBundles() []string { return crawler.CountermeasureNames() }
 
 // World exposes the underlying simulated web (e.g. to serve it over
 // net/http via netsim.HTTPBridge). Starting a crawl after a previous
@@ -340,17 +372,21 @@ func (s *Study) freshWorld() *World {
 }
 
 func (s *Study) crawlerConfig(w *World) crawler.Config {
+	// The bundle name was validated in buildWorld; an invalid one never
+	// reaches a crawl (cfgErr short-circuits every entry point).
+	cm, _ := crawler.CountermeasureBundle(s.cfg.Countermeasures)
 	return crawler.Config{
-		World:       w,
-		Engines:     s.cfg.Engines,
-		Iterations:  s.cfg.Iterations,
-		StorageMode: s.cfg.Storage,
-		CaptureProb: s.cfg.CaptureProb,
-		NoStealth:   s.cfg.NoStealth,
-		SkipRevisit: s.cfg.SkipRevisit,
-		Parallel:    s.cfg.Parallel,
-		Filter:      s.cfg.Filter,
-		Telemetry:   s.cfg.Telemetry,
+		World:           w,
+		Engines:         s.cfg.Engines,
+		Iterations:      s.cfg.Iterations,
+		StorageMode:     s.cfg.Storage,
+		CaptureProb:     s.cfg.CaptureProb,
+		NoStealth:       s.cfg.NoStealth,
+		SkipRevisit:     s.cfg.SkipRevisit,
+		Parallel:        s.cfg.Parallel,
+		Filter:          s.cfg.Filter,
+		Countermeasures: cm,
+		Telemetry:       s.cfg.Telemetry,
 	}
 }
 
